@@ -1,0 +1,244 @@
+// Package armcivt is a library-level reproduction of "Virtual Topologies for
+// Scalable Resource Management and Contention Attenuation in a Global
+// Address Space Model on the Cray XT5" (Yu, Tipparaju, Que, Vetter —
+// ICPP 2011).
+//
+// It provides, from scratch and in pure Go:
+//
+//   - The paper's virtual topologies — FCG, MFCG, CFCG, Hypercube — with
+//     deadlock-free Lowest-Dimension-First (LDF) forwarding, including the
+//     extended rule for partially populated meshes and cubes (any node
+//     count).
+//   - An ARMCI-style one-sided runtime (per-node communication helper
+//     threads, per-edge request-buffer credit pools, request forwarding,
+//     put/get/accumulate/vectored/strided/fetch-&-add/lock operations).
+//   - A deterministic discrete-event model of a Cray XT5-class machine
+//     (3-D torus, NIC serialization, hot-spot stream throttling) so that
+//     resource-management and contention experiments run at scale on a
+//     laptop, in virtual time.
+//   - A Global Arrays-style layer (block-distributed dense arrays, section
+//     get/put/accumulate, shared task counters) and proxies for the paper's
+//     applications (NAS LU, NWChem DFT and CCSD(T)).
+//
+// The quickest way in:
+//
+//	cluster, _ := armcivt.NewCluster(armcivt.Options{Nodes: 16, PPN: 4, Topology: armcivt.MFCG})
+//	cluster.Alloc("data", 1<<20)
+//	err := cluster.Run(func(r *armcivt.Rank) {
+//	    if r.Rank() == 0 {
+//	        r.Put(5, "data", 0, []byte("hello"))
+//	        fmt.Printf("%s\n", r.Get(5, "data", 0, 5))
+//	    }
+//	})
+//
+// See the examples/ directory and the cmd/ binaries that regenerate every
+// figure of the paper's evaluation.
+package armcivt
+
+import (
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/fabric"
+	"armcivt/internal/ga"
+	"armcivt/internal/sim"
+)
+
+// Kind identifies a virtual topology.
+type Kind = core.Kind
+
+// The paper's four virtual topologies.
+const (
+	// FCG is the default fully connected resource graph: O(N) buffers per
+	// node, depth-1 request trees.
+	FCG = core.FCG
+	// MFCG is the meshed fully-connected graph: O(sqrt N) buffers, at
+	// most one forwarding step; the paper's recommended topology.
+	MFCG = core.MFCG
+	// CFCG is the cubic fully-connected graph: O(cbrt N) buffers, at most
+	// two forwarding steps.
+	CFCG = core.CFCG
+	// Hypercube uses O(log2 N) buffers at the cost of up to log2(N)-1
+	// forwarding steps; it requires a power-of-two node count.
+	Hypercube = core.Hypercube
+)
+
+// Topology is a virtual resource-allocation graph with LDF routing.
+type Topology = core.Topology
+
+// NewTopology constructs the standard topology of a kind over n nodes
+// (near-square meshes, near-cubes, power-of-two hypercubes).
+func NewTopology(kind Kind, n int) (Topology, error) { return core.New(kind, n) }
+
+// ParseKind converts a topology name ("FCG", "mfcg", "cube", ...) to a Kind.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// Rank is one simulated application process; all one-sided operations hang
+// off it. See the methods of armci.Rank: Put/Get/Acc, PutV/GetV, PutS/GetS,
+// FetchAdd, Lock/Unlock, Barrier, Fence and their non-blocking Nb forms.
+type Rank = armci.Rank
+
+// Handle tracks a non-blocking operation.
+type Handle = armci.Handle
+
+// Seg is one segment of a vectored operation.
+type Seg = armci.Seg
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// GlobalArray is a block-distributed dense 2-D float64 array (Global
+// Arrays-style) living in the cluster's global address space.
+type GlobalArray = ga.Array
+
+// Matrix is the section-transfer buffer type used by GlobalArray.
+type Matrix = ga.Matrix
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return ga.NewMatrix(rows, cols) }
+
+// Counter is a shared fetch-&-add task counter (NWChem's nxtval).
+type Counter = ga.Counter
+
+// Workload characterizes an application's communication behaviour for
+// Recommend.
+type Workload = core.Workload
+
+// Workload classes (see core.Recommend).
+const (
+	// Neighborly workloads (NAS LU-like) exchange with a fixed peer set.
+	Neighborly = core.Neighborly
+	// Dynamic workloads (NWChem DFT-like) create hot spots at scale.
+	Dynamic = core.Dynamic
+	// Bulk workloads (CCSD-like) move large blocks uniformly.
+	Bulk = core.Bulk
+)
+
+// Advice is the outcome of Recommend.
+type Advice = core.Advice
+
+// Recommend picks a virtual topology for a job following the paper's
+// conclusions: FCG only when memory allows and no hot-spots are expected,
+// MFCG as the general recommendation, CFCG/Hypercube under growing memory
+// pressure. memBudget is bytes of communication memory per node (0 =
+// unlimited); buffer parameters use the paper's defaults.
+func Recommend(nodes, ppn int, memBudget int64, w Workload) Advice {
+	return core.Recommend(nodes, ppn, memBudget, w, 4, 16<<10)
+}
+
+// Options configures a simulated cluster. Zero fields take defaults
+// (DefaultConfig in package armci documents the full calibration).
+type Options struct {
+	// Nodes is the number of compute nodes (required).
+	Nodes int
+	// PPN is processes per node (required).
+	PPN int
+	// Topology selects the virtual topology (default FCG).
+	Topology Kind
+	// CustomTopology overrides Topology with an explicit instance (e.g. a
+	// skewed mesh from core.NewMesh).
+	CustomTopology Topology
+	// BufSize is the request buffer size in bytes (default 16 KB).
+	BufSize int
+	// BufsPerProc is the number of buffers per remote process (default 4).
+	BufsPerProc int
+	// Seed perturbs nothing by default; simulations are deterministic.
+	// It reseeds the engine RNG for workloads that draw from it.
+	Seed int64
+}
+
+// Cluster is a simulated ARMCI job: a runtime plus its virtual-time engine.
+type Cluster struct {
+	eng *sim.Engine
+	rt  *armci.Runtime
+}
+
+// NewCluster builds a cluster from options.
+func NewCluster(opt Options) (*Cluster, error) {
+	eng := sim.New()
+	if opt.Seed != 0 {
+		eng.Seed(opt.Seed)
+	}
+	cfg := armci.DefaultConfig(opt.Nodes, opt.PPN)
+	if opt.CustomTopology != nil {
+		cfg.Topology = opt.CustomTopology
+	} else {
+		topo, err := core.New(opt.Topology, opt.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = topo
+	}
+	if opt.BufSize != 0 {
+		cfg.BufSize = opt.BufSize
+	}
+	if opt.BufsPerProc != 0 {
+		cfg.BufsPerProc = opt.BufsPerProc
+	}
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{eng: eng, rt: rt}, nil
+}
+
+// Alloc registers a named global allocation of bytes per rank.
+func (c *Cluster) Alloc(name string, bytes int) { c.rt.Alloc(name, bytes) }
+
+// NewGlobalArray registers a rows x cols global array before Run.
+func (c *Cluster) NewGlobalArray(name string, rows, cols int) *GlobalArray {
+	return ga.Create(c.rt, name, rows, cols)
+}
+
+// NewCounter registers a shared task counter hosted on the given rank.
+func (c *Cluster) NewCounter(name string, owner int) *Counter {
+	return ga.NewCounter(c.rt, name, owner)
+}
+
+// Group is a processor group (Global Arrays pgroup style) with its own
+// barrier and collectives.
+type Group = armci.Group
+
+// NewGroup registers a processor group over the given ranks before Run.
+func (c *Cluster) NewGroup(name string, ranks []int) *Group {
+	return c.rt.NewGroup(name, ranks)
+}
+
+// Run executes body SPMD-style on every rank and drives the simulation to
+// completion. It returns a *sim.DeadlockError if the job wedges.
+func (c *Cluster) Run(body func(r *Rank)) error { return c.rt.Run(body) }
+
+// Close releases the simulation's remaining goroutines (helper-thread
+// daemons, blocked ranks). Call it when done with the cluster in programs
+// that create many of them; the cluster must not be running.
+func (c *Cluster) Close() { c.rt.Shutdown() }
+
+// NRanks returns Nodes * PPN.
+func (c *Cluster) NRanks() int { return c.rt.NRanks() }
+
+// Topology returns the virtual topology in use.
+func (c *Cluster) Topology() Topology { return c.rt.Topology() }
+
+// Now returns the cluster's virtual clock.
+func (c *Cluster) Now() Time { return c.eng.Now() }
+
+// MasterRSS models the master process's resident set size on a node, the
+// quantity Figure 5 of the paper plots.
+func (c *Cluster) MasterRSS(node int) int64 { return c.rt.MasterRSS(node) }
+
+// Runtime exposes the underlying runtime for advanced use (stats, memory
+// model, direct fabric access).
+func (c *Cluster) Runtime() *armci.Runtime { return c.rt }
+
+// Stats returns runtime counters (requests, forwards, credit waits, ...).
+func (c *Cluster) Stats() armci.Stats { return c.rt.Stats() }
+
+// Fabric returns the physical network model's configuration.
+func (c *Cluster) Fabric() fabric.Config { return c.rt.Network().Config() }

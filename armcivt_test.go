@@ -1,0 +1,227 @@
+package armcivt_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"armcivt"
+	"armcivt/internal/core"
+)
+
+func TestClusterQuickPath(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 9, PPN: 2, Topology: armcivt.MFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Alloc("data", 4096)
+	if err := c.Run(func(r *armcivt.Rank) {
+		dst := (r.Rank() + 7) % r.N()
+		payload := []byte{byte(r.Rank()), 0xAB}
+		r.Put(dst, "data", 2*r.Rank(), payload)
+		r.Barrier()
+		got := r.Get(dst, "data", 2*r.Rank(), 2)
+		if !bytes.Equal(got, payload) {
+			t.Errorf("rank %d: got %v", r.Rank(), got)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	if c.Stats().Ops == 0 {
+		t.Error("no ops recorded")
+	}
+}
+
+func TestClusterTopologySelection(t *testing.T) {
+	for _, kind := range []armcivt.Kind{armcivt.FCG, armcivt.MFCG, armcivt.CFCG} {
+		c, err := armcivt.NewCluster(armcivt.Options{Nodes: 27, PPN: 1, Topology: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Topology().Kind() != kind {
+			t.Errorf("topology = %v, want %v", c.Topology().Kind(), kind)
+		}
+	}
+	if _, err := armcivt.NewCluster(armcivt.Options{Nodes: 27, PPN: 1, Topology: armcivt.Hypercube}); err == nil {
+		t.Error("hypercube on 27 nodes accepted")
+	}
+}
+
+func TestClusterCustomTopology(t *testing.T) {
+	mesh, err := core.NewMesh(2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 16, PPN: 1, CustomTopology: mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Topology().Shape()[0]; got != 2 {
+		t.Errorf("custom mesh shape[0] = %d, want 2", got)
+	}
+}
+
+func TestClusterGlobalArrayAndCounter(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 4, PPN: 2, Topology: armcivt.MFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := c.NewGlobalArray("A", 16, 16)
+	ctr := c.NewCounter("tasks", 0)
+	claimed := map[int64]bool{}
+	if err := c.Run(func(r *armcivt.Rank) {
+		for {
+			tk := ctr.Next(r)
+			if tk >= 16 {
+				break
+			}
+			claimed[tk] = true
+			m := armcivt.NewMatrix(1, 16)
+			for j := 0; j < 16; j++ {
+				m.Set(0, j, float64(tk))
+			}
+			arr.Put(r, [2]int{int(tk), 0}, [2]int{int(tk) + 1, 16}, m)
+		}
+		r.Barrier()
+		if r.Rank() == 0 {
+			got := arr.Get(r, [2]int{0, 0}, [2]int{16, 16})
+			for i := 0; i < 16; i++ {
+				if got.At(i, 3) != float64(i) {
+					t.Errorf("row %d = %v", i, got.At(i, 3))
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(claimed) != 16 {
+		t.Errorf("claimed %d tasks, want 16", len(claimed))
+	}
+}
+
+func TestClusterMasterRSSDropsWithMFCG(t *testing.T) {
+	mk := func(kind armcivt.Kind) int64 {
+		c, err := armcivt.NewCluster(armcivt.Options{Nodes: 64, PPN: 12, Topology: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.MasterRSS(0)
+	}
+	if fcg, mfcg := mk(armcivt.FCG), mk(armcivt.MFCG); mfcg >= fcg {
+		t.Errorf("MFCG RSS %d not below FCG %d", mfcg, fcg)
+	}
+}
+
+func TestClusterOptionOverrides(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 4, PPN: 1, BufSize: 8192, BufsPerProc: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Runtime().Config().BufSize; got != 8192 {
+		t.Errorf("BufSize = %d", got)
+	}
+	if got := c.Runtime().Config().BufsPerProc; got != 2 {
+		t.Errorf("BufsPerProc = %d", got)
+	}
+	if c.Fabric().LinkBandwidth <= 0 {
+		t.Error("fabric config empty")
+	}
+}
+
+func ExampleCluster() {
+	cluster, err := armcivt.NewCluster(armcivt.Options{Nodes: 9, PPN: 1, Topology: armcivt.MFCG})
+	if err != nil {
+		panic(err)
+	}
+	cluster.Alloc("counter", 8)
+	total := int64(0)
+	if err := cluster.Run(func(r *armcivt.Rank) {
+		old := r.FetchAdd(0, "counter", 0, 1)
+		if old == int64(r.N()-1) { // last incrementer
+			total = old + 1
+		}
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(total)
+	// Output: 9
+}
+
+func TestClusterGroups(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 4, PPN: 2, Topology: armcivt.MFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.NewGroup("left", []int{0, 1, 2, 3})
+	if err := c.Run(func(r *armcivt.Rank) {
+		if !g.Contains(r.Rank()) {
+			return
+		}
+		sum := r.GroupAllreduceSum(g, []float64{float64(r.Rank())})
+		if sum[0] != 6 {
+			t.Errorf("rank %d: group sum = %v, want 6", r.Rank(), sum[0])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendFacade(t *testing.T) {
+	a := armcivt.Recommend(1024, 12, 0, armcivt.Dynamic)
+	if a.Kind != armcivt.MFCG {
+		t.Errorf("dynamic advice = %v, want MFCG", a.Kind)
+	}
+	if a.Reason == "" || a.BufferBytesPerNode <= 0 {
+		t.Errorf("advice incomplete: %+v", a)
+	}
+	if armcivt.Recommend(64, 4, 0, armcivt.Neighborly).Kind != armcivt.FCG {
+		t.Error("neighborly advice not FCG")
+	}
+	if armcivt.Recommend(64, 4, 1<<20, armcivt.Bulk).Kind == armcivt.FCG {
+		t.Error("tight budget still recommends FCG")
+	}
+}
+
+func TestClusterCollectives(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 8, PPN: 1, Topology: armcivt.CFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func(r *armcivt.Rank) {
+		got := r.Bcast(3, seedIf(r.Rank() == 3, []byte("hi")))
+		if string(got) != "hi" {
+			t.Errorf("rank %d bcast = %q", r.Rank(), got)
+		}
+		sum := r.AllreduceSum([]float64{2})
+		if sum[0] != 16 {
+			t.Errorf("rank %d allreduce = %v", r.Rank(), sum[0])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedIf(cond bool, b []byte) []byte {
+	if cond {
+		return b
+	}
+	return nil
+}
+
+func TestClusterClose(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 8, PPN: 2, Topology: armcivt.MFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Alloc("m", 64)
+	if err := c.Run(func(r *armcivt.Rank) {
+		r.FetchAdd(0, "m", 0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // releases the 8 CHT daemon goroutines
+	c.Close() // idempotent
+}

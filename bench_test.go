@@ -1,0 +1,276 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure, plus
+// the ablations called out in DESIGN.md. Each benchmark runs the experiment
+// in virtual time and reports the simulated quantity the paper plots as a
+// custom metric (vus/op for latencies, vsec/run for application times,
+// MB for memory) — wall-clock ns/op only measures the simulator itself.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package armcivt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"armcivt/internal/apps/ccsd"
+	"armcivt/internal/apps/dft"
+	"armcivt/internal/apps/lu"
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/figures"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+// benchKinds are the topologies exercised by every benchmark.
+var benchKinds = core.Kinds
+
+// BenchmarkFig5MemoryScaling reproduces Figure 5: master-process memory per
+// topology at the paper's largest plotted scale (12,288 processes, 12 PPN).
+func BenchmarkFig5MemoryScaling(b *testing.B) {
+	for _, kind := range benchKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var mb float64
+			for i := 0; i < b.N; i++ {
+				inc, err := figures.Fig5Increment(12288, 12, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mb = inc
+			}
+			b.ReportMetric(mb, "MB-increment")
+		})
+	}
+}
+
+// contentionBench runs one (topology, contention) cell of Figures 6/7 at a
+// reduced-but-faithful scale and reports the mean per-op virtual latency.
+func contentionBench(b *testing.B, op figures.ContentionOp, kind core.Kind, every int) {
+	b.Helper()
+	cfg := figures.ContentionConfig{
+		Kind: kind, Nodes: 64, PPN: 2, Iters: 5,
+		SampleEvery: 8, StreamLimit: 8,
+		ContenderEvery: every, Op: op,
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		s, err := figures.Contention(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = stats.Summarize(s.Y).Mean
+	}
+	b.ReportMetric(mean, "vus/op")
+}
+
+// BenchmarkFig6VectoredPut reproduces Figure 6: vectored put to rank 0 under
+// 0%, 11% and 20% hot-spot contention.
+func BenchmarkFig6VectoredPut(b *testing.B) {
+	for _, kind := range benchKinds {
+		for name, every := range map[string]int{"none": 0, "11pct": 9, "20pct": 5} {
+			b.Run(fmt.Sprintf("%s/%s", kind, name), func(b *testing.B) {
+				contentionBench(b, figures.OpVectoredPut, kind, every)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7FetchAdd reproduces Figure 7: atomic fetch-&-add to rank 0
+// under the same contention levels.
+func BenchmarkFig7FetchAdd(b *testing.B) {
+	for _, kind := range benchKinds {
+		for name, every := range map[string]int{"none": 0, "11pct": 9, "20pct": 5} {
+			b.Run(fmt.Sprintf("%s/%s", kind, name), func(b *testing.B) {
+				contentionBench(b, figures.OpFetchAdd, kind, every)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8NASLU reproduces Figure 8: LU execution time per topology
+// (reduced grid, 64 processes).
+func BenchmarkFig8NASLU(b *testing.B) {
+	cfg := lu.Config{NX: 256, NY: 256, Iters: 4, ResidualEvery: 4, CellFlop: 400}
+	for _, kind := range benchKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var vsec float64
+			for i := 0; i < b.N; i++ {
+				ss, err := figures.Fig8([]int{64}, 4, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range ss {
+					if s.Label == kind.String() && len(s.Y) > 0 {
+						vsec = s.Y[0]
+					}
+				}
+			}
+			b.ReportMetric(vsec, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkFig9aDFT reproduces Figure 9(a): the hot-spot-prone DFT proxy.
+func BenchmarkFig9aDFT(b *testing.B) {
+	cfg := dft.Config{N: 192, BlockSize: 8, SCFIters: 2, TaskFlop: 100 * sim.Microsecond, HotBlocks: 4, CounterBatch: 4}
+	for _, kind := range benchKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var vsec float64
+			for i := 0; i < b.N; i++ {
+				ss, err := figures.Fig9a([]int{256}, 2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range ss {
+					if s.Label == kind.String() && len(s.Y) > 0 {
+						vsec = s.Y[0]
+					}
+				}
+			}
+			b.ReportMetric(vsec, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkFig9bCCSD reproduces Figure 9(b): the bulk-transfer CCSD proxy
+// (FCG and MFCG, as in the paper).
+func BenchmarkFig9bCCSD(b *testing.B) {
+	cfg := ccsd.Config{N: 256, BlockSize: 32, TasksPerRank: 2, TaskFlop: 1 * sim.Millisecond}
+	for _, kind := range []core.Kind{core.FCG, core.MFCG} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var vsec float64
+			for i := 0; i < b.N; i++ {
+				ss, err := figures.Fig9b([]int{64}, 2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range ss {
+					if s.Label == kind.String() && len(s.Y) > 0 {
+						vsec = s.Y[0]
+					}
+				}
+			}
+			b.ReportMetric(vsec, "vsec/run")
+		})
+	}
+}
+
+// BenchmarkLDFRouting measures the next-hop computation itself (the code on
+// every request's critical path).
+func BenchmarkLDFRouting(b *testing.B) {
+	for _, kind := range benchKinds {
+		g := core.MustNew(kind, 1024)
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.NextHop(i%1024, (i*37+11)%1024)
+			}
+		})
+	}
+}
+
+// stormVirtualTime runs a fixed all-to-all fetch-&-add storm and returns the
+// virtual completion time — the workhorse for the ablations below.
+func stormVirtualTime(b *testing.B, cfg armci.Config, ops int) sim.Time {
+	b.Helper()
+	eng := sim.New()
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Alloc("ctr", 8)
+	if err := rt.Run(func(r *armci.Rank) {
+		for k := 0; k < ops; k++ {
+			r.FetchAdd(0, "ctr", 0, 1)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// BenchmarkAblationBufferDepth varies M (buffers per process): deeper pools
+// admit more concurrent hot-spot traffic before the sender-side flow control
+// engages.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	for _, m := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			var vt sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := armci.DefaultConfig(16, 2)
+				cfg.Topology = core.MustNew(core.MFCG, 16)
+				cfg.BufsPerProc = m
+				vt = stormVirtualTime(b, cfg, 10)
+			}
+			b.ReportMetric(vt.Micros(), "vus/storm")
+		})
+	}
+}
+
+// BenchmarkAblationCHTCost varies the per-forward CHT overhead, the term
+// that decides where higher-dimension topologies stop paying off.
+func BenchmarkAblationCHTCost(b *testing.B) {
+	for _, fwd := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond, 8 * sim.Microsecond, 16 * sim.Microsecond} {
+		for _, kind := range []core.Kind{core.MFCG, core.Hypercube} {
+			b.Run(fmt.Sprintf("fwd=%v/%s", fwd, kind), func(b *testing.B) {
+				var vt sim.Time
+				for i := 0; i < b.N; i++ {
+					cfg := armci.DefaultConfig(16, 2)
+					cfg.Topology = core.MustNew(kind, 16)
+					cfg.CHTForwardOverhead = fwd
+					vt = stormVirtualTime(b, cfg, 10)
+				}
+				b.ReportMetric(vt.Micros(), "vus/storm")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMeshAspect compares square and skewed MFCG shapes over
+// the same node count: skew trades one dimension's buffer count against the
+// other's fan-in.
+func BenchmarkAblationMeshAspect(b *testing.B) {
+	for _, shape := range [][2]int{{8, 8}, {4, 16}, {2, 32}, {1, 64}} {
+		b.Run(fmt.Sprintf("%dx%d", shape[0], shape[1]), func(b *testing.B) {
+			topo, err := core.NewMesh(shape[0], shape[1], 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var vt sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := armci.DefaultConfig(64, 1)
+				cfg.Topology = topo
+				vt = stormVirtualTime(b, cfg, 5)
+			}
+			b.ReportMetric(vt.Micros(), "vus/storm")
+			b.ReportMetric(float64(topo.Degree(0)), "buffers-degree")
+		})
+	}
+}
+
+// BenchmarkAblationPartialPopulation compares a partially populated MFCG on
+// a prime node count against padding up to the next full mesh: extended LDF
+// makes the padding unnecessary.
+func BenchmarkAblationPartialPopulation(b *testing.B) {
+	const n = 61 // prime
+	b.Run("partial-61", func(b *testing.B) {
+		topo := core.MustNew(core.MFCG, n)
+		var vt sim.Time
+		for i := 0; i < b.N; i++ {
+			cfg := armci.DefaultConfig(n, 1)
+			cfg.Topology = topo
+			vt = stormVirtualTime(b, cfg, 5)
+		}
+		b.ReportMetric(vt.Micros(), "vus/storm")
+	})
+	b.Run("padded-64", func(b *testing.B) {
+		topo := core.MustNew(core.MFCG, 64)
+		var vt sim.Time
+		for i := 0; i < b.N; i++ {
+			cfg := armci.DefaultConfig(64, 1)
+			cfg.Topology = topo
+			vt = stormVirtualTime(b, cfg, 5)
+		}
+		b.ReportMetric(vt.Micros(), "vus/storm")
+	})
+}

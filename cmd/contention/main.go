@@ -1,0 +1,106 @@
+// Command contention regenerates Figures 6 and 7 of the paper: per-process
+// time of vectored put (Fig 6) or atomic fetch-&-add (Fig 7) operations to
+// rank 0, under no contention, 11% contention (every 9th process hammers
+// rank 0) and 20% contention (every 5th).
+//
+// The paper's full-size setup is 256 nodes x 4 processes (1024 procs); the
+// default here samples every 8th rank to keep the discrete-event run
+// tractable while preserving per-point behaviour.
+//
+// Usage:
+//
+//	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
+//	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armcivt/internal/core"
+	"armcivt/internal/figures"
+	"armcivt/internal/stats"
+)
+
+func main() {
+	op := flag.String("op", "vput", "operation: vput (Fig 6) or fadd (Fig 7)")
+	level := flag.String("level", "all", "contention: none, 11, 20, or all")
+	nodes := flag.Int("nodes", 256, "number of nodes")
+	ppn := flag.Int("ppn", 4, "processes per node")
+	iters := flag.Int("iters", 20, "iterations per measured process")
+	sample := flag.Int("sample", 8, "measure every k-th rank")
+	topos := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topologies to run")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var kinds []core.Kind
+	for _, name := range strings.Split(*topos, ",") {
+		k, err := core.ParseKind(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kinds = append(kinds, k)
+	}
+	var opSel figures.ContentionOp
+	var figName string
+	switch *op {
+	case "vput":
+		opSel, figName = figures.OpVectoredPut, "Figure 6: vectored put"
+	case "fadd":
+		opSel, figName = figures.OpFetchAdd, "Figure 7: fetch-&-add"
+	default:
+		fmt.Fprintln(os.Stderr, "bad -op (want vput or fadd)")
+		os.Exit(2)
+	}
+
+	levels := map[string]int{"none": 0, "11": 9, "20": 5}
+	var order []string
+	switch *level {
+	case "all":
+		order = []string{"none", "11", "20"}
+	case "none", "11", "20":
+		order = []string{*level}
+	default:
+		fmt.Fprintln(os.Stderr, "bad -level (want none, 11, 20, or all)")
+		os.Exit(2)
+	}
+
+	scale := figures.ContentionConfig{Nodes: *nodes, PPN: *ppn, Iters: *iters, SampleEvery: *sample}
+	for _, lv := range order {
+		every := levels[lv]
+		var series []*stats.Series
+		var err error
+		if opSel == figures.OpFetchAdd {
+			series, err = figures.Fig7(kinds, every, scale)
+		} else {
+			series, err = figures.Fig6(kinds, every, scale)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pct := map[string]string{"none": "no contention", "11": "11% contention", "20": "20% contention"}[lv]
+		tbl := stats.SeriesTable(
+			fmt.Sprintf("%s to rank 0, %s — avg us/op per process rank", figName, pct),
+			"rank", series)
+		if *csv {
+			tbl.WriteCSV(os.Stdout)
+		} else {
+			tbl.Write(os.Stdout)
+		}
+		fmt.Println()
+		sum := &stats.Table{
+			Title:  fmt.Sprintf("summary (%s)", pct),
+			Header: []string{"topology", "mean us", "p50 us", "p99 us", "max us"},
+		}
+		for _, s := range series {
+			sm := stats.Summarize(s.Y)
+			sum.AddRow(s.Label, sm.Mean, sm.P50, sm.P99, sm.Max)
+		}
+		sum.Write(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+// Command memscale regenerates Figure 5 of the paper: master-process memory
+// consumption versus process count for FCG, MFCG, CFCG, and Hypercube, at
+// the paper's constants (12 processes/node, 16 KB buffers, 4 per process).
+//
+// Usage:
+//
+//	memscale [-ppn 12] [-procs 768,1536,3072,6144,12288] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"armcivt/internal/core"
+	"armcivt/internal/figures"
+	"armcivt/internal/stats"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	ppn := flag.Int("ppn", 12, "processes per node")
+	procsFlag := flag.String("procs", "768,1536,3072,6144,12288", "comma-separated process counts")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	procs, err := parseInts(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -procs:", err)
+		os.Exit(2)
+	}
+	series, err := figures.Fig5(procs, *ppn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tbl := stats.SeriesTable(
+		"Figure 5: master-process memory (MBytes) vs processes",
+		"processes", series)
+	if *csv {
+		tbl.WriteCSV(os.Stdout)
+	} else {
+		tbl.Write(os.Stdout)
+	}
+
+	fmt.Println()
+	fmt.Println("Buffer-driven RSS increment over the base footprint (paper: FCG +812 MB at 12,288 procs,")
+	fmt.Println("cut 7.5x / 16.6x / 45x by MFCG / CFCG / Hypercube):")
+	top := procs[len(procs)-1]
+	fcgInc, err := figures.Fig5Increment(top, *ppn, core.FCG)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  FCG        +%7.1f MB\n", fcgInc)
+	for _, kind := range []core.Kind{core.MFCG, core.CFCG, core.Hypercube} {
+		inc, err := figures.Fig5Increment(top, *ppn, kind)
+		if err != nil {
+			fmt.Printf("  %-10s n/a (%v)\n", kind, err)
+			continue
+		}
+		fmt.Printf("  %-10s +%7.1f MB  (%.1fx reduction)\n", kind, inc, fcgInc/inc)
+	}
+}

@@ -1,0 +1,72 @@
+// Command nwchem regenerates Figure 9 of the paper with the NWChem proxies:
+// the hot-spot-prone DFT SiOSi3 model (Fig 9a, all four topologies) and the
+// bulk-transfer CCSD(T) water model (Fig 9b, FCG vs MFCG).
+//
+// Usage:
+//
+//	nwchem -model dft  [-cores 768,1536,3072,6144] [-ppn 12] [-csv]
+//	nwchem -model ccsd [-cores 768,1536,3072]      [-ppn 12] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"armcivt/internal/apps/ccsd"
+	"armcivt/internal/apps/dft"
+	"armcivt/internal/figures"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+func main() {
+	model := flag.String("model", "dft", "model: dft (Fig 9a) or ccsd (Fig 9b)")
+	coresFlag := flag.String("cores", "", "comma-separated core counts (defaults per model)")
+	ppn := flag.Int("ppn", 12, "processes per node")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	defaults := map[string]string{"dft": "768,1536,3072,6144", "ccsd": "768,1536,3072"}
+	if *coresFlag == "" {
+		*coresFlag = defaults[*model]
+	}
+	var cores []int
+	for _, p := range strings.Split(*coresFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -cores:", err)
+			os.Exit(2)
+		}
+		cores = append(cores, v)
+	}
+
+	var series []*stats.Series
+	var err error
+	var title string
+	switch *model {
+	case "dft":
+		cfg := dft.Config{N: 192, BlockSize: 8, SCFIters: 3, TaskFlop: 100 * sim.Microsecond, HotBlocks: 4, CounterBatch: 4}
+		series, err = figures.Fig9a(cores, *ppn, cfg)
+		title = "Figure 9(a): NWChem DFT SiOSi3 proxy — total execution time (s) vs cores"
+	case "ccsd":
+		cfg := ccsd.Config{N: 1024, BlockSize: 64, TasksPerRank: 2, TaskFlop: 3 * sim.Millisecond}
+		series, err = figures.Fig9b(cores, *ppn, cfg)
+		title = "Figure 9(b): NWChem CCSD(T) water proxy — total execution time (s) vs cores"
+	default:
+		fmt.Fprintln(os.Stderr, "bad -model (want dft or ccsd)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tbl := stats.SeriesTable(title, "cores", series)
+	if *csv {
+		tbl.WriteCSV(os.Stdout)
+	} else {
+		tbl.Write(os.Stdout)
+	}
+}

@@ -1,0 +1,83 @@
+// Command topoviz prints the structural properties of the paper's virtual
+// topologies (Figures 1-4): edge counts, degrees, request-path trees into a
+// root, and LDF routes — plus the buffer-dependency deadlock check.
+//
+// Usage:
+//
+//	topoviz -n 27 [-root 0] [-topo all|fcg|mfcg|cfcg|hypercube]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"armcivt/internal/core"
+	"armcivt/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 16, "number of nodes")
+	root := flag.Int("root", 0, "root node for the request-path tree")
+	topoFlag := flag.String("topo", "all", "topology: all, fcg, mfcg, cfcg, hypercube")
+	routes := flag.Bool("routes", false, "print every LDF route to the root")
+	flag.Parse()
+
+	kinds := core.Kinds
+	if *topoFlag != "all" {
+		k, err := core.ParseKind(*topoFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kinds = []core.Kind{k}
+	}
+
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Virtual topology structure, %d nodes (paper Figs 1-4)", *n),
+		Header: []string{"topology", "shape", "degree(0)", "total edges", "tree height", "root fan-in", "avg hops", "diameter", "fwd share", "deadlock-free"},
+	}
+	for _, kind := range kinds {
+		t, err := core.New(kind, *n)
+		if err != nil {
+			tbl.AddRow(kind.String(), "-", "-", "-", "-", "-", "-", "-", "-", fmt.Sprintf("n/a (%v)", err))
+			continue
+		}
+		pt := core.BuildPathTree(t, *root)
+		df := "yes"
+		if err := core.CheckDeadlockFree(t); err != nil {
+			df = "NO: " + err.Error()
+		}
+		shape := ""
+		for i, s := range t.Shape() {
+			if i > 0 {
+				shape += "x"
+			}
+			shape += fmt.Sprint(s)
+		}
+		tbl.AddRow(kind.String(), shape, t.Degree(0), core.TotalEdges(t),
+			pt.Height(), pt.RootFanIn(), core.AvgHops(t), core.Diameter(t),
+			core.ForwarderShare(t, *root), df)
+
+		if *routes {
+			fmt.Printf("-- %v: routes into node %d --\n", t, *root)
+			for v := 0; v < t.Nodes(); v++ {
+				if v != *root {
+					fmt.Printf("  %3d: %v\n", v, core.Route(t, v, *root))
+				}
+			}
+		}
+	}
+	tbl.Write(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Depth histograms of the request-path tree (paper Fig 4):")
+	for _, kind := range kinds {
+		t, err := core.New(kind, *n)
+		if err != nil {
+			continue
+		}
+		pt := core.BuildPathTree(t, *root)
+		fmt.Printf("  %-10s %v\n", kind.String(), pt.NodesAtDepth())
+	}
+}

@@ -1,0 +1,194 @@
+// Command vtreport regenerates the paper's complete evaluation in one run
+// and writes a markdown report: Figure 5 (memory), Figures 6-7 (contention),
+// Figure 8 (NAS LU) and Figures 9a/9b (NWChem proxies), plus the structural
+// properties of Figures 1-4.
+//
+// The default -quick mode runs reduced-scale experiments (minutes); -full
+// uses the paper-scale parameters documented in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vtreport [-quick|-full] > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"armcivt/internal/apps/ccsd"
+	"armcivt/internal/apps/dft"
+	"armcivt/internal/apps/lu"
+	"armcivt/internal/core"
+	"armcivt/internal/figures"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+type scale struct {
+	memProcs   []int
+	memPPN     int
+	contention figures.ContentionConfig
+	luProcs    []int
+	luPPN      int
+	luCfg      lu.Config
+	dftCores   []int
+	dftPPN     int
+	dftCfg     dft.Config
+	ccsdCores  []int
+	ccsdPPN    int
+	ccsdCfg    ccsd.Config
+}
+
+func quickScale() scale {
+	return scale{
+		memProcs:   []int{768, 1536, 3072, 6144, 12288},
+		memPPN:     12,
+		contention: figures.ContentionConfig{Nodes: 64, PPN: 2, Iters: 5, SampleEvery: 4, StreamLimit: 8},
+		luProcs:    []int{48, 192},
+		luPPN:      12,
+		luCfg:      lu.Config{NX: 480, NY: 480, Iters: 6, CellFlop: 400},
+		dftCores:   []int{512, 1024},
+		dftPPN:     4,
+		dftCfg:     dft.Config{N: 192, BlockSize: 8, SCFIters: 2, TaskFlop: 100 * sim.Microsecond, HotBlocks: 4, CounterBatch: 4},
+		ccsdCores:  []int{256, 512},
+		ccsdPPN:    4,
+		ccsdCfg:    ccsd.Config{N: 512, BlockSize: 64, TasksPerRank: 2, TaskFlop: 2 * sim.Millisecond},
+	}
+}
+
+func fullScale() scale {
+	s := quickScale()
+	s.contention = figures.ContentionConfig{Nodes: 256, PPN: 4, Iters: 20, SampleEvery: 8}
+	s.luProcs = []int{192, 384, 768, 1536}
+	s.luCfg = lu.Config{NX: 2040, NY: 2040, Iters: 12, CellFlop: 400}
+	s.dftCores = []int{1536, 3072, 6144}
+	s.dftPPN = 12
+	s.dftCfg.SCFIters = 3
+	s.ccsdCores = []int{768, 1536, 3072}
+	s.ccsdPPN = 12
+	s.ccsdCfg.N = 1024
+	s.ccsdCfg.TaskFlop = 3 * sim.Millisecond
+	return s
+}
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale parameters (slow)")
+	flag.Parse()
+	s := quickScale()
+	mode := "quick"
+	if *full {
+		s = fullScale()
+		mode = "full"
+	}
+	w := os.Stdout
+	started := time.Now()
+	fmt.Fprintf(w, "# Virtual-topology evaluation report (%s mode)\n\n", mode)
+
+	section(w, "Figures 1-4: topology structure (27 nodes)")
+	structure(w, 27)
+
+	section(w, "Figure 5: master-process memory vs processes")
+	ss, err := figures.Fig5(s.memProcs, s.memPPN)
+	check(err)
+	stats.SeriesTable("memory (MBytes)", "processes", ss).Write(w)
+
+	for _, lv := range []struct {
+		name  string
+		every int
+	}{{"no contention", 0}, {"11% contention", 9}, {"20% contention", 5}} {
+		section(w, "Figure 6 (vectored put), "+lv.name)
+		kinds := core.Kinds
+		if lv.every > 0 {
+			kinds = []core.Kind{core.FCG, core.MFCG, core.CFCG} // paper drops hypercube under load
+		}
+		cs, err := figures.Fig6(kinds, lv.every, s.contention)
+		check(err)
+		summary(w, cs)
+
+		section(w, "Figure 7 (fetch-&-add), "+lv.name)
+		cs, err = figures.Fig7(kinds, lv.every, s.contention)
+		check(err)
+		summary(w, cs)
+	}
+
+	section(w, "Figure 8: NAS LU execution time")
+	ls, err := figures.Fig8(s.luProcs, s.luPPN, s.luCfg)
+	check(err)
+	stats.SeriesTable("time (s)", "processes", ls).Write(w)
+
+	section(w, "Figure 9(a): NWChem DFT SiOSi3 proxy")
+	ds, err := figures.Fig9a(s.dftCores, s.dftPPN, s.dftCfg)
+	check(err)
+	stats.SeriesTable("time (s)", "cores", ds).Write(w)
+
+	section(w, "Figure 9(b): NWChem CCSD(T) water proxy")
+	cs2, err := figures.Fig9b(s.ccsdCores, s.ccsdPPN, s.ccsdCfg)
+	check(err)
+	stats.SeriesTable("time (s)", "cores", cs2).Write(w)
+
+	section(w, "Topology advisor (Section VIII recommendations)")
+	advisor(w)
+
+	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(started).Round(time.Millisecond))
+}
+
+func section(w io.Writer, title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func structure(w io.Writer, n int) {
+	tbl := &stats.Table{Header: []string{"topology", "degree(0)", "tree height", "root fan-in", "depth histogram", "LDF deadlock-free"}}
+	for _, kind := range core.Kinds {
+		t, err := core.New(kind, n)
+		if err != nil {
+			tbl.AddRow(kind.String(), "-", "-", "-", "-", "n/a")
+			continue
+		}
+		pt := core.BuildPathTree(t, 0)
+		df := "yes"
+		if core.CheckDeadlockFree(t) != nil {
+			df = "NO"
+		}
+		tbl.AddRow(kind.String(), t.Degree(0), pt.Height(), pt.RootFanIn(),
+			fmt.Sprint(pt.NodesAtDepth()), df)
+	}
+	tbl.Write(w)
+}
+
+func summary(w io.Writer, series []*stats.Series) {
+	tbl := &stats.Table{Header: []string{"topology", "mean us/op", "p50", "p99", "max"}}
+	for _, s := range series {
+		sm := stats.Summarize(s.Y)
+		tbl.AddRow(s.Label, sm.Mean, sm.P50, sm.P99, sm.Max)
+	}
+	tbl.Write(w)
+}
+
+func advisor(w io.Writer) {
+	tbl := &stats.Table{Header: []string{"nodes", "ppn", "budget MB/node", "workload", "advice", "buffers MB"}}
+	for _, c := range []struct {
+		nodes, ppn int
+		budgetMB   int64
+		w          core.Workload
+		wname      string
+	}{
+		{1024, 12, 0, core.Neighborly, "neighborly"},
+		{1024, 12, 0, core.Dynamic, "dynamic"},
+		{1024, 12, 256, core.Bulk, "bulk"},
+		{4096, 12, 64, core.Dynamic, "dynamic"},
+		{4096, 12, 4, core.Dynamic, "dynamic"},
+	} {
+		a := core.Recommend(c.nodes, c.ppn, c.budgetMB<<20, c.w, 4, 16<<10)
+		tbl.AddRow(c.nodes, c.ppn, c.budgetMB, c.wname, a.Kind.String(),
+			float64(a.BufferBytesPerNode)/(1<<20))
+	}
+	tbl.Write(w)
+}

@@ -1,0 +1,61 @@
+// Hotspot: the paper's core phenomenon in ~100 lines. Every process hammers
+// rank 0 with atomic fetch-&-add operations; the example reports how long a
+// probe process's operations take under FCG versus the virtual topologies,
+// and how much memory each topology's request buffers cost.
+//
+//	go run ./examples/hotspot [-nodes 64] [-ppn 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"armcivt"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 64, "number of nodes")
+	ppn := flag.Int("ppn", 4, "processes per node")
+	opsPer := flag.Int("ops", 50, "fetch-&-add operations per process")
+	flag.Parse()
+
+	fmt.Printf("%d nodes x %d processes, every process does %d fetch-&-adds to rank 0\n\n",
+		*nodes, *ppn, *opsPer)
+	fmt.Printf("%-10s  %12s  %14s  %12s  %10s\n",
+		"topology", "probe us/op", "total time", "buffers MB", "forwards")
+
+	for _, kind := range []armcivt.Kind{armcivt.FCG, armcivt.MFCG, armcivt.CFCG, armcivt.Hypercube} {
+		cluster, err := armcivt.NewCluster(armcivt.Options{Nodes: *nodes, PPN: *ppn, Topology: kind})
+		if err != nil {
+			fmt.Printf("%-10s  skipped (%v)\n", kind, err)
+			continue
+		}
+		cluster.Alloc("counter", 8)
+
+		var probeUS float64
+		err = cluster.Run(func(r *armcivt.Rank) {
+			if r.Node() == 0 {
+				return // the victim node stays quiet
+			}
+			start := r.Now()
+			for i := 0; i < *opsPer; i++ {
+				r.FetchAdd(0, "counter", 0, 1)
+			}
+			if r.Rank() == r.N()-1 { // probe: the farthest rank
+				probeUS = (r.Now() - start).Micros() / float64(*opsPer)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := cluster.Stats()
+		bufMB := float64(cluster.Runtime().BufferBytes(0)) / (1 << 20)
+		fmt.Printf("%-10s  %12.1f  %14v  %12.1f  %10d\n",
+			kind, probeUS, cluster.Now(), bufMB, st.Forwards)
+	}
+
+	fmt.Println("\nFCG delivers the lowest uncontended latency but needs O(N) buffer memory and")
+	fmt.Println("collapses under hot-spot load; MFCG trades one forwarding hop for O(sqrt N)")
+	fmt.Println("memory and graceful degradation — the paper's headline result.")
+}

@@ -1,0 +1,3 @@
+module armcivt
+
+go 1.22

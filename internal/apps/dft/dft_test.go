@@ -1,0 +1,112 @@
+package dft
+
+import (
+	"math"
+	"testing"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+func runDFT(t *testing.T, kind core.Kind, nodes, ppn int, cfg Config) []Result {
+	t.Helper()
+	eng := sim.New()
+	rcfg := armci.DefaultConfig(nodes, ppn)
+	rcfg.Topology = core.MustNew(kind, nodes)
+	rt, err := armci.New(eng, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Setup(rt, cfg)
+	results := make([]Result, rt.NRanks())
+	if err := rt.Run(func(r *armci.Rank) {
+		results[r.Rank()] = Run(r, st)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func small() Config {
+	return Config{N: 32, BlockSize: 8, SCFIters: 2, TaskFlop: 20 * sim.Microsecond}
+}
+
+func TestDFTCompletesAllTopologies(t *testing.T) {
+	for _, kind := range core.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			results := runDFT(t, kind, 8, 2, small())
+			for rank, res := range results {
+				if err := res.Verify(); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDFTAllTasksExecutedExactlyOnce(t *testing.T) {
+	cfg := small()
+	results := runDFT(t, core.MFCG, 8, 2, cfg)
+	var total int64
+	for _, res := range results {
+		total += res.Tasks
+	}
+	nb := (cfg.N + cfg.BlockSize - 1) / cfg.BlockSize
+	want := int64(nb*nb) * int64(cfg.SCFIters)
+	if total != want {
+		t.Errorf("total tasks = %d, want %d", total, want)
+	}
+}
+
+func TestDFTEnergyTopologyIndependent(t *testing.T) {
+	var want float64
+	for i, kind := range core.Kinds {
+		res := runDFT(t, kind, 4, 2, small())
+		if i == 0 {
+			want = res[0].Energy
+			continue
+		}
+		if math.Abs(res[0].Energy-want) > 1e-9 {
+			t.Errorf("%v energy %v != FCG energy %v", kind, res[0].Energy, want)
+		}
+	}
+}
+
+func TestDFTEnergyConsistentAcrossRanks(t *testing.T) {
+	results := runDFT(t, core.CFCG, 8, 1, small())
+	for rank, res := range results {
+		if math.Abs(res.Energy-results[0].Energy) > 1e-9 {
+			t.Errorf("rank %d energy %v != rank 0's %v", rank, res.Energy, results[0].Energy)
+		}
+	}
+}
+
+func TestDFTLoadBalanced(t *testing.T) {
+	// Dynamic load balancing: with many more tasks than ranks, no rank
+	// should get zero tasks and none should take everything.
+	results := runDFT(t, core.FCG, 4, 2, Config{N: 64, BlockSize: 8, SCFIters: 1, TaskFlop: 30 * sim.Microsecond})
+	var maxT, minT int64 = 0, 1 << 62
+	for _, res := range results {
+		if res.Tasks > maxT {
+			maxT = res.Tasks
+		}
+		if res.Tasks < minT {
+			minT = res.Tasks
+		}
+	}
+	if minT == 0 {
+		t.Error("a rank executed zero tasks (64 tasks over 8 ranks)")
+	}
+	if maxT == 64 {
+		t.Error("one rank executed all tasks")
+	}
+}
+
+func TestDFTDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N == 0 || c.BlockSize == 0 || c.SCFIters == 0 || c.TaskFlop == 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+}

@@ -1,0 +1,173 @@
+// Package lu implements a proxy for the ARMCI port of the NAS LU benchmark:
+// an SSOR solver whose lower- and upper-triangular sweeps propagate as 2-D
+// wavefronts over the process grid, exchanging block boundaries with
+// one-sided puts plus notify-wait synchronization and reducing the residual
+// with a global allreduce — the neighbour-dominated, hot-spot-free
+// communication pattern behind Figure 8 of the paper.
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/ga"
+	"armcivt/internal/sim"
+)
+
+// Config sizes one LU run.
+type Config struct {
+	// NX, NY is the global grid (cells); zero selects 408x408 (class-A-ish).
+	NX, NY int
+	// Iters is the number of SSOR iterations (default 12).
+	Iters int
+	// CellFlop is the per-cell compute cost per sweep (default 4ns).
+	CellFlop sim.Time
+	// ResidualEvery controls how often the global residual is reduced
+	// (default every 4 iterations).
+	ResidualEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NX == 0 {
+		c.NX = 408
+	}
+	if c.NY == 0 {
+		c.NY = 408
+	}
+	if c.Iters == 0 {
+		c.Iters = 12
+	}
+	if c.CellFlop == 0 {
+		c.CellFlop = 4 * sim.Nanosecond
+	}
+	if c.ResidualEvery == 0 {
+		c.ResidualEvery = 4
+	}
+	return c
+}
+
+// Result reports one run.
+type Result struct {
+	Procs    int
+	Seconds  float64 // virtual execution time
+	Residual float64 // final residual (topology-independent)
+	Sweeps   int
+}
+
+// allocation names used by the proxy.
+const (
+	allocU    = "lu.u"    // per-rank block state
+	allocHalo = "lu.halo" // incoming boundary data (north + west, lower; south + east, upper)
+)
+
+// Setup registers the allocations; call before Runtime.Run.
+func Setup(rt *armci.Runtime, cfg Config) Config {
+	cfg = cfg.withDefaults()
+	pr, pc := ga.ProcGrid(rt.NRanks())
+	bx := (cfg.NX + pr - 1) / pr
+	by := (cfg.NY + pc - 1) / pc
+	rt.Alloc(allocU, bx*by*8)
+	rt.Alloc(allocHalo, 4*(bx+by)*8)
+	return cfg
+}
+
+// Run executes the proxy on one rank; every rank must call it. It returns
+// the per-rank result (identical Residual everywhere; Seconds measured on
+// the calling rank).
+func Run(r *armci.Rank, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	pr, pc := ga.ProcGrid(r.N())
+	me := r.Rank()
+	pi, pj := me/pc, me%pc
+	bx := (cfg.NX + pr - 1) / pr
+	by := (cfg.NY + pc - 1) / pc
+
+	rankAt := func(i, j int) int { return i*pc + j }
+	cells := bx * by
+	sweepCost := sim.Time(cells) * cfg.CellFlop
+
+	// Deterministic block state: u decays toward the neighbour average.
+	u := 1.0 + float64(me%7)
+	residual := 0.0
+
+	r.Barrier()
+	start := r.Now()
+	sweeps := 0
+
+	// sendBoundary puts this block's boundary pencil to a neighbour's halo
+	// and then notifies it (ARMCI notify-wait: the blocking put completes
+	// remotely first, so data-then-notify ordering holds).
+	boundary := make([]byte, (bx+by)*8)
+	sendBoundary := func(dst int, haloOff int) {
+		for k := 0; k < bx+by; k++ {
+			armci.PutFloat64(boundary, 8*k, u*float64(k%5+1)*0.01)
+		}
+		r.Put(dst, allocHalo, haloOff, boundary)
+		r.Notify(dst)
+	}
+	// Cumulative notifications expected from each neighbour: one per sweep
+	// in which it feeds us (lower sweep for north/west, upper for
+	// south/east), i.e. exactly one per iteration per feeding neighbour.
+
+	for it := 1; it <= cfg.Iters; it++ {
+		// Lower-triangular sweep: wavefront from (0,0).
+		if pi > 0 {
+			r.WaitNotify(rankAt(pi-1, pj), int64(it))
+		}
+		if pj > 0 {
+			r.WaitNotify(rankAt(pi, pj-1), int64(it))
+		}
+		r.Sleep(sweepCost)
+		sweeps++
+		u = 0.55*u + 0.4*(u*0.9) + 0.05 // deterministic decay
+		if pi+1 < pr {
+			sendBoundary(rankAt(pi+1, pj), 0)
+		}
+		if pj+1 < pc {
+			sendBoundary(rankAt(pi, pj+1), (bx+by)*8)
+		}
+
+		// Upper-triangular sweep: wavefront from (pr-1, pc-1).
+		if pi+1 < pr {
+			r.WaitNotify(rankAt(pi+1, pj), int64(it))
+		}
+		if pj+1 < pc {
+			r.WaitNotify(rankAt(pi, pj+1), int64(it))
+		}
+		r.Sleep(sweepCost)
+		sweeps++
+		u = 0.55*u + 0.4*(u*0.9) + 0.05
+		if pi > 0 {
+			sendBoundary(rankAt(pi-1, pj), 2*(bx+by)*8)
+		}
+		if pj > 0 {
+			sendBoundary(rankAt(pi, pj-1), 3*(bx+by)*8)
+		}
+
+		// Periodic residual: a global sum-reduction of the squared block
+		// norms (the l2-norm allreduce NAS LU performs).
+		if it%cfg.ResidualEvery == 0 || it == cfg.Iters {
+			total := r.AllreduceSum([]float64{u * u * float64(cells)})
+			residual = math.Sqrt(total[0] / float64(cfg.NX*cfg.NY))
+		}
+	}
+	r.Barrier()
+	return Result{
+		Procs:    r.N(),
+		Seconds:  (r.Now() - start).Seconds(),
+		Residual: residual,
+		Sweeps:   sweeps,
+	}
+}
+
+// Verify checks a result for internal consistency.
+func (res Result) Verify() error {
+	if res.Seconds <= 0 {
+		return fmt.Errorf("lu: non-positive execution time %v", res.Seconds)
+	}
+	if res.Residual <= 0 || math.IsNaN(res.Residual) {
+		return fmt.Errorf("lu: bad residual %v", res.Residual)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package lu
+
+import (
+	"testing"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+func runLU(t *testing.T, kind core.Kind, nodes, ppn int, cfg Config) []Result {
+	t.Helper()
+	eng := sim.New()
+	rcfg := armci.DefaultConfig(nodes, ppn)
+	rcfg.Topology = core.MustNew(kind, nodes)
+	rt, err := armci.New(eng, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = Setup(rt, cfg)
+	results := make([]Result, rt.NRanks())
+	if err := rt.Run(func(r *armci.Rank) {
+		results[r.Rank()] = Run(r, cfg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func small() Config {
+	return Config{NX: 48, NY: 48, Iters: 4, ResidualEvery: 2}
+}
+
+func TestLUCompletesAllTopologies(t *testing.T) {
+	for _, kind := range core.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			results := runLU(t, kind, 8, 2, small())
+			for rank, res := range results {
+				if err := res.Verify(); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+				if res.Sweeps != 2*4 {
+					t.Errorf("rank %d: sweeps = %d, want 8", rank, res.Sweeps)
+				}
+			}
+		})
+	}
+}
+
+func TestLUResidualTopologyIndependent(t *testing.T) {
+	// Virtual topologies change timing, never semantics: the residual must
+	// be bit-identical across all four.
+	var want float64
+	for i, kind := range core.Kinds {
+		res := runLU(t, kind, 4, 2, small())
+		if i == 0 {
+			want = res[0].Residual
+			continue
+		}
+		if res[0].Residual != want {
+			t.Errorf("%v residual %v != FCG residual %v", kind, res[0].Residual, want)
+		}
+	}
+}
+
+func TestLUResidualConsistentAcrossRanks(t *testing.T) {
+	results := runLU(t, core.MFCG, 4, 2, small())
+	for rank, res := range results {
+		if res.Residual != results[0].Residual {
+			t.Errorf("rank %d residual %v != rank 0's %v", rank, res.Residual, results[0].Residual)
+		}
+	}
+}
+
+func TestLUScalingReducesTime(t *testing.T) {
+	// Strong scaling: more processes => less virtual execution time, once
+	// per-block compute dominates the boundary exchanges.
+	cfg := Config{NX: 384, NY: 384, Iters: 4, ResidualEvery: 4, CellFlop: 20}
+	t4 := runLU(t, core.FCG, 4, 1, cfg)[0].Seconds
+	t16 := runLU(t, core.FCG, 16, 1, cfg)[0].Seconds
+	if t16 >= t4 {
+		t.Errorf("16 procs (%vs) not faster than 4 procs (%vs)", t16, t4)
+	}
+}
+
+func TestLUWavefrontOrdering(t *testing.T) {
+	// The wavefront must serialize diagonals: with compute costs dominating,
+	// a 2x2 grid takes at least 3 sweep-steps of critical path per
+	// iteration pair (lower + upper), not 2.
+	cfg := Config{NX: 64, NY: 64, Iters: 1, ResidualEvery: 1, CellFlop: 100}
+	res := runLU(t, core.FCG, 4, 1, cfg)
+	perSweep := 64 * 64 / 4 * 100 // cells per block * CellFlop
+	minCritical := 3 * perSweep   // corner-to-corner lower + upper overlap
+	if res[0].Seconds*1e9 < float64(minCritical) {
+		t.Errorf("execution %vs shorter than wavefront critical path %vns",
+			res[0].Seconds, minCritical)
+	}
+}
+
+func TestLUDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.NX == 0 || c.Iters == 0 || c.CellFlop == 0 || c.ResidualEvery == 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+}
+
+func TestLUVerifyRejectsBad(t *testing.T) {
+	if err := (Result{Seconds: 0, Residual: 1}).Verify(); err == nil {
+		t.Error("zero time accepted")
+	}
+	if err := (Result{Seconds: 1, Residual: 0}).Verify(); err == nil {
+		t.Error("zero residual accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/sim"
+)
+
+// enqueue delivers a request into this node's CHT inbox (engine or process
+// context), maintaining the per-upstream-peer pending counts that drive the
+// poll-cost model.
+func (ns *nodeState) enqueue(req *request) {
+	if req.prevNode >= 0 {
+		ns.pendingBySrc[req.prevNode]++
+	}
+	ns.inbox.Put(req)
+}
+
+// chtLoop is the Communication Helper Thread: it serves one request at a
+// time on behalf of every process on the node. Handling cost grows with the
+// number of distinct upstream peers currently pending (the CHT polls one
+// buffer set per connected peer) and with the bytes it moves.
+//
+// When the request's target lives elsewhere, the CHT hands it to the
+// downstream egress and moves on — it never blocks on buffer credits. A
+// stalled forward keeps occupying its upstream buffer (the credit return is
+// deferred to transmission), so buffer dependencies follow the LDF route
+// order and stay acyclic, while the CHT keeps draining every other buffer
+// class. This non-blocking structure is what the paper's deadlock-freedom
+// argument quietly requires.
+func (ns *nodeState) chtLoop(p *sim.Proc) {
+	rt := ns.rt
+	for {
+		req := ns.inbox.Get(p)
+		targetNode := req.target / rt.cfg.PPN
+		moved := ns.serviceBytes(req, targetNode)
+		srcs := len(ns.pendingBySrc)
+		if srcs > rt.cfg.CHTPollCap {
+			srcs = rt.cfg.CHTPollCap
+		}
+		svc := rt.cfg.CHTBaseOverhead +
+			sim.Time(srcs)*rt.cfg.CHTPollPerSource +
+			sim.Time(float64(moved)*rt.cfg.CHTPerByte)
+		if targetNode != ns.id {
+			svc += rt.cfg.CHTForwardOverhead
+		}
+		p.Sleep(svc)
+
+		if targetNode != ns.id {
+			next := rt.nextHop(ns.id, targetNode)
+			rt.stats.Forwards++
+			prev := req.prevNode
+			rt.egressTo(ns.id, next).submitForward(req, func() {
+				// The request has left this node: free its buffer.
+				ns.finish(req, prev)
+			})
+			continue
+		}
+		ns.handle(p, req)
+		ns.finish(req, req.prevNode)
+	}
+}
+
+// finish releases the request buffer this CHT held: bookkeeping plus a
+// credit-return message to the upstream node.
+func (ns *nodeState) finish(req *request, prev int) {
+	if prev < 0 {
+		return // locally injected (same-node mutex path): no buffer held
+	}
+	if n := ns.pendingBySrc[prev]; n <= 1 {
+		delete(ns.pendingBySrc, prev)
+	} else {
+		ns.pendingBySrc[prev] = n - 1
+	}
+	ns.rt.returnCredit(ns.id, prev)
+}
+
+// serviceBytes estimates how many payload bytes the CHT touches for req.
+func (ns *nodeState) serviceBytes(req *request, targetNode int) int {
+	if targetNode != ns.id {
+		return req.wire - headerBytes // forwarding copies the buffered payload
+	}
+	switch req.kind {
+	case opPut, opPutV, opAcc, opAccV:
+		return len(req.data)
+	case opGet:
+		return req.getBytes
+	case opGetV:
+		return segsBytes(req.segs)
+	default:
+		return 8
+	}
+}
+
+// handle applies a request that has reached its target node and issues the
+// response directly back to the origin (responses bypass request buffers,
+// as in ARMCI).
+func (ns *nodeState) handle(p *sim.Proc, req *request) {
+	rt := ns.rt
+	switch req.kind {
+	case opPut:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		copy(mem[req.off:req.off+len(req.data)], req.data)
+		ns.respond(req, nil, 0)
+
+	case opPutV:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		pos := 0
+		for _, s := range req.segs {
+			copy(mem[s.Off:s.Off+s.Len], req.data[pos:pos+s.Len])
+			pos += s.Len
+		}
+		ns.respond(req, nil, 0)
+
+	case opAcc:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		for i := 0; i+8 <= len(req.data); i += 8 {
+			v := GetFloat64(mem, req.off+i) + req.scale*GetFloat64(req.data, i)
+			PutFloat64(mem, req.off+i, v)
+		}
+		ns.respond(req, nil, 0)
+
+	case opGet:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		out := make([]byte, req.getBytes)
+		copy(out, mem[req.off:req.off+req.getBytes])
+		ns.respond(req, out, 0)
+
+	case opGetV:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		out := make([]byte, segsBytes(req.segs))
+		pos := 0
+		for _, s := range req.segs {
+			copy(out[pos:pos+s.Len], mem[s.Off:s.Off+s.Len])
+			pos += s.Len
+		}
+		ns.respond(req, out, 0)
+
+	case opRmw:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		old := GetInt64(mem, req.off)
+		PutInt64(mem, req.off, old+req.delta)
+		ns.respond(req, nil, old)
+
+	case opSwap:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		old := GetInt64(mem, req.off)
+		PutInt64(mem, req.off, req.delta)
+		ns.respond(req, nil, old)
+
+	case opAccV:
+		mem := rt.alloc(req.alloc).mem[req.target]
+		pos := 0
+		for _, s := range req.segs {
+			for b := 0; b < s.Len; b += 8 {
+				v := GetFloat64(mem, s.Off+b) + req.scale*GetFloat64(req.data, pos+b)
+				PutFloat64(mem, s.Off+b, v)
+			}
+			pos += s.Len
+		}
+		ns.respond(req, nil, 0)
+
+	case opLock:
+		m := &rt.mutexes[req.mutex]
+		if !m.held {
+			m.held = true
+			m.owner = req.origin
+			ns.respond(req, nil, 0)
+		} else {
+			m.waiters = append(m.waiters, req) // grant deferred to unlock
+		}
+
+	case opUnlock:
+		m := &rt.mutexes[req.mutex]
+		if !m.held || m.owner != req.origin {
+			panic(fmt.Sprintf("armci: rank %d unlocking mutex %d owned by %d (held=%v)",
+				req.origin, req.mutex, m.owner, m.held))
+		}
+		if len(m.waiters) > 0 {
+			granted := m.waiters[0]
+			m.waiters = m.waiters[1:]
+			m.owner = granted.origin
+			ns.respond(granted, nil, 0)
+		} else {
+			m.held = false
+			m.owner = -1
+		}
+		ns.respond(req, nil, 0)
+
+	default:
+		panic(fmt.Sprintf("armci: CHT cannot handle %v", req.kind))
+	}
+}
+
+// respond completes one chunk at the origin: get payloads are copied into
+// the handle's buffer at the chunk's flat offset, rmw carries the old value.
+func (ns *nodeState) respond(req *request, payload []byte, old int64) {
+	rt := ns.rt
+	h := req.h
+	flat := req.flatOff
+	size := respBytes + len(payload)
+	deliver := func() {
+		if payload != nil {
+			copy(h.data[flat:flat+len(payload)], payload)
+		}
+		if req.kind == opRmw || req.kind == opSwap {
+			h.old = old
+		}
+		h.completeChunk()
+	}
+	if req.originNode == ns.id {
+		// Same-node response through shared memory.
+		rt.eng.After(rt.cfg.LocalLatency, deliver)
+		return
+	}
+	rt.net.Send(ns.id, req.originNode, size, deliver)
+}

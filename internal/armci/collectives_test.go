@@ -1,0 +1,215 @@
+package armci
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+func TestBcastAllTopologiesAllRoots(t *testing.T) {
+	for _, kind := range core.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			_, rt := testRuntime(t, kind, 8, 2)
+			payload := []byte("broadcast payload 42")
+			for _, root := range []int{0, 5, 15} {
+				root := root
+				got := make([][]byte, rt.NRanks())
+				runAll(t, rt, func(r *Rank) {
+					var data []byte
+					if r.Rank() == root {
+						data = payload
+					}
+					got[r.Rank()] = r.Bcast(root, data)
+				})
+				for rank, g := range got {
+					if !bytes.Equal(g, payload) {
+						t.Errorf("root %d rank %d got %q", root, rank, g)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 1, 1)
+	runAll(t, rt, func(r *Rank) {
+		if got := r.Bcast(0, []byte{7}); len(got) != 1 || got[0] != 7 {
+			t.Errorf("singleton bcast = %v", got)
+		}
+	})
+}
+
+func TestBcastOversizePanics(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 2, 1)
+	panicked := false
+	_ = rt.Run(func(r *Rank) {
+		if r.Rank() != 0 {
+			// must still enter the collective or the runtime deadlocks;
+			// but rank 0 panics before sending, so just return.
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Bcast(0, make([]byte, CollPayloadMax+1))
+	})
+	if !panicked {
+		t.Error("oversize Bcast accepted")
+	}
+}
+
+func TestReduceSumToEveryRoot(t *testing.T) {
+	_, rt := testRuntime(t, core.MFCG, 9, 1)
+	for _, root := range []int{0, 4, 8} {
+		root := root
+		var atRoot []float64
+		runAll(t, rt, func(r *Rank) {
+			vals := []float64{float64(r.Rank()), 1}
+			res := r.ReduceSum(root, vals)
+			if r.Rank() == root {
+				atRoot = res
+			}
+		})
+		if atRoot[0] != 36 || atRoot[1] != 9 { // sum 0..8, count 9
+			t.Errorf("root %d: reduce = %v, want [36 9]", root, atRoot)
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	_, rt := testRuntime(t, core.CFCG, 8, 1)
+	var atRoot []float64
+	runAll(t, rt, func(r *Rank) {
+		v := []float64{float64((r.Rank() * 31) % 7), -float64(r.Rank())}
+		res := r.ReduceMax(0, v)
+		if r.Rank() == 0 {
+			atRoot = res
+		}
+	})
+	if atRoot[0] != 6 || atRoot[1] != 0 {
+		t.Errorf("reduce max = %v, want [6 0]", atRoot)
+	}
+}
+
+func TestAllreduceSumEveryRankSeesTotal(t *testing.T) {
+	for _, kind := range core.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			_, rt := testRuntime(t, kind, 4, 3)
+			bad := 0
+			runAll(t, rt, func(r *Rank) {
+				res := r.AllreduceSum([]float64{1, float64(r.Rank())})
+				want1 := float64(r.N())
+				want2 := float64(r.N() * (r.N() - 1) / 2)
+				if res[0] != want1 || res[1] != want2 {
+					bad++
+				}
+			})
+			if bad != 0 {
+				t.Errorf("%d ranks saw wrong allreduce result", bad)
+			}
+		})
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	_, rt := testRuntime(t, core.MFCG, 7, 1) // partial mesh
+	runAll(t, rt, func(r *Rank) {
+		res := r.AllreduceMax([]float64{math.Sin(float64(r.Rank()))})
+		want := math.Sin(2) // max of sin(k), k=0..6
+		if math.Abs(res[0]-want) > 1e-12 {
+			t.Errorf("rank %d: allreduce max = %v, want %v", r.Rank(), res[0], want)
+		}
+	})
+}
+
+func TestCollectivesBackToBack(t *testing.T) {
+	// Many collectives in sequence exercise the scratch double-buffering
+	// and the per-pair cumulative notify counts.
+	_, rt := testRuntime(t, core.MFCG, 9, 1)
+	runAll(t, rt, func(r *Rank) {
+		for k := 1; k <= 6; k++ {
+			res := r.AllreduceSum([]float64{float64(k)})
+			if res[0] != float64(k*r.N()) {
+				t.Errorf("round %d: %v", k, res[0])
+			}
+			var seed []byte
+			if r.Rank() == k%r.N() {
+				seed = []byte{byte(k)}
+			}
+			if got := r.Bcast(k%r.N(), seed); got[0] != byte(k) {
+				t.Errorf("round %d bcast: %v", k, got)
+			}
+		}
+	})
+}
+
+func TestCollectivesMixWithNotifyWait(t *testing.T) {
+	// Tagged channels: app-level Notify counts must be untouched by the
+	// collectives' internal notifications.
+	_, rt := testRuntime(t, core.FCG, 4, 1)
+	runAll(t, rt, func(r *Rank) {
+		r.AllreduceSum([]float64{1})
+		if r.Rank() == 0 {
+			r.Notify(1)
+		}
+		r.AllreduceSum([]float64{2})
+		if r.Rank() == 1 {
+			r.WaitNotify(0, 1) // exactly one app-level notification
+		}
+	})
+	if got := rt.Notifications(1, 0); got != 1 {
+		t.Errorf("app notify count = %d, want 1", got)
+	}
+}
+
+func TestBcastTakesLogDepthTime(t *testing.T) {
+	// A binomial broadcast over n ranks needs O(log n) message depths, not
+	// O(n): time for 64 ranks must be well under 8x the 8-rank time.
+	timeFor := func(nodes int) sim.Time {
+		eng := sim.New()
+		cfg := DefaultConfig(nodes, 1)
+		cfg.Topology = core.MustNew(core.FCG, nodes)
+		rt, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(func(r *Rank) {
+			var d []byte
+			if r.Rank() == 0 {
+				d = []byte{1}
+			}
+			r.Bcast(0, d)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	t8, t64 := timeFor(8), timeFor(64)
+	if float64(t64) > 4*float64(t8) {
+		t.Errorf("bcast not log-depth: 8 ranks %v, 64 ranks %v", t8, t64)
+	}
+}
+
+func TestReduceRootOutOfRangePanics(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 2, 1)
+	panicked := false
+	_ = rt.Run(func(r *Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.ReduceSum(5, []float64{1})
+	})
+	if !panicked {
+		t.Error("bad root accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package armci implements a from-scratch Global Address Space runtime
+// modeled on ARMCI (Aggregate Remote Memory Copy Interface), running on the
+// simulated Cray XT5 substrate (packages sim and fabric) and parameterized by
+// a virtual topology (package core).
+//
+// The runtime reproduces the protocol structure the paper studies:
+//
+//   - Every node runs one Communication Helper Thread (CHT) that serves
+//     one-sided requests on behalf of all processes on the node.
+//   - For every directed edge of the virtual topology, the receiving node
+//     pre-allocates a set of request buffers (BufsPerProc per remote
+//     process, each BufSize bytes); senders consume credits against those
+//     pools, which is both the memory cost Figure 5 measures and the flow
+//     control that makes forwarding deadlocks possible.
+//   - Requests between nodes that are not directly connected are forwarded
+//     by intermediate CHTs along the LDF route; the target responds directly
+//     to the origin, and each intermediate returns the upstream buffer
+//     credit once it has secured a downstream one.
+//
+// One-sided operations cover the set the paper evaluates: contiguous and
+// vectored/strided put and get, accumulate, atomic read-modify-write
+// (fetch-&-add), lock/unlock mutexes, plus barrier and fence.
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/core"
+	"armcivt/internal/fabric"
+	"armcivt/internal/sim"
+)
+
+// Wire-format constants (bytes).
+const (
+	headerBytes  = 64 // request header
+	segDescBytes = 16 // per-segment descriptor in vector requests
+	ackBytes     = 32 // credit-return message
+	respBytes    = 64 // response header (payload added for get/rmw)
+)
+
+// Config parameterizes a Runtime. The zero value of any field is replaced by
+// its default (DefaultConfig documents them).
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// PPN is the number of application processes per node.
+	PPN int
+	// Topology is the virtual topology; nil selects FCG over Nodes.
+	Topology core.Topology
+	// BufSize is the size of one request buffer (paper: 16 KB).
+	BufSize int
+	// BufsPerProc is the number of request buffers dedicated to each
+	// remote process on a connected node (paper: 4).
+	BufsPerProc int
+	// Fabric configures the physical torus network.
+	Fabric fabric.Config
+
+	// CHTBaseOverhead is the fixed per-request handling cost at a CHT.
+	CHTBaseOverhead sim.Time
+	// CHTPollPerSource is the extra per-request cost for every distinct
+	// upstream peer with requests pending at the CHT: the helper thread
+	// polls one buffer set per connected peer, so hot CHTs on
+	// high-degree topologies pay more per request.
+	CHTPollPerSource sim.Time
+	// CHTPollCap bounds the number of peers charged per request (the
+	// poll sweep is amortized once the backlog is deep), keeping the
+	// degradation of a flat-tree hot node large but finite.
+	CHTPollCap int
+	// CHTForwardOverhead is the extra cost of forwarding a request to the
+	// next virtual-topology hop: descriptor setup, downstream credit
+	// bookkeeping and re-injection are far more expensive than applying a
+	// small operation locally. This is the price high-dimension
+	// topologies (Hypercube) pay on every hot-path operation.
+	CHTForwardOverhead sim.Time
+	// CHTPerByte is the CHT's memory-copy cost per payload byte (ns/B).
+	CHTPerByte float64
+	// LocalLatency is the fixed cost of a same-node (shared-memory) op.
+	LocalLatency sim.Time
+	// LocalPerByte is the same-node copy cost per byte (ns/B).
+	LocalPerByte float64
+	// BarrierStep is the per-tree-level cost of a barrier.
+	BarrierStep sim.Time
+
+	// BaseRSSBytes is the per-process resident set before any
+	// communication buffers (the paper measures ~612 MB on Jaguar).
+	BaseRSSBytes int64
+	// ConnBytes is the per-remote-process connection metadata (Portals
+	// descriptors, bookkeeping) the master process keeps per edge.
+	ConnBytes int64
+	// Mutexes is the number of ARMCI mutexes, distributed round-robin
+	// across nodes.
+	Mutexes int
+	// RouteOverride, when non-nil, replaces the topology's LDF next-hop
+	// rule. It exists to demonstrate (in tests and ablations) that naive
+	// forwarding orders deadlock where LDF does not. The override must
+	// still return directly connected hops.
+	RouteOverride core.NextHopFunc
+}
+
+// DefaultConfig returns the calibration used throughout the repository:
+// paper-specified protocol constants (16 KB buffers, 4 per process) and
+// XT5-flavoured costs.
+func DefaultConfig(nodes, ppn int) Config {
+	return Config{
+		Nodes:              nodes,
+		PPN:                ppn,
+		BufSize:            16 << 10,
+		BufsPerProc:        4,
+		Fabric:             fabric.DefaultConfig(nodes),
+		CHTBaseOverhead:    600 * sim.Nanosecond,
+		CHTPollPerSource:   30 * sim.Nanosecond,
+		CHTPollCap:         128,
+		CHTForwardOverhead: 8 * sim.Microsecond,
+		CHTPerByte:         0.25,
+		LocalLatency:       200 * sim.Nanosecond,
+		LocalPerByte:       0.25,
+		BarrierStep:        1500 * sim.Nanosecond,
+		BaseRSSBytes:       612 << 20,
+		ConnBytes:          4 << 10,
+		Mutexes:            64,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 {
+		return c, fmt.Errorf("armci: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.PPN <= 0 {
+		return c, fmt.Errorf("armci: PPN must be positive, got %d", c.PPN)
+	}
+	d := DefaultConfig(c.Nodes, c.PPN)
+	if c.BufSize == 0 {
+		c.BufSize = d.BufSize
+	}
+	if c.BufSize < 256 {
+		return c, fmt.Errorf("armci: BufSize %d too small (need >= 256 for headers)", c.BufSize)
+	}
+	if c.BufsPerProc == 0 {
+		c.BufsPerProc = d.BufsPerProc
+	}
+	if c.BufsPerProc < 1 {
+		return c, fmt.Errorf("armci: BufsPerProc must be >= 1, got %d", c.BufsPerProc)
+	}
+	if c.CHTBaseOverhead == 0 {
+		c.CHTBaseOverhead = d.CHTBaseOverhead
+	}
+	if c.CHTPollPerSource == 0 {
+		c.CHTPollPerSource = d.CHTPollPerSource
+	}
+	if c.CHTPollCap == 0 {
+		c.CHTPollCap = d.CHTPollCap
+	}
+	if c.CHTForwardOverhead == 0 {
+		c.CHTForwardOverhead = d.CHTForwardOverhead
+	}
+	if c.CHTPerByte == 0 {
+		c.CHTPerByte = d.CHTPerByte
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = d.LocalLatency
+	}
+	if c.LocalPerByte == 0 {
+		c.LocalPerByte = d.LocalPerByte
+	}
+	if c.BarrierStep == 0 {
+		c.BarrierStep = d.BarrierStep
+	}
+	if c.BaseRSSBytes == 0 {
+		c.BaseRSSBytes = d.BaseRSSBytes
+	}
+	if c.ConnBytes == 0 {
+		c.ConnBytes = d.ConnBytes
+	}
+	if c.Mutexes == 0 {
+		c.Mutexes = d.Mutexes
+	}
+	if c.Topology == nil {
+		c.Topology = core.MustNew(core.FCG, c.Nodes)
+	}
+	if c.Topology.Nodes() != c.Nodes {
+		return c, fmt.Errorf("armci: topology covers %d nodes, runtime has %d", c.Topology.Nodes(), c.Nodes)
+	}
+	return c, nil
+}

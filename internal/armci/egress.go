@@ -1,0 +1,108 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/sim"
+)
+
+// egress manages one directed virtual-topology edge from the sender's side:
+// it owns the buffer credits the peer dedicated to this node and a FIFO of
+// sends waiting for a credit.
+//
+// Two kinds of traffic share an egress:
+//
+//   - Origin sends: the issuing rank blocks until its request is
+//     transmitted (ARMCI's flow control on the initiating process).
+//   - CHT forwards: the helper thread never blocks. A forward that cannot
+//     get a credit waits here while the request keeps occupying its
+//     upstream buffer (the credit return fires only on transmission).
+//
+// Keeping CHTs non-blocking is essential to the paper's deadlock-freedom
+// argument: buffer classes must drain independently so that LDF's monotone
+// dimension order makes the buffer wait-for graph acyclic. A CHT that
+// head-of-line blocked on one stalled forward would couple all of a node's
+// buffer classes and deadlock even under LDF.
+type egress struct {
+	rt       *Runtime
+	from, to int
+	credits  int
+	pending  []*pendingSend
+}
+
+type pendingSend struct {
+	req *request
+	// sent fires when the request is transmitted (nil for forwards, which
+	// signal through onSend instead).
+	sent *sim.Event
+	// onSend runs at transmission time (credit-return for forwards).
+	onSend func()
+	enq    sim.Time
+}
+
+func newEgress(rt *Runtime, from, to, credits int) *egress {
+	return &egress{rt: rt, from: from, to: to, credits: credits}
+}
+
+// submitRank transmits an origin request, blocking the rank's process until
+// a buffer credit is available and the message is injected.
+func (eg *egress) submitRank(p *sim.Proc, req *request) {
+	if len(eg.pending) == 0 && eg.credits > 0 {
+		eg.transmit(req)
+		return
+	}
+	eg.rt.stats.CreditWaits++
+	ps := &pendingSend{
+		req:  req,
+		sent: sim.NewEvent(eg.rt.eng, fmt.Sprintf("credits %d->%d", eg.from, eg.to)),
+		enq:  eg.rt.eng.Now(),
+	}
+	eg.pending = append(eg.pending, ps)
+	ps.sent.Wait(p) // wait time is accounted in release()
+}
+
+// submitForward transmits a CHT forward without blocking; onSend runs when
+// the request actually leaves this node (releasing the upstream buffer).
+func (eg *egress) submitForward(req *request, onSend func()) {
+	if len(eg.pending) == 0 && eg.credits > 0 {
+		eg.transmit(req)
+		onSend()
+		return
+	}
+	eg.rt.stats.CreditWaits++
+	eg.pending = append(eg.pending, &pendingSend{req: req, onSend: onSend, enq: eg.rt.eng.Now()})
+}
+
+// release returns one buffer credit and drains the pending FIFO.
+func (eg *egress) release() {
+	eg.credits++
+	for len(eg.pending) > 0 && eg.credits > 0 {
+		ps := eg.pending[0]
+		eg.pending[0] = nil
+		eg.pending = eg.pending[1:]
+		eg.transmit(ps.req)
+		eg.rt.stats.CreditWaited += eg.rt.eng.Now() - ps.enq
+		if ps.onSend != nil {
+			ps.onSend()
+		}
+		if ps.sent != nil {
+			ps.sent.Fire()
+		}
+	}
+}
+
+// transmit consumes a credit and injects the request into the fabric toward
+// the peer's CHT.
+func (eg *egress) transmit(req *request) {
+	if eg.credits <= 0 {
+		panic(fmt.Sprintf("armci: egress %d->%d transmitting without credit", eg.from, eg.to))
+	}
+	eg.credits--
+	req.prevNode = eg.from
+	dst := eg.rt.nodes[eg.to]
+	eg.rt.stats.Requests++
+	eg.rt.net.Send(eg.from, eg.to, req.wire, func() { dst.enqueue(req) })
+}
+
+// inUse reports credits currently consumed (buffers occupied at the peer).
+func (eg *egress) inUse() int { return eg.rt.cfg.PPN*eg.rt.cfg.BufsPerProc - eg.credits }

@@ -1,0 +1,150 @@
+package armci
+
+import (
+	"testing"
+
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+// egressHarness builds a 2-node FCG runtime with a 2-credit pool and returns
+// the egress from node 0 to node 1.
+func egressHarness(t *testing.T) (*sim.Engine, *Runtime, *egress) {
+	t.Helper()
+	eng := sim.New()
+	cfg := DefaultConfig(2, 2)
+	cfg.BufsPerProc = 1 // pool capacity = PPN * 1 = 2
+	cfg.Topology = core.MustNew(core.FCG, 2)
+	rt, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Alloc("m", 1024)
+	return eng, rt, rt.egressTo(0, 1)
+}
+
+func mkReq(rt *Runtime, h *Handle) *request {
+	return &request{
+		kind: opPut, origin: 0, originNode: 0, target: 2, // rank 2 = node 1
+		alloc: "m", off: 0, data: []byte{1}, wire: headerBytes + 1, h: h,
+	}
+}
+
+func TestEgressImmediateTransmitUsesCredit(t *testing.T) {
+	eng, rt, eg := egressHarness(t)
+	if eg.credits != 2 {
+		t.Fatalf("initial credits = %d, want 2", eg.credits)
+	}
+	h := newHandle(eng, 1, 0)
+	fired := false
+	eg.submitForward(mkReq(rt, h), func() { fired = true })
+	if eg.credits != 1 {
+		t.Errorf("credits after transmit = %d, want 1", eg.credits)
+	}
+	if !fired {
+		t.Error("onSend not fired on immediate transmit")
+	}
+	if eg.inUse() != 1 {
+		t.Errorf("inUse = %d, want 1", eg.inUse())
+	}
+}
+
+func TestEgressQueuesWhenExhaustedAndDrainsFIFO(t *testing.T) {
+	eng, rt, eg := egressHarness(t)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		h := newHandle(eng, 1, 0)
+		eg.submitForward(mkReq(rt, h), func() { order = append(order, i) })
+	}
+	// Pool capacity 2: first two transmit immediately, three queue.
+	if len(order) != 2 || eg.credits != 0 {
+		t.Fatalf("order=%v credits=%d", order, eg.credits)
+	}
+	if len(eg.pending) != 3 {
+		t.Fatalf("pending = %d, want 3", len(eg.pending))
+	}
+	eg.release()
+	eg.release()
+	if want := []int{0, 1, 2, 3}; len(order) != 4 || order[2] != 2 || order[3] != 3 {
+		t.Errorf("after 2 releases order = %v, want %v", order, want)
+	}
+	eg.release()
+	if len(order) != 5 || order[4] != 4 {
+		t.Errorf("final order = %v", order)
+	}
+	if len(eg.pending) != 0 {
+		t.Errorf("pending not drained: %d", len(eg.pending))
+	}
+}
+
+func TestEgressRankBlocksUntilTransmit(t *testing.T) {
+	eng, rt, eg := egressHarness(t)
+	// Exhaust the pool from engine context.
+	eg.submitForward(mkReq(rt, newHandle(eng, 1, 0)), func() {})
+	eg.submitForward(mkReq(rt, newHandle(eng, 1, 0)), func() {})
+	var sentAt sim.Time = -1
+	eng.Spawn("sender", func(p *sim.Proc) {
+		eg.submitRank(p, mkReq(rt, newHandle(eng, 1, 0)))
+		sentAt = p.Now()
+	})
+	eng.At(500, func() { eg.release() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sentAt != 500 {
+		t.Errorf("rank unblocked at %v, want 500", sentAt)
+	}
+	if rt.Stats().CreditWaits == 0 || rt.Stats().CreditWaited != 500 {
+		t.Errorf("credit wait stats = %d/%v", rt.Stats().CreditWaits, rt.Stats().CreditWaited)
+	}
+}
+
+func TestEgressTransmitWithoutCreditPanics(t *testing.T) {
+	eng, rt, eg := egressHarness(t)
+	_ = eng
+	eg.credits = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("transmit without credit did not panic")
+		}
+	}()
+	eg.transmit(mkReq(rt, nil))
+}
+
+func TestEgressUnknownEdgePanics(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultConfig(9, 1)
+	cfg.Topology = core.MustNew(core.MFCG, 9)
+	rt, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("egressTo on non-edge did not panic")
+		}
+	}()
+	rt.egressTo(0, 4) // 0 and 4 are not connected on a 3x3 mesh
+}
+
+func TestMaxCHTBacklogTracked(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultConfig(4, 2)
+	cfg.Topology = core.MustNew(core.FCG, 4)
+	rt, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Alloc("m", 8)
+	if err := rt.Run(func(r *Rank) {
+		for k := 0; k < 10; k++ {
+			r.FetchAdd(0, "m", 0, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().MaxCHTBacklog == 0 {
+		t.Error("CHT backlog never recorded under fan-in")
+	}
+}

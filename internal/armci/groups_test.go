@@ -1,0 +1,184 @@
+package armci
+
+import (
+	"bytes"
+	"testing"
+
+	"armcivt/internal/core"
+)
+
+func TestGroupBasics(t *testing.T) {
+	_, rt := testRuntime(t, core.MFCG, 4, 2)
+	g := rt.NewGroup("evens", []int{0, 2, 4, 6})
+	if g.Name() != "evens" || g.Size() != 4 {
+		t.Errorf("name/size = %q/%d", g.Name(), g.Size())
+	}
+	if !g.Contains(2) || g.Contains(1) {
+		t.Error("Contains broken")
+	}
+	if got := g.Members(); got[3] != 6 {
+		t.Errorf("Members = %v", got)
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 2, 1)
+	for _, ranks := range [][]int{{}, {0, 0}, {0, 5}} {
+		ranks := ranks
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGroup(%v) accepted", ranks)
+				}
+			}()
+			rt.NewGroup("bad", ranks)
+		}()
+	}
+}
+
+func TestGroupBarrierSynchronizesOnlyMembers(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 4, 2)
+	g := rt.NewGroup("g", []int{1, 3, 5})
+	nonMemberDone := int64(-1)
+	memberDone := int64(-1)
+	runAll(t, rt, func(r *Rank) {
+		switch {
+		case g.Contains(r.Rank()):
+			if r.Rank() == 5 {
+				r.Sleep(100_000) // straggler
+			}
+			r.GroupBarrier(g)
+			if r.Rank() == 1 {
+				memberDone = int64(r.Now())
+			}
+		case r.Rank() == 0:
+			// Non-members are unaffected by the group barrier.
+			nonMemberDone = int64(r.Now())
+		}
+	})
+	if nonMemberDone != 0 {
+		t.Errorf("non-member delayed to %d", nonMemberDone)
+	}
+	if memberDone < 100_000 {
+		t.Errorf("member left group barrier at %d before the straggler arrived", memberDone)
+	}
+}
+
+func TestGroupBarrierNonMemberPanics(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 2, 1)
+	g := rt.NewGroup("g", []int{1})
+	panicked := false
+	_ = rt.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.GroupBarrier(g)
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.GroupBarrier(g)
+	})
+	if !panicked {
+		t.Error("non-member GroupBarrier accepted")
+	}
+}
+
+func TestGroupBcast(t *testing.T) {
+	_, rt := testRuntime(t, core.CFCG, 8, 2)
+	g := rt.NewGroup("odds", []int{1, 3, 5, 7, 9, 11, 13, 15})
+	payload := []byte("group payload")
+	got := map[int][]byte{}
+	runAll(t, rt, func(r *Rank) {
+		if !g.Contains(r.Rank()) {
+			return
+		}
+		var data []byte
+		if g.GroupRank(r) == 2 { // rank 5 is the root
+			data = payload
+		}
+		got[r.Rank()] = r.GroupBcast(g, 2, data)
+	})
+	if len(got) != 8 {
+		t.Fatalf("%d members broadcast", len(got))
+	}
+	for rank, g := range got {
+		if !bytes.Equal(g, payload) {
+			t.Errorf("rank %d got %q", rank, g)
+		}
+	}
+}
+
+func TestGroupReduceAndAllreduce(t *testing.T) {
+	_, rt := testRuntime(t, core.MFCG, 9, 1)
+	g := rt.NewGroup("first5", []int{0, 1, 2, 3, 4})
+	runAll(t, rt, func(r *Rank) {
+		if !g.Contains(r.Rank()) {
+			return
+		}
+		red := r.GroupReduceSum(g, 0, []float64{float64(r.Rank())})
+		if g.GroupRank(r) == 0 && red[0] != 10 { // 0+1+2+3+4
+			t.Errorf("group reduce = %v, want 10", red[0])
+		}
+		all := r.GroupAllreduceSum(g, []float64{1})
+		if all[0] != 5 {
+			t.Errorf("rank %d: group allreduce = %v, want 5", r.Rank(), all[0])
+		}
+	})
+}
+
+func TestDisjointGroupsRunConcurrently(t *testing.T) {
+	// Two halves of the job run independent collective sequences at
+	// different rates — the per-pair scratch indexing must hold up.
+	_, rt := testRuntime(t, core.MFCG, 4, 2)
+	a := rt.NewGroup("a", []int{0, 1, 2, 3})
+	b := rt.NewGroup("b", []int{4, 5, 6, 7})
+	runAll(t, rt, func(r *Rank) {
+		if a.Contains(r.Rank()) {
+			for k := 1; k <= 5; k++ { // group a does 5 rounds
+				res := r.GroupAllreduceSum(a, []float64{float64(k)})
+				if res[0] != float64(4*k) {
+					t.Errorf("a round %d: %v", k, res[0])
+				}
+			}
+		} else {
+			r.Sleep(50_000) // group b starts late and does 2 rounds
+			for k := 1; k <= 2; k++ {
+				res := r.GroupAllreduceSum(b, []float64{float64(k * 10)})
+				if res[0] != float64(40*k) {
+					t.Errorf("b round %d: %v", k, res[0])
+				}
+			}
+		}
+	})
+}
+
+func TestGroupThenWorldCollectives(t *testing.T) {
+	// Group collectives drift members' pairwise message counts; a world
+	// collective afterwards must still be correct.
+	_, rt := testRuntime(t, core.FCG, 4, 1)
+	g := rt.NewGroup("pair", []int{0, 1})
+	runAll(t, rt, func(r *Rank) {
+		if g.Contains(r.Rank()) {
+			for k := 0; k < 3; k++ {
+				r.GroupAllreduceSum(g, []float64{1})
+			}
+		}
+		res := r.AllreduceSum([]float64{float64(r.Rank())})
+		if res[0] != 6 { // 0+1+2+3
+			t.Errorf("rank %d: world allreduce after group drift = %v", r.Rank(), res[0])
+		}
+	})
+}
+
+func TestGroupRankMapping(t *testing.T) {
+	_, rt := testRuntime(t, core.FCG, 4, 1)
+	g := rt.NewGroup("rev", []int{3, 1, 0})
+	runAll(t, rt, func(r *Rank) {
+		want := map[int]int{3: 0, 1: 1, 0: 2, 2: -1}[r.Rank()]
+		if got := g.GroupRank(r); got != want {
+			t.Errorf("rank %d: group rank = %d, want %d", r.Rank(), got, want)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package armci
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+// Property: Bcast delivers the identical payload to every rank for random
+// topologies, sizes, roots and payload lengths.
+func TestPropertyBcastDelivers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kinds := []core.Kind{core.FCG, core.MFCG, core.CFCG}
+		kind := kinds[rng.Intn(len(kinds))]
+		nodes := 1 + rng.Intn(12)
+		ppn := 1 + rng.Intn(2)
+		eng := sim.New()
+		cfg := DefaultConfig(nodes, ppn)
+		topo, err := core.New(kind, nodes)
+		if err != nil {
+			return false
+		}
+		cfg.Topology = topo
+		rt, err := New(eng, cfg)
+		if err != nil {
+			return false
+		}
+		root := rng.Intn(rt.NRanks())
+		payload := make([]byte, 1+rng.Intn(CollPayloadMax))
+		rng.Read(payload)
+		ok := true
+		if err := rt.Run(func(r *Rank) {
+			var data []byte
+			if r.Rank() == root {
+				data = payload
+			}
+			if got := r.Bcast(root, data); !bytes.Equal(got, payload) {
+				ok = false
+			}
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllreduceSum equals the arithmetic sum for random contributions,
+// and every rank agrees.
+func TestPropertyAllreduceMatchesSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(10)
+		ppn := 1 + rng.Intn(3)
+		eng := sim.New()
+		cfg := DefaultConfig(nodes, ppn)
+		rt, err := New(eng, cfg)
+		if err != nil {
+			return false
+		}
+		n := rt.NRanks()
+		contrib := make([]float64, n)
+		want := 0.0
+		for i := range contrib {
+			contrib[i] = float64(rng.Intn(1000) - 500)
+			want += contrib[i]
+		}
+		ok := true
+		if err := rt.Run(func(r *Rank) {
+			got := r.AllreduceSum([]float64{contrib[r.Rank()]})
+			if got[0] != want {
+				ok = false
+			}
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: group collectives over random disjoint partitions agree with
+// per-group arithmetic.
+func TestPropertyGroupPartitionAllreduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(8)
+		eng := sim.New()
+		cfg := DefaultConfig(nodes, 2)
+		rt, err := New(eng, cfg)
+		if err != nil {
+			return false
+		}
+		n := rt.NRanks()
+		// Random partition into two non-empty groups.
+		perm := rng.Perm(n)
+		cut := 1 + rng.Intn(n-1)
+		ga := rt.NewGroup("a", perm[:cut])
+		gb := rt.NewGroup("b", perm[cut:])
+		sum := func(ranks []int) float64 {
+			s := 0.0
+			for _, v := range ranks {
+				s += float64(v)
+			}
+			return s
+		}
+		wantA, wantB := sum(perm[:cut]), sum(perm[cut:])
+		ok := true
+		if err := rt.Run(func(r *Rank) {
+			g, want := ga, wantA
+			if gb.Contains(r.Rank()) {
+				g, want = gb, wantB
+			}
+			got := r.GroupAllreduceSum(g, []float64{float64(r.Rank())})
+			if got[0] != want {
+				ok = false
+			}
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved puts from many ranks into disjoint regions never
+// corrupt each other, regardless of chunking and forwarding.
+func TestPropertyDisjointPutsIsolate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(8)
+		eng := sim.New()
+		cfg := DefaultConfig(nodes, 1)
+		cfg.Topology = core.MustNew(core.MFCG, nodes)
+		cfg.BufsPerProc = 1 + rng.Intn(2)
+		rt, err := New(eng, cfg)
+		if err != nil {
+			return false
+		}
+		n := rt.NRanks()
+		region := 1 + rng.Intn(3*cfg.BufSize)
+		rt.Alloc("m", n*region)
+		ok := true
+		if err := rt.Run(func(r *Rank) {
+			data := bytes.Repeat([]byte{byte(r.Rank() + 1)}, region)
+			dst := rng.Intn(n) // shared rng is fine pre-fork; use rank-mixed target
+			dst = (dst + r.Rank()) % n
+			r.Put(dst, "m", r.Rank()*region, data)
+			r.Barrier()
+			got := r.Get(dst, "m", r.Rank()*region, region)
+			if !bytes.Equal(got, data) {
+				ok = false
+			}
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+package armci
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"armcivt/internal/sim"
+)
+
+// opKind enumerates the one-sided request types the CHT protocol carries.
+type opKind int
+
+const (
+	opPut opKind = iota
+	opGet
+	opAcc
+	opRmw
+	opLock
+	opUnlock
+	opPutV
+	opGetV
+	opSwap
+	opAccV
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opAcc:
+		return "acc"
+	case opRmw:
+		return "rmw"
+	case opLock:
+		return "lock"
+	case opUnlock:
+		return "unlock"
+	case opPutV:
+		return "putv"
+	case opGetV:
+		return "getv"
+	case opSwap:
+		return "swap"
+	case opAccV:
+		return "accv"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Seg describes one segment of a vectored (noncontiguous) operation on the
+// target allocation.
+type Seg struct {
+	Off int // byte offset in the target rank's allocation
+	Len int // byte length
+}
+
+// request is one chunk of a one-sided operation traveling through the
+// virtual topology. It occupies exactly one request buffer at each node it
+// visits.
+type request struct {
+	kind       opKind
+	origin     int // issuing rank
+	originNode int
+	target     int // target rank
+	alloc      string
+	off        int     // contiguous ops: target offset
+	data       []byte  // put/acc payload for this chunk
+	segs       []Seg   // vectored ops: target segments of this chunk
+	scale      float64 // accumulate scale factor
+	delta      int64   // rmw addend
+	mutex      int     // lock/unlock: mutex index
+	getBytes   int     // get: bytes requested (contiguous)
+	flatOff    int     // get: this chunk's offset into the assembled result
+	wire       int     // message size on the fabric
+	prevNode   int     // upstream node owed a buffer credit (-1: none)
+	h          *Handle // origin-side completion handle
+}
+
+// Handle tracks completion of a (possibly multi-chunk) non-blocking
+// operation. Obtain one from the Nb* methods on Rank and finish it with
+// Rank.Wait.
+type Handle struct {
+	pending int
+	done    *sim.Event
+	// Get results are assembled here in chunk order.
+	data []byte
+	// Rmw old value.
+	old int64
+	// issued total chunks, for diagnostics.
+	chunks int
+}
+
+func newHandle(eng *sim.Engine, chunks int, dataBytes int) *Handle {
+	h := &Handle{pending: chunks, chunks: chunks, done: sim.NewEvent(eng, "op")}
+	if dataBytes > 0 {
+		h.data = make([]byte, dataBytes)
+	}
+	if chunks == 0 {
+		h.done.Fire()
+	}
+	return h
+}
+
+func (h *Handle) completeChunk() {
+	if h.pending <= 0 {
+		panic("armci: handle over-completed")
+	}
+	h.pending--
+	if h.pending == 0 {
+		h.done.Fire()
+	}
+}
+
+// Done reports whether the operation has fully completed.
+func (h *Handle) Done() bool { return h.done.Fired() }
+
+// Data returns the payload of a completed get operation.
+func (h *Handle) Data() []byte { return h.data }
+
+// Old returns the pre-update value of a completed read-modify-write.
+func (h *Handle) Old() int64 { return h.old }
+
+// payloadPerChunk returns how many payload bytes fit in one request buffer
+// alongside the header and nsegs segment descriptors.
+func (c Config) payloadPerChunk(nsegs int) int {
+	room := c.BufSize - headerBytes - nsegs*segDescBytes
+	if room < 1 {
+		panic(fmt.Sprintf("armci: BufSize %d cannot carry %d segment descriptors", c.BufSize, nsegs))
+	}
+	return room
+}
+
+// chunkContig splits a contiguous [off, off+n) region into buffer-sized
+// pieces, invoking emit with each piece's offset and length.
+func (c Config) chunkContig(off, n int, emit func(off, ln int)) int {
+	if n == 0 {
+		emit(off, 0)
+		return 1
+	}
+	per := c.payloadPerChunk(0)
+	chunks := 0
+	for done := 0; done < n; done += per {
+		ln := n - done
+		if ln > per {
+			ln = per
+		}
+		emit(off+done, ln)
+		chunks++
+	}
+	return chunks
+}
+
+// chunkSegsAligned is chunkSegs with splits constrained to multiples of
+// align bytes, for element-typed operations (accumulate) whose values must
+// not straddle chunks.
+func (c Config) chunkSegsAligned(segs []Seg, align int, emit func(group []Seg, payload, flatOff int)) int {
+	chunks := 0
+	var group []Seg
+	groupBytes := 0
+	flatStart := 0
+	flat := 0
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		emit(group, groupBytes, flatStart)
+		chunks++
+		group = nil
+		groupBytes = 0
+		flatStart = flat
+	}
+	for _, s := range segs {
+		rem := s
+		for rem.Len > 0 {
+			room := (c.payloadPerChunk(len(group)+1) - groupBytes) &^ (align - 1)
+			if room <= 0 {
+				flush()
+				continue
+			}
+			take := rem.Len
+			if take > room {
+				take = room
+			}
+			group = append(group, Seg{Off: rem.Off, Len: take})
+			groupBytes += take
+			flat += take
+			rem.Off += take
+			rem.Len -= take
+		}
+	}
+	flush()
+	if chunks == 0 {
+		emit(nil, 0, 0)
+		chunks = 1
+	}
+	return chunks
+}
+
+// chunkSegs packs vector segments into request-buffer-sized groups,
+// splitting oversized segments. emit receives each group's segments along
+// with their cumulative payload length and the offset into the original
+// flattened payload.
+func (c Config) chunkSegs(segs []Seg, emit func(group []Seg, payload, flatOff int)) int {
+	chunks := 0
+	var group []Seg
+	groupBytes := 0
+	flatStart := 0
+	flat := 0
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		emit(group, groupBytes, flatStart)
+		chunks++
+		group = nil
+		groupBytes = 0
+		flatStart = flat
+	}
+	for _, s := range segs {
+		if s.Len < 0 || s.Off < 0 {
+			panic(fmt.Sprintf("armci: invalid segment %+v", s))
+		}
+		rem := s
+		for rem.Len > 0 {
+			room := c.payloadPerChunk(len(group)+1) - groupBytes
+			if room <= 0 {
+				flush()
+				continue
+			}
+			take := rem.Len
+			if take > room {
+				take = room
+			}
+			group = append(group, Seg{Off: rem.Off, Len: take})
+			groupBytes += take
+			flat += take
+			rem.Off += take
+			rem.Len -= take
+			if groupBytes >= c.payloadPerChunk(len(group)) {
+				flush()
+			}
+		}
+	}
+	flush()
+	if chunks == 0 {
+		emit(nil, 0, 0)
+		chunks = 1
+	}
+	return chunks
+}
+
+// segsBytes sums segment lengths.
+func segsBytes(segs []Seg) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len
+	}
+	return n
+}
+
+// StridedSegs expands a strided region (count blocks of blockLen bytes,
+// stride bytes apart, starting at off) into vector segments. This is how the
+// runtime lowers ARMCI_PutS/GetS onto the vector path.
+func StridedSegs(off, blockLen, stride, count int) []Seg {
+	if blockLen < 0 || count < 0 {
+		panic("armci: negative strided extent")
+	}
+	segs := make([]Seg, 0, count)
+	for i := 0; i < count; i++ {
+		segs = append(segs, Seg{Off: off + i*stride, Len: blockLen})
+	}
+	return segs
+}
+
+// Float64 helpers for accumulate and typed access.
+
+// PutFloat64 stores v at byte offset off of buf.
+func PutFloat64(buf []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(buf[off:off+8], math.Float64bits(v))
+}
+
+// GetFloat64 loads the float64 at byte offset off of buf.
+func GetFloat64(buf []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[off : off+8]))
+}
+
+// PutInt64 stores v at byte offset off of buf.
+func PutInt64(buf []byte, off int, v int64) {
+	binary.LittleEndian.PutUint64(buf[off:off+8], uint64(v))
+}
+
+// GetInt64 loads the int64 at byte offset off of buf.
+func GetInt64(buf []byte, off int) int64 {
+	return int64(binary.LittleEndian.Uint64(buf[off : off+8]))
+}
+
+// Float64sToBytes copies vals into a fresh byte buffer.
+func Float64sToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		PutFloat64(out, 8*i, v)
+	}
+	return out
+}
+
+// BytesToFloat64s reinterprets buf (length divisible by 8) as float64s.
+func BytesToFloat64s(buf []byte) []float64 {
+	if len(buf)%8 != 0 {
+		panic("armci: byte length not divisible by 8")
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = GetFloat64(buf, 8*i)
+	}
+	return out
+}

@@ -1,0 +1,452 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/sim"
+)
+
+// Rank is one application process's view of the runtime: the receiver for
+// all one-sided operations. Every method must be called from the rank's own
+// body function (they block the rank's simulated process).
+//
+// Blocking operations (Put, Get, ...) wait for remote completion; Nb*
+// variants return a *Handle to overlap communication with computation, and
+// Wait/WaitAll/Fence complete them.
+type Rank struct {
+	rt   *Runtime
+	rank int
+	node int
+	proc *sim.Proc
+
+	outstanding []*Handle
+	heldMutexes map[int]bool
+
+	// collective-layer state (see collectives.go)
+	collSent map[int]int64
+	collRecv map[int]int64
+}
+
+// Rank returns the process's global rank in [0, N).
+func (r *Rank) Rank() int { return r.rank }
+
+// Node returns the compute node hosting this rank.
+func (r *Rank) Node() int { return r.node }
+
+// N returns the total number of ranks.
+func (r *Rank) N() int { return len(r.rt.ranks) }
+
+// Runtime returns the owning runtime.
+func (r *Rank) Runtime() *Runtime { return r.rt }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Sleep models local computation for d of virtual time.
+func (r *Rank) Sleep(d sim.Time) { r.proc.Sleep(d) }
+
+// Proc exposes the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Local returns this rank's own slice of the named allocation.
+func (r *Rank) Local(alloc string) []byte { return r.rt.Memory(r.rank, alloc) }
+
+// Malloc collectively registers an allocation (idempotent) and synchronizes,
+// mirroring ARMCI_Malloc's collective contract.
+func (r *Rank) Malloc(alloc string, bytes int) {
+	r.rt.Alloc(alloc, bytes)
+	r.Barrier()
+}
+
+func (r *Rank) nodeOf(rank int) int {
+	if rank < 0 || rank >= len(r.rt.ranks) {
+		panic(fmt.Sprintf("armci: rank %d out of range [0,%d)", rank, len(r.rt.ranks)))
+	}
+	return rank / r.rt.cfg.PPN
+}
+
+// track registers a handle for Fence accounting and returns it.
+func (r *Rank) track(h *Handle) *Handle {
+	r.outstanding = append(r.outstanding, h)
+	return h
+}
+
+// Wait blocks until h completes.
+func (r *Rank) Wait(h *Handle) { h.done.Wait(r.proc) }
+
+// WaitAll completes every given handle.
+func (r *Rank) WaitAll(hs ...*Handle) {
+	for _, h := range hs {
+		r.Wait(h)
+	}
+}
+
+// Fence blocks until every operation this rank has issued so far is
+// remotely complete (ARMCI_AllFence restricted to the caller).
+func (r *Rank) Fence() {
+	for _, h := range r.outstanding {
+		r.Wait(h)
+	}
+	r.outstanding = r.outstanding[:0]
+}
+
+// send injects one request chunk toward the target node through the virtual
+// topology; the rank blocks until a first-hop buffer credit is available
+// (ARMCI's sender-side flow control).
+func (r *Rank) send(req *request) {
+	rt := r.rt
+	targetNode := req.target / rt.cfg.PPN
+	first := rt.nextHop(r.node, targetNode)
+	rt.egressTo(r.node, first).submitRank(r.proc, req)
+}
+
+// localDelay models a shared-memory operation touching n payload bytes.
+func (r *Rank) localDelay(n int) {
+	r.proc.Sleep(r.rt.cfg.LocalLatency + sim.Time(float64(n)*r.rt.cfg.LocalPerByte))
+}
+
+// ---------- Contiguous put/get ----------
+
+// NbPut starts a one-sided put of data into dst's allocation at byte offset
+// off.
+func (r *Rank) NbPut(dst int, alloc string, off int, data []byte) *Handle {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	checkRange(a, off, len(data))
+	if r.nodeOf(dst) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(len(data))
+		copy(a.mem[dst][off:], data)
+		return newHandle(rt.eng, 0, 0)
+	}
+	var reqs []*request
+	rt.cfg.chunkContig(off, len(data), func(o, ln int) {
+		reqs = append(reqs, &request{
+			kind: opPut, origin: r.rank, originNode: r.node, target: dst,
+			alloc: alloc, off: o, data: data[o-off : o-off+ln],
+			wire: headerBytes + ln,
+		})
+	})
+	h := newHandle(rt.eng, len(reqs), 0)
+	for _, req := range reqs {
+		req.h = h
+		r.send(req)
+	}
+	return r.track(h)
+}
+
+// Put is the blocking form of NbPut.
+func (r *Rank) Put(dst int, alloc string, off int, data []byte) {
+	r.Wait(r.NbPut(dst, alloc, off, data))
+}
+
+// NbGet starts a one-sided get of n bytes from src's allocation at off.
+func (r *Rank) NbGet(src int, alloc string, off, n int) *Handle {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	checkRange(a, off, n)
+	if r.nodeOf(src) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(n)
+		h := newHandle(rt.eng, 0, n)
+		copy(h.data, a.mem[src][off:off+n])
+		return h
+	}
+	var reqs []*request
+	rt.cfg.chunkContig(off, n, func(o, ln int) {
+		reqs = append(reqs, &request{
+			kind: opGet, origin: r.rank, originNode: r.node, target: src,
+			alloc: alloc, off: o, getBytes: ln, flatOff: o - off,
+			wire: headerBytes,
+		})
+	})
+	h := newHandle(rt.eng, len(reqs), n)
+	for _, req := range reqs {
+		req.h = h
+		r.send(req)
+	}
+	return r.track(h)
+}
+
+// Get is the blocking form of NbGet; it returns the fetched bytes.
+func (r *Rank) Get(src int, alloc string, off, n int) []byte {
+	h := r.NbGet(src, alloc, off, n)
+	r.Wait(h)
+	return h.Data()
+}
+
+// ---------- Accumulate ----------
+
+// NbAcc starts an atomic accumulate: dst_mem[off+8i] += scale * vals[i] for
+// float64 elements.
+func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float64) *Handle {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	data := Float64sToBytes(vals)
+	checkRange(a, off, len(data))
+	if r.nodeOf(dst) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(len(data))
+		mem := a.mem[dst]
+		for i := range vals {
+			PutFloat64(mem, off+8*i, GetFloat64(mem, off+8*i)+scale*vals[i])
+		}
+		return newHandle(rt.eng, 0, 0)
+	}
+	var reqs []*request
+	// Chunk on 8-byte boundaries so no float64 straddles two chunks.
+	per := rt.cfg.payloadPerChunk(0) &^ 7
+	for done := 0; done < len(data); done += per {
+		ln := len(data) - done
+		if ln > per {
+			ln = per
+		}
+		reqs = append(reqs, &request{
+			kind: opAcc, origin: r.rank, originNode: r.node, target: dst,
+			alloc: alloc, off: off + done, data: data[done : done+ln], scale: scale,
+			wire: headerBytes + ln,
+		})
+	}
+	if len(reqs) == 0 {
+		return newHandle(rt.eng, 0, 0)
+	}
+	h := newHandle(rt.eng, len(reqs), 0)
+	for _, req := range reqs {
+		req.h = h
+		r.send(req)
+	}
+	return r.track(h)
+}
+
+// Acc is the blocking form of NbAcc.
+func (r *Rank) Acc(dst int, alloc string, off int, scale float64, vals []float64) {
+	r.Wait(r.NbAcc(dst, alloc, off, scale, vals))
+}
+
+// ---------- Vectored (noncontiguous) put/get ----------
+
+// NbPutV starts a vectored put: data is scattered into dst's allocation
+// according to segs (data length must equal the summed segment length).
+func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	total := segsBytes(segs)
+	if total != len(data) {
+		panic(fmt.Sprintf("armci: PutV data length %d != segments total %d", len(data), total))
+	}
+	for _, s := range segs {
+		checkRange(a, s.Off, s.Len)
+	}
+	if r.nodeOf(dst) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(total)
+		mem := a.mem[dst]
+		pos := 0
+		for _, s := range segs {
+			copy(mem[s.Off:s.Off+s.Len], data[pos:pos+s.Len])
+			pos += s.Len
+		}
+		return newHandle(rt.eng, 0, 0)
+	}
+	var reqs []*request
+	rt.cfg.chunkSegs(segs, func(group []Seg, payload, flatOff int) {
+		reqs = append(reqs, &request{
+			kind: opPutV, origin: r.rank, originNode: r.node, target: dst,
+			alloc: alloc, segs: group, data: data[flatOff : flatOff+payload],
+			wire: headerBytes + len(group)*segDescBytes + payload,
+		})
+	})
+	h := newHandle(rt.eng, len(reqs), 0)
+	for _, req := range reqs {
+		req.h = h
+		r.send(req)
+	}
+	return r.track(h)
+}
+
+// PutV is the blocking form of NbPutV.
+func (r *Rank) PutV(dst int, alloc string, segs []Seg, data []byte) {
+	r.Wait(r.NbPutV(dst, alloc, segs, data))
+}
+
+// NbGetV starts a vectored get; the completed handle's Data gathers the
+// segments in order.
+func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	total := segsBytes(segs)
+	for _, s := range segs {
+		checkRange(a, s.Off, s.Len)
+	}
+	if r.nodeOf(src) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(total)
+		h := newHandle(rt.eng, 0, total)
+		mem := a.mem[src]
+		pos := 0
+		for _, s := range segs {
+			copy(h.data[pos:pos+s.Len], mem[s.Off:s.Off+s.Len])
+			pos += s.Len
+		}
+		return h
+	}
+	var reqs []*request
+	rt.cfg.chunkSegs(segs, func(group []Seg, payload, flatOff int) {
+		gcopy := append([]Seg(nil), group...)
+		reqs = append(reqs, &request{
+			kind: opGetV, origin: r.rank, originNode: r.node, target: src,
+			alloc: alloc, segs: gcopy, flatOff: flatOff,
+			wire: headerBytes + len(group)*segDescBytes,
+		})
+	})
+	h := newHandle(rt.eng, len(reqs), total)
+	for _, req := range reqs {
+		req.h = h
+		r.send(req)
+	}
+	return r.track(h)
+}
+
+// GetV is the blocking form of NbGetV.
+func (r *Rank) GetV(src int, alloc string, segs []Seg) []byte {
+	h := r.NbGetV(src, alloc, segs)
+	r.Wait(h)
+	return h.Data()
+}
+
+// ---------- Strided put/get (lowered onto the vector path) ----------
+
+// PutS performs a blocking strided put: count blocks of blockLen bytes,
+// stride bytes apart in the target allocation, starting at off.
+func (r *Rank) PutS(dst int, alloc string, off, blockLen, stride, count int, data []byte) {
+	r.PutV(dst, alloc, StridedSegs(off, blockLen, stride, count), data)
+}
+
+// NbPutS is the non-blocking form of PutS.
+func (r *Rank) NbPutS(dst int, alloc string, off, blockLen, stride, count int, data []byte) *Handle {
+	return r.NbPutV(dst, alloc, StridedSegs(off, blockLen, stride, count), data)
+}
+
+// GetS performs a blocking strided get.
+func (r *Rank) GetS(src int, alloc string, off, blockLen, stride, count int) []byte {
+	return r.GetV(src, alloc, StridedSegs(off, blockLen, stride, count))
+}
+
+// NbGetS is the non-blocking form of GetS.
+func (r *Rank) NbGetS(src int, alloc string, off, blockLen, stride, count int) *Handle {
+	return r.NbGetV(src, alloc, StridedSegs(off, blockLen, stride, count))
+}
+
+// ---------- Atomics ----------
+
+// FetchAdd atomically adds delta to the int64 at dst's allocation offset off
+// and returns the previous value (ARMCI_Rmw fetch-and-add).
+func (r *Rank) FetchAdd(dst int, alloc string, off int, delta int64) int64 {
+	rt := r.rt
+	rt.stats.Ops++
+	a := rt.alloc(alloc)
+	checkRange(a, off, 8)
+	if r.nodeOf(dst) == r.node {
+		rt.stats.LocalOps++
+		r.localDelay(8)
+		mem := a.mem[dst]
+		old := GetInt64(mem, off)
+		PutInt64(mem, off, old+delta)
+		return old
+	}
+	req := &request{
+		kind: opRmw, origin: r.rank, originNode: r.node, target: dst,
+		alloc: alloc, off: off, delta: delta, wire: headerBytes + 8,
+	}
+	h := newHandle(rt.eng, 1, 0)
+	req.h = h
+	r.send(req)
+	r.Wait(h)
+	return h.Old()
+}
+
+// ---------- Mutexes ----------
+
+// Lock acquires global mutex m (blocking, FIFO-fair). Mutexes are
+// distributed round-robin across nodes and managed by the owner's CHT.
+func (r *Rank) Lock(m int) { r.lockOp(m, opLock) }
+
+// Unlock releases global mutex m; the caller must hold it.
+func (r *Rank) Unlock(m int) { r.lockOp(m, opUnlock) }
+
+func (r *Rank) lockOp(m int, kind opKind) {
+	rt := r.rt
+	if m < 0 || m >= len(rt.mutexes) {
+		panic(fmt.Sprintf("armci: mutex %d out of range [0,%d)", m, len(rt.mutexes)))
+	}
+	if r.heldMutexes == nil {
+		r.heldMutexes = map[int]bool{}
+	}
+	switch kind {
+	case opLock:
+		if r.heldMutexes[m] {
+			panic(fmt.Sprintf("armci: rank %d re-locking mutex %d it already holds", r.rank, m))
+		}
+	case opUnlock:
+		if !r.heldMutexes[m] {
+			panic(fmt.Sprintf("armci: rank %d unlocking mutex %d it does not hold", r.rank, m))
+		}
+	}
+	rt.stats.Ops++
+	ownerNode := m % rt.cfg.Nodes
+	ownerRank := ownerNode * rt.cfg.PPN
+	req := &request{
+		kind: kind, origin: r.rank, originNode: r.node, target: ownerRank,
+		mutex: m, wire: headerBytes,
+	}
+	h := newHandle(rt.eng, 1, 0)
+	req.h = h
+	if ownerNode == r.node {
+		// Same-node mutex traffic still goes through the owner CHT (the
+		// authority for the mutex) but over shared memory: no credits.
+		rt.stats.LocalOps++
+		req.prevNode = -1
+		node := rt.nodes[ownerNode]
+		rt.eng.After(rt.cfg.LocalLatency, func() { node.enqueue(req) })
+	} else {
+		r.send(req)
+	}
+	r.Wait(h)
+	r.heldMutexes[m] = kind == opLock
+}
+
+// ---------- Collectives ----------
+
+// Barrier synchronizes all ranks. The cost model is a dissemination barrier:
+// ceil(log2(N)) rounds of BarrierStep each after the last rank arrives.
+func (r *Rank) Barrier() {
+	rt := r.rt
+	b := &rt.barrier
+	b.arrived++
+	if b.arrived == len(rt.ranks) {
+		b.arrived = 0
+		ev := b.ev
+		b.ev = sim.NewEvent(rt.eng, "barrier")
+		ev.Fire()
+	} else {
+		ev := b.ev
+		ev.Wait(r.proc)
+	}
+	steps := 0
+	for 1<<steps < len(rt.ranks) {
+		steps++
+	}
+	r.proc.Sleep(sim.Time(steps) * rt.cfg.BarrierStep)
+}
+
+func checkRange(a *allocation, off, n int) {
+	if off < 0 || n < 0 || off+n > a.bytes {
+		panic(fmt.Sprintf("armci: access [%d,%d) outside allocation %q of %d bytes",
+			off, off+n, a.name, a.bytes))
+	}
+}

@@ -1,0 +1,268 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/core"
+	"armcivt/internal/fabric"
+	"armcivt/internal/sim"
+)
+
+// Runtime is one simulated ARMCI job: Nodes x PPN processes, a CHT per node,
+// request-buffer credit pools per virtual-topology edge, and a physical
+// torus underneath.
+type Runtime struct {
+	cfg   Config
+	eng   *sim.Engine
+	topo  core.Topology
+	net   *fabric.Network
+	nodes []*nodeState
+	ranks []*Rank
+
+	allocs map[string]*allocation
+
+	barrier  barrierState
+	mutexes  []mutexState
+	notifies *notifyState
+	world    []int // all ranks, the member list of world collectives
+
+	stats Stats
+}
+
+// Stats aggregates runtime-level counters used by tests and reports.
+type Stats struct {
+	Ops           uint64 // one-sided operations issued
+	Requests      uint64 // request messages injected (after chunking)
+	Forwards      uint64 // requests forwarded by intermediate CHTs
+	LocalOps      uint64 // same-node fast-path operations
+	CreditWaits   uint64 // times a sender or CHT blocked on buffer credits
+	CreditWaited  sim.Time
+	MaxCHTBacklog int // worst CHT queue depth observed
+}
+
+type nodeState struct {
+	id    int
+	rt    *Runtime
+	inbox *sim.Queue[*request]
+	// egress[peer] manages this node's sends over the peer edge: the
+	// buffer credits (capacity PPN * BufsPerProc) plus the FIFO of sends
+	// waiting for one.
+	egress map[int]*egress
+	// pendingBySrc counts buffered requests per upstream peer, driving the
+	// CHT poll-cost model.
+	pendingBySrc map[int]int
+	chtProc      *sim.Proc
+}
+
+type allocation struct {
+	name  string
+	bytes int
+	mem   [][]byte // per rank
+}
+
+type barrierState struct {
+	arrived int
+	ev      *sim.Event
+}
+
+type mutexState struct {
+	held    bool
+	owner   int        // rank holding the mutex
+	waiters []*request // queued lock requests, FIFO
+}
+
+// New creates a runtime from cfg (zero fields defaulted).
+func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		eng:    eng,
+		topo:   cfg.Topology,
+		net:    fabric.New(eng, cfg.Nodes, cfg.Fabric),
+		allocs: map[string]*allocation{},
+	}
+	rt.barrier.ev = sim.NewEvent(eng, "barrier")
+	rt.mutexes = make([]mutexState, cfg.Mutexes)
+	for m := range rt.mutexes {
+		rt.mutexes[m].owner = -1
+	}
+	rt.nodes = make([]*nodeState, cfg.Nodes)
+	poolCap := cfg.PPN * cfg.BufsPerProc
+	for n := 0; n < cfg.Nodes; n++ {
+		ns := &nodeState{
+			id:           n,
+			rt:           rt,
+			inbox:        sim.NewQueue[*request](eng, fmt.Sprintf("cht%d", n)),
+			egress:       map[int]*egress{},
+			pendingBySrc: map[int]int{},
+		}
+		for _, peer := range rt.topo.Neighbors(n) {
+			ns.egress[peer] = newEgress(rt, n, peer, poolCap)
+		}
+		rt.nodes[n] = ns
+	}
+	rt.ranks = make([]*Rank, cfg.Nodes*cfg.PPN)
+	rt.world = make([]int, len(rt.ranks))
+	for r := range rt.ranks {
+		rt.ranks[r] = &Rank{rt: rt, rank: r, node: r / cfg.PPN}
+		rt.world[r] = r
+	}
+	rt.collInit()
+	return rt, nil
+}
+
+// worldMembers returns the member list of world collectives (all ranks).
+func (rt *Runtime) worldMembers() []int { return rt.world }
+
+// MustNew is New but panics on error.
+func MustNew(eng *sim.Engine, cfg Config) *Runtime {
+	rt, err := New(eng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Topology returns the virtual topology in use.
+func (rt *Runtime) Topology() core.Topology { return rt.topo }
+
+// Network returns the physical network model.
+func (rt *Runtime) Network() *fabric.Network { return rt.net }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// NRanks returns the total process count (Nodes * PPN).
+func (rt *Runtime) NRanks() int { return len(rt.ranks) }
+
+// Stats returns runtime counters.
+func (rt *Runtime) Stats() Stats {
+	s := rt.stats
+	for _, ns := range rt.nodes {
+		if m := ns.inbox.MaxLen(); m > s.MaxCHTBacklog {
+			s.MaxCHTBacklog = m
+		}
+	}
+	return s
+}
+
+// Alloc registers a global allocation: every rank gets bytes of remotely
+// addressable memory under the given name. It is idempotent for identical
+// sizes and panics on conflicting re-registration.
+func (rt *Runtime) Alloc(name string, bytes int) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("armci: Alloc(%q) with negative size", name))
+	}
+	if a, ok := rt.allocs[name]; ok {
+		if a.bytes != bytes {
+			panic(fmt.Sprintf("armci: Alloc(%q) size conflict: %d vs %d", name, a.bytes, bytes))
+		}
+		return
+	}
+	a := &allocation{name: name, bytes: bytes, mem: make([][]byte, len(rt.ranks))}
+	for i := range a.mem {
+		a.mem[i] = make([]byte, bytes)
+	}
+	rt.allocs[name] = a
+}
+
+// Memory returns rank's local slice of the named allocation (direct access,
+// as a process would touch its own partition of the global address space).
+func (rt *Runtime) Memory(rank int, name string) []byte {
+	return rt.alloc(name).mem[rank]
+}
+
+func (rt *Runtime) alloc(name string) *allocation {
+	a, ok := rt.allocs[name]
+	if !ok {
+		panic(fmt.Sprintf("armci: unknown allocation %q", name))
+	}
+	return a
+}
+
+// Run spawns one CHT daemon per node and one process per rank executing
+// body, then drives the simulation to completion. The error is non-nil on
+// deadlock (e.g. with a broken forwarding rule).
+func (rt *Runtime) Run(body func(r *Rank)) error {
+	rt.Start(body)
+	return rt.eng.Run()
+}
+
+// Shutdown releases the goroutines of all parked simulated processes (CHT
+// daemons and any still-blocked ranks). Call after Run in programs that
+// create many runtimes.
+func (rt *Runtime) Shutdown() { rt.eng.Shutdown() }
+
+// Start spawns CHTs and rank processes without running the engine, for
+// callers that schedule additional activity or use RunUntil.
+func (rt *Runtime) Start(body func(r *Rank)) {
+	for _, ns := range rt.nodes {
+		ns := ns
+		ns.chtProc = rt.eng.SpawnDaemon(fmt.Sprintf("cht%d", ns.id), ns.chtLoop)
+	}
+	for _, r := range rt.ranks {
+		r := r
+		r.proc = rt.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) { body(r) })
+	}
+}
+
+// MasterRSS models the resident set size of a node's master process: base
+// footprint plus the CHT's request buffers and per-connection metadata for
+// every remote process reachable over a direct edge. This is the quantity
+// Figure 5 of the paper plots.
+func (rt *Runtime) MasterRSS(node int) int64 {
+	return MasterRSSFor(rt.cfg, rt.topo, node)
+}
+
+// MasterRSSFor computes the memory model without instantiating a runtime,
+// for memory-scaling sweeps over very large configurations. cfg zero fields
+// are defaulted; an invalid configuration panics.
+func MasterRSSFor(cfg Config, topo core.Topology, node int) int64 {
+	cfg.Topology = topo
+	c, err := cfg.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	deg := int64(topo.Degree(node))
+	remoteProcs := deg * int64(c.PPN)
+	buffers := remoteProcs * int64(c.BufsPerProc) * int64(c.BufSize)
+	conn := remoteProcs * c.ConnBytes
+	return c.BaseRSSBytes + buffers + conn
+}
+
+// BufferBytes returns just the request-buffer memory on a node, the
+// topology-dependent term of MasterRSS.
+func (rt *Runtime) BufferBytes(node int) int64 {
+	return int64(rt.topo.Degree(node)) * int64(rt.cfg.PPN) * int64(rt.cfg.BufsPerProc) * int64(rt.cfg.BufSize)
+}
+
+// nextHop resolves the forwarding rule in effect (LDF unless overridden).
+func (rt *Runtime) nextHop(src, dst int) int {
+	if rt.cfg.RouteOverride != nil {
+		return rt.cfg.RouteOverride(src, dst)
+	}
+	return rt.topo.NextHop(src, dst)
+}
+
+// egressTo returns node's egress over the direct edge to peer.
+func (rt *Runtime) egressTo(node, peer int) *egress {
+	eg := rt.nodes[node].egress[peer]
+	if eg == nil {
+		panic(fmt.Sprintf("armci: no edge %d->%d in %v", node, peer, rt.topo))
+	}
+	return eg
+}
+
+// returnCredit sends an ack from node back to peer releasing one buffer
+// credit for the peer->node edge.
+func (rt *Runtime) returnCredit(node, peer int) {
+	rt.net.Send(node, peer, ackBytes, func() {
+		rt.egressTo(peer, node).release()
+	})
+}

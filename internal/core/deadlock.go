@@ -1,0 +1,161 @@
+package core
+
+import "fmt"
+
+// This file verifies the paper's Section IV deadlock-freedom claim
+// computationally. A request holds the buffer at its current node while it
+// waits for a buffer at the next hop, so the system can deadlock iff the
+// "buffer wait-for" graph — whose vertices are directed topology edges and
+// whose arcs connect consecutive edges of some route — contains a cycle.
+// LDF's monotone dimension order makes that graph a DAG; mixing dimension
+// orders (MixedOrderNextHop below) creates cycles, reproducing the failure
+// LDF exists to prevent.
+
+// NextHopFunc is a routing rule: it returns the next node on the path from
+// src to dst (dst itself for the last hop).
+type NextHopFunc func(src, dst int) int
+
+// CycleError reports a cycle in the buffer-dependency graph as a sequence of
+// directed edges e0 -> e1 -> ... -> e0.
+type CycleError struct {
+	Edges [][2]int
+}
+
+func (c *CycleError) Error() string {
+	s := "core: buffer-dependency cycle:"
+	for _, e := range c.Edges {
+		s += fmt.Sprintf(" (%d->%d)", e[0], e[1])
+	}
+	return s
+}
+
+// CheckDeadlockFree verifies that the topology's own LDF routing induces an
+// acyclic buffer-dependency graph. It returns a *CycleError describing a
+// cycle if one exists.
+func CheckDeadlockFree(t Topology) error {
+	return CheckRouterDeadlockFree(t.Nodes(), t.NextHop, t.Dims()+2)
+}
+
+// CheckRouterDeadlockFree verifies an arbitrary routing rule over n nodes.
+// maxPath bounds route length so that a non-terminating rule is reported
+// instead of looping forever.
+func CheckRouterDeadlockFree(n int, next NextHopFunc, maxPath int) error {
+	type edge struct{ u, v int }
+	index := map[edge]int{}
+	var edges []edge
+	id := func(e edge) int {
+		if i, ok := index[e]; ok {
+			return i
+		}
+		i := len(edges)
+		index[e] = i
+		edges = append(edges, e)
+		return i
+	}
+	// adj[e1] lists edges e2 that some route enters immediately after e1.
+	adj := map[int]map[int]bool{}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			prev := -1
+			cur := src
+			for steps := 0; cur != dst; steps++ {
+				if steps > maxPath {
+					return fmt.Errorf("core: route %d->%d did not terminate within %d hops", src, dst, maxPath)
+				}
+				nxt := next(cur, dst)
+				if nxt == cur {
+					return fmt.Errorf("core: route %d->%d stalled at %d", src, dst, cur)
+				}
+				e := id(edge{cur, nxt})
+				if prev >= 0 {
+					m := adj[prev]
+					if m == nil {
+						m = map[int]bool{}
+						adj[prev] = m
+					}
+					m[e] = true
+				}
+				prev = e
+				cur = nxt
+			}
+		}
+	}
+	// Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+	color := make([]int8, len(edges))
+	parent := make([]int, len(edges))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt, cycleFrom int
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = 1
+		for v := range adj[u] {
+			switch color[v] {
+			case 0:
+				parent[v] = u
+				if visit(v) {
+					return true
+				}
+			case 1:
+				cycleAt, cycleFrom = v, u
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for i := range edges {
+		if color[i] == 0 && visit(i) {
+			// Reconstruct the cycle.
+			var cyc [][2]int
+			cyc = append(cyc, [2]int{edges[cycleAt].u, edges[cycleAt].v})
+			for u := cycleFrom; u != cycleAt && u != -1; u = parent[u] {
+				cyc = append(cyc, [2]int{edges[u].u, edges[u].v})
+			}
+			// Reverse into forward order and close the loop.
+			for l, r := 0, len(cyc)-1; l < r; l, r = l+1, r-1 {
+				cyc[l], cyc[r] = cyc[r], cyc[l]
+			}
+			cyc = append(cyc, cyc[0])
+			return &CycleError{Edges: cyc}
+		}
+	}
+	return nil
+}
+
+// MixedOrderNextHop returns a deliberately broken routing rule for a
+// topology: requests to odd-numbered destinations correct the highest
+// differing dimension first (YX order) while the rest use LDF (XY order).
+// Mixing the two orders on a mesh creates cyclic buffer dependencies — e.g.
+// on a 3x3 MFCG the edges (4->3), (3->0), (0->1), (1->4) form a cycle —
+// which CheckRouterDeadlockFree detects and which deadlocks the armci
+// runtime end-to-end in tests. This is the failure mode LDF exists to
+// prevent.
+func MixedOrderNextHop(t Topology) NextHopFunc {
+	return func(src, dst int) int {
+		if src == dst {
+			return src
+		}
+		if dst%2 == 0 {
+			return t.NextHop(src, dst)
+		}
+		s := t.Coord(src)
+		d := t.Coord(dst)
+		// Highest differing dimension first, accepting only populated hops.
+		for i := len(s) - 1; i >= 0; i-- {
+			if s[i] == d[i] {
+				continue
+			}
+			c := append([]int(nil), s...)
+			c[i] = d[i]
+			if id := t.NodeAt(c); id >= 0 {
+				return id
+			}
+		}
+		return t.NextHop(src, dst)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLDFDeadlockFreeFullTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		n    int
+	}{
+		{FCG, 16}, {MFCG, 16}, {MFCG, 64}, {CFCG, 27}, {CFCG, 64},
+		{Hypercube, 16}, {Hypercube, 32}, {Hypercube, 64},
+	} {
+		g := MustNew(tc.kind, tc.n)
+		if err := CheckDeadlockFree(g); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestExtendedLDFDeadlockFreePartialMesh(t *testing.T) {
+	// Section IV-B's central claim: deadlock-free forwarding on MFCG with
+	// ANY number of nodes, including primes.
+	for n := 2; n <= 60; n++ {
+		g := MustNew(MFCG, n)
+		if err := CheckDeadlockFree(g); err != nil {
+			t.Errorf("MFCG n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestExtendedLDFDeadlockFreePartialCube(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 26, 29, 31, 37, 41, 50, 53, 63, 65} {
+		g := MustNew(CFCG, n)
+		if err := CheckDeadlockFree(g); err != nil {
+			t.Errorf("CFCG n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestExtendedLDFDeadlockFreeSkewedMeshes(t *testing.T) {
+	for _, tc := range []struct{ x, y, n int }{
+		{2, 8, 16}, {8, 2, 16}, {4, 8, 29}, {16, 2, 31}, {5, 5, 21},
+	} {
+		g, err := NewMesh(tc.x, tc.y, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckDeadlockFree(g); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestMixedOrderRoutingDeadlocks(t *testing.T) {
+	// The counterpoint the paper motivates LDF with: mixing dimension
+	// orders creates a cyclic buffer dependency on a mesh.
+	g := MustNew(MFCG, 9)
+	err := CheckRouterDeadlockFree(g.Nodes(), MixedOrderNextHop(g), g.Dims()+2)
+	if err == nil {
+		t.Fatal("mixed-order routing reported deadlock-free on 3x3 mesh")
+	}
+	var cyc *CycleError
+	if !asCycle(err, &cyc) {
+		t.Fatalf("error is %T (%v), want *CycleError", err, err)
+	}
+	if len(cyc.Edges) < 3 {
+		t.Errorf("cycle too short: %v", cyc.Edges)
+	}
+	if cyc.Edges[0] != cyc.Edges[len(cyc.Edges)-1] {
+		t.Errorf("cycle not closed: %v", cyc.Edges)
+	}
+	if !strings.Contains(err.Error(), "buffer-dependency cycle") {
+		t.Errorf("unhelpful error text: %v", err)
+	}
+}
+
+func asCycle(err error, out **CycleError) bool {
+	c, ok := err.(*CycleError)
+	if ok {
+		*out = c
+	}
+	return ok
+}
+
+func TestCheckRouterDetectsNonTermination(t *testing.T) {
+	// A router that ping-pongs between two nodes must be reported.
+	next := func(src, dst int) int {
+		if src == 0 {
+			return 1
+		}
+		return 0
+	}
+	err := CheckRouterDeadlockFree(3, next, 4)
+	if err == nil || !strings.Contains(err.Error(), "did not terminate") {
+		t.Errorf("err = %v, want non-termination report", err)
+	}
+}
+
+func TestCheckRouterDetectsStall(t *testing.T) {
+	next := func(src, dst int) int { return src }
+	err := CheckRouterDeadlockFree(2, next, 4)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("err = %v, want stall report", err)
+	}
+}
+
+// Property: extended LDF stays deadlock-free for random partial meshes and
+// cubes of arbitrary shape and population.
+func TestPropertyExtendedLDFDeadlockFree(t *testing.T) {
+	f := func(xs, ys, zs uint8, ns uint16, cube bool) bool {
+		x := 1 + int(xs)%6
+		y := 1 + int(ys)%6
+		var g Topology
+		var err error
+		if cube {
+			z := 1 + int(zs)%4
+			n := 1 + int(ns)%(x*y*z)
+			g, err = NewCube(x, y, z, n)
+		} else {
+			n := 1 + int(ns)%(x*y)
+			g, err = NewMesh(x, y, n)
+		}
+		if err != nil {
+			return false
+		}
+		return CheckDeadlockFree(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCheckDeadlockFree(b *testing.B) {
+	for _, kind := range Kinds {
+		g := MustNew(kind, 64)
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := CheckDeadlockFree(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

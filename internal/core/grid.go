@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// grid is the shared implementation behind all four topologies: n nodes laid
+// out lexicographically (lowest dimension varies fastest) on a k-dimensional
+// grid, where every axis-aligned line of nodes is a fully connected group.
+// Only the highest dimension may be partially populated, which is exactly
+// the ordering Section IV-B of the paper requires for extended LDF.
+type grid struct {
+	kind   Kind
+	shape  []int // extent per dimension, lowest first
+	stride []int // stride[i] = product of shape[0..i-1]
+	n      int   // populated node count; ids 0..n-1 are valid
+}
+
+func newGrid(kind Kind, shape []int, n int) (*grid, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("core: empty shape")
+	}
+	capacity := 1
+	stride := make([]int, len(shape))
+	for i, s := range shape {
+		if s < 1 {
+			return nil, fmt.Errorf("core: shape extent %d must be >= 1", s)
+		}
+		stride[i] = capacity
+		capacity *= s
+	}
+	if n < 1 || n > capacity {
+		return nil, fmt.Errorf("core: %d nodes do not fit shape %v (capacity %d)", n, shape, capacity)
+	}
+	// All dimensions below the highest must be fully populated, i.e. the
+	// populated region must be a prefix of lexicographic order covering
+	// whole hyperplanes except possibly the top one. That holds for any n
+	// given this addressing, so no further check is needed.
+	return &grid{kind: kind, shape: shape, stride: stride, n: n}, nil
+}
+
+func (g *grid) Kind() Kind   { return g.kind }
+func (g *grid) Nodes() int   { return g.n }
+func (g *grid) Dims() int    { return len(g.shape) }
+func (g *grid) Shape() []int { return append([]int(nil), g.shape...) }
+
+func (g *grid) String() string {
+	dims := make([]string, len(g.shape))
+	for i, s := range g.shape {
+		dims[i] = fmt.Sprint(s)
+	}
+	full := ""
+	capacity := g.stride[len(g.stride)-1] * g.shape[len(g.shape)-1]
+	if g.n < capacity {
+		full = ", partial"
+	}
+	return fmt.Sprintf("%s %s (%d nodes%s)", g.kind, strings.Join(dims, "x"), g.n, full)
+}
+
+func (g *grid) checkNode(node int) {
+	if node < 0 || node >= g.n {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d) on %v", node, g.n, g))
+	}
+}
+
+func (g *grid) Coord(node int) []int {
+	g.checkNode(node)
+	c := make([]int, len(g.shape))
+	for i := range g.shape {
+		c[i] = node / g.stride[i] % g.shape[i]
+	}
+	return c
+}
+
+func (g *grid) NodeAt(coord []int) int {
+	if len(coord) != len(g.shape) {
+		return -1
+	}
+	id := 0
+	for i, c := range coord {
+		if c < 0 || c >= g.shape[i] {
+			return -1
+		}
+		id += c * g.stride[i]
+	}
+	if id >= g.n {
+		return -1
+	}
+	return id
+}
+
+// coordInto is Coord without allocation, for hot paths.
+func (g *grid) coordInto(node int, c []int) {
+	for i := range g.shape {
+		c[i] = node / g.stride[i] % g.shape[i]
+	}
+}
+
+func (g *grid) Connected(a, b int) bool {
+	g.checkNode(a)
+	g.checkNode(b)
+	if a == b {
+		return false
+	}
+	// Connected iff coordinates differ in exactly one dimension.
+	diff := 0
+	for i := range g.shape {
+		if a/g.stride[i]%g.shape[i] != b/g.stride[i]%g.shape[i] {
+			diff++
+			if diff > 1 {
+				return false
+			}
+		}
+	}
+	return diff == 1
+}
+
+func (g *grid) Neighbors(node int) []int {
+	g.checkNode(node)
+	var out []int
+	c := g.Coord(node)
+	for i := range g.shape {
+		orig := c[i]
+		for v := 0; v < g.shape[i]; v++ {
+			if v == orig {
+				continue
+			}
+			c[i] = v
+			if id := g.NodeAt(c); id >= 0 {
+				out = append(out, id)
+			}
+		}
+		c[i] = orig
+	}
+	sortInts(out)
+	return out
+}
+
+func (g *grid) Degree(node int) int {
+	g.checkNode(node)
+	deg := 0
+	c := g.Coord(node)
+	for i := range g.shape {
+		orig := c[i]
+		for v := 0; v < g.shape[i]; v++ {
+			if v == orig {
+				continue
+			}
+			c[i] = v
+			if g.NodeAt(c) >= 0 {
+				deg++
+			}
+		}
+		c[i] = orig
+	}
+	return deg
+}
+
+// NextHop implements extended LDF (Algorithm 1 plus the D <= M rule): pick
+// the lowest dimension where src and dst differ such that correcting it
+// lands on a populated node. Section IV-B's strict lowest-dimension-first
+// node ordering guarantees such a dimension exists for the 1-D, 2-D and 3-D
+// grids and for full hypercubes.
+func (g *grid) NextHop(src, dst int) int {
+	g.checkNode(src)
+	g.checkNode(dst)
+	if src == dst {
+		return src
+	}
+	k := len(g.shape)
+	var sbuf, tbuf [8]int
+	var s, t []int
+	if k <= len(sbuf) {
+		s, t = sbuf[:k], tbuf[:k]
+	} else {
+		s, t = make([]int, k), make([]int, k)
+	}
+	g.coordInto(src, s)
+	g.coordInto(dst, t)
+	for i := 0; i < k; i++ {
+		if s[i] == t[i] {
+			continue
+		}
+		// Candidate D: src with dimension i corrected.
+		d := src + (t[i]-s[i])*g.stride[i]
+		if d < g.n {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("core: extended LDF found no valid hop %d->%d on %v", src, dst, g))
+}
+
+func (g *grid) MaxHops() int { return len(g.shape) }
+
+func sortInts(a []int) {
+	// insertion sort: neighbor lists are produced nearly sorted and small
+	// relative to N, and this avoids pulling in sort for a hot path.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

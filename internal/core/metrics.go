@@ -1,0 +1,54 @@
+package core
+
+// Analysis metrics over a topology's LDF routes, used by cmd/topoviz and the
+// documentation tables.
+
+// Diameter returns the longest LDF route (in hops) over all ordered pairs.
+func Diameter(t Topology) int {
+	n := t.Nodes()
+	d := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if h := Hops(t, src, dst); h > d {
+				d = h
+			}
+		}
+	}
+	return d
+}
+
+// AvgHops returns the mean LDF route length over all ordered pairs of
+// distinct nodes (0 for a single node).
+func AvgHops(t Topology) float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	total := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				total += Hops(t, src, dst)
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}
+
+// ForwarderShare returns, for the request-path tree into root, the largest
+// fraction of non-root traffic funneled through a single intermediate node.
+// This is the "heavy child" effect that hurts high-dimension topologies: a
+// hypercube's largest subtree carries half of all requests into the root.
+func ForwarderShare(t Topology, root int) float64 {
+	if t.Nodes() < 2 {
+		return 0
+	}
+	load := BuildPathTree(t, root).ForwarderLoad()
+	maxLoad := 0
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return float64(maxLoad) / float64(t.Nodes()-1)
+}

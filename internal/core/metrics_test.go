@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		top  Topology
+		want int
+	}{
+		{MustNew(FCG, 10), 1},
+		{MustNew(MFCG, 9), 2},
+		{MustNew(CFCG, 27), 3},
+		{MustNew(Hypercube, 16), 4},
+		{MustNew(FCG, 1), 0},
+	}
+	for _, c := range cases {
+		if got := Diameter(c.top); got != c.want {
+			t.Errorf("%v: diameter = %d, want %d", c.top, got, c.want)
+		}
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	if got := AvgHops(MustNew(FCG, 8)); got != 1 {
+		t.Errorf("FCG avg hops = %v, want 1", got)
+	}
+	// 3x3 MFCG from any node: 4 direct, 4 two-hop => 12/8 = 1.5.
+	if got := AvgHops(MustNew(MFCG, 9)); got != 1.5 {
+		t.Errorf("MFCG avg hops = %v, want 1.5", got)
+	}
+	// Hypercube: expected hops = dims/2 exactly (each bit differs with
+	// probability 1/2), adjusted for excluding self pairs.
+	h := MustNew(Hypercube, 16)
+	want := 4.0 * 8 / 15 * 2 // sum over pairs: N*dims/2*... compute directly below
+	_ = want
+	got := AvgHops(h)
+	// Exact: sum of Hamming distances over ordered distinct pairs =
+	// N^2*dims/2 = 16*16*4/2 = 512; pairs = 240; 512/240 = 2.1333...
+	if math.Abs(got-512.0/240.0) > 1e-12 {
+		t.Errorf("Hypercube avg hops = %v, want %v", got, 512.0/240.0)
+	}
+	if AvgHops(MustNew(FCG, 1)) != 0 {
+		t.Error("singleton avg hops != 0")
+	}
+}
+
+func TestAvgHopsOrdering(t *testing.T) {
+	// More dimensions, more hops (at 64 nodes).
+	fcg := AvgHops(MustNew(FCG, 64))
+	mfcg := AvgHops(MustNew(MFCG, 64))
+	cfcg := AvgHops(MustNew(CFCG, 64))
+	hc := AvgHops(MustNew(Hypercube, 64))
+	if !(fcg < mfcg && mfcg < cfcg && cfcg < hc) {
+		t.Errorf("avg hops ordering violated: %v %v %v %v", fcg, mfcg, cfcg, hc)
+	}
+}
+
+func TestForwarderShare(t *testing.T) {
+	// FCG: no forwarding at all.
+	if got := ForwarderShare(MustNew(FCG, 16), 0); got != 0 {
+		t.Errorf("FCG forwarder share = %v, want 0", got)
+	}
+	// Hypercube: the heavy child forwards half the other nodes' traffic
+	// (subtree of size N/2, minus the child itself).
+	hc := ForwarderShare(MustNew(Hypercube, 16), 0)
+	if want := 7.0 / 15.0; math.Abs(hc-want) > 1e-12 {
+		t.Errorf("Hypercube forwarder share = %v, want %v", hc, want)
+	}
+	// MFCG spreads forwarding: share well below hypercube's.
+	mfcg := ForwarderShare(MustNew(MFCG, 16), 0)
+	if mfcg >= hc {
+		t.Errorf("MFCG share %v not below Hypercube %v", mfcg, hc)
+	}
+	if ForwarderShare(MustNew(FCG, 1), 0) != 0 {
+		t.Error("singleton share != 0")
+	}
+}

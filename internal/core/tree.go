@@ -1,0 +1,101 @@
+package core
+
+// PathTree is the tree formed by the LDF request paths from every node to a
+// single root, the structure Figures 2 and 4 of the paper draw: a flat tree
+// of depth 1 for FCG, a height-2 tree for MFCG, a trinomial (k-nomial) tree
+// for CFCG, and a binomial tree for Hypercube. Its height bounds forwarding
+// steps; its fan-in at the root bounds hot-spot concurrency.
+type PathTree struct {
+	Root   int
+	Parent []int   // Parent[v] is the next hop from v toward Root; Parent[Root] = -1
+	Depth  []int   // Depth[v] is the number of edges from v to Root
+	Kids   [][]int // Kids[v] lists the children of v in ascending order
+}
+
+// BuildPathTree constructs the request-path tree into root under the
+// topology's LDF routing.
+func BuildPathTree(t Topology, root int) *PathTree {
+	n := t.Nodes()
+	pt := &PathTree{
+		Root:   root,
+		Parent: make([]int, n),
+		Depth:  make([]int, n),
+		Kids:   make([][]int, n),
+	}
+	pt.Parent[root] = -1
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		p := t.NextHop(v, root)
+		pt.Parent[v] = p
+		pt.Kids[p] = append(pt.Kids[p], v)
+	}
+	// Depths via the parent chain (paths are short, Dims() at most).
+	for v := 0; v < n; v++ {
+		d, u := 0, v
+		for u != root {
+			u = pt.Parent[u]
+			d++
+		}
+		pt.Depth[v] = d
+	}
+	return pt
+}
+
+// Height returns the tree height (maximum depth over all nodes); this is the
+// worst-case number of communication steps for a request to reach the root.
+func (pt *PathTree) Height() int {
+	h := 0
+	for _, d := range pt.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// RootFanIn returns the number of direct children of the root: the number of
+// nodes whose requests arrive at the root without intermediate pacing. For
+// FCG this is N-1 (the flat tree); virtual topologies shrink it to the
+// root's degree.
+func (pt *PathTree) RootFanIn() int { return len(pt.Kids[pt.Root]) }
+
+// MaxFanIn returns the largest child count over all tree nodes.
+func (pt *PathTree) MaxFanIn() int {
+	m := 0
+	for _, k := range pt.Kids {
+		if len(k) > m {
+			m = len(k)
+		}
+	}
+	return m
+}
+
+// NodesAtDepth returns a histogram of node counts per depth, index 0 being
+// the root itself.
+func (pt *PathTree) NodesAtDepth() []int {
+	h := pt.Height()
+	out := make([]int, h+1)
+	for _, d := range pt.Depth {
+		out[d]++
+	}
+	return out
+}
+
+// ForwarderLoad returns, for every node, how many other nodes' requests to
+// the root pass through it (its subtree size minus one, zero for leaves).
+// This quantifies how MFCG/CFCG spread hot-spot pressure over intermediates.
+func (pt *PathTree) ForwarderLoad() []int {
+	n := len(pt.Parent)
+	load := make([]int, n)
+	for v := 0; v < n; v++ {
+		if v == pt.Root {
+			continue
+		}
+		for u := pt.Parent[v]; u != pt.Root && u != -1; u = pt.Parent[u] {
+			load[u]++
+		}
+	}
+	return load
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPathTreeFCGFlat(t *testing.T) {
+	// Figure 2: request paths into any FCG node form a flat tree of depth 1.
+	g := MustNew(FCG, 8)
+	pt := BuildPathTree(g, 0)
+	if pt.Height() != 1 {
+		t.Errorf("FCG tree height = %d, want 1", pt.Height())
+	}
+	if pt.RootFanIn() != 7 {
+		t.Errorf("FCG root fan-in = %d, want 7", pt.RootFanIn())
+	}
+}
+
+func TestPathTreeMFCGHeight2(t *testing.T) {
+	// Figure 4(a): 3x3 MFCG paths into node 0 form a tree of height 2 with
+	// the root's direct children being its 4 neighbors.
+	g := MustNew(MFCG, 9)
+	pt := BuildPathTree(g, 0)
+	if pt.Height() != 2 {
+		t.Errorf("MFCG tree height = %d, want 2", pt.Height())
+	}
+	if pt.RootFanIn() != 4 {
+		t.Errorf("MFCG root fan-in = %d, want 4", pt.RootFanIn())
+	}
+	if got := pt.NodesAtDepth(); !reflect.DeepEqual(got, []int{1, 4, 4}) {
+		t.Errorf("NodesAtDepth = %v, want [1 4 4]", got)
+	}
+}
+
+func TestPathTreeCFCGTrinomial(t *testing.T) {
+	// Figure 4(b): 3x3x3 CFCG paths into node 0 form a trinomial tree of
+	// height 3: depth histogram [1, 6, 12, 8] (k-nomial with k=3).
+	g := MustNew(CFCG, 27)
+	pt := BuildPathTree(g, 0)
+	if pt.Height() != 3 {
+		t.Errorf("CFCG tree height = %d, want 3", pt.Height())
+	}
+	if pt.RootFanIn() != 6 {
+		t.Errorf("CFCG root fan-in = %d, want 6", pt.RootFanIn())
+	}
+	if got := pt.NodesAtDepth(); !reflect.DeepEqual(got, []int{1, 6, 12, 8}) {
+		t.Errorf("NodesAtDepth = %v, want [1 6 12 8]", got)
+	}
+}
+
+func TestPathTreeHypercubeBinomial(t *testing.T) {
+	// Figure 4(c): hypercube paths into node 0 form a binomial tree of
+	// depth log2(N); for 16 nodes the depth histogram is C(4,d).
+	g := MustNew(Hypercube, 16)
+	pt := BuildPathTree(g, 0)
+	if pt.Height() != 4 {
+		t.Errorf("tree height = %d, want 4", pt.Height())
+	}
+	if got := pt.NodesAtDepth(); !reflect.DeepEqual(got, []int{1, 4, 6, 4, 1}) {
+		t.Errorf("NodesAtDepth = %v, want binomial [1 4 6 4 1]", got)
+	}
+	if pt.RootFanIn() != 4 {
+		t.Errorf("root fan-in = %d, want 4", pt.RootFanIn())
+	}
+}
+
+func TestPathTreeParentsAreNextHops(t *testing.T) {
+	g := MustNew(MFCG, 25)
+	for root := 0; root < 25; root += 7 {
+		pt := BuildPathTree(g, root)
+		if pt.Parent[root] != -1 {
+			t.Errorf("root parent = %d, want -1", pt.Parent[root])
+		}
+		for v := 0; v < 25; v++ {
+			if v == root {
+				continue
+			}
+			if pt.Parent[v] != g.NextHop(v, root) {
+				t.Errorf("Parent[%d] = %d, want NextHop %d", v, pt.Parent[v], g.NextHop(v, root))
+			}
+		}
+	}
+}
+
+func TestPathTreeKidsConsistent(t *testing.T) {
+	g := MustNew(CFCG, 27)
+	pt := BuildPathTree(g, 13)
+	count := 0
+	for v, kids := range pt.Kids {
+		for _, k := range kids {
+			count++
+			if pt.Parent[k] != v {
+				t.Errorf("Kids/Parent mismatch at %d->%d", v, k)
+			}
+		}
+	}
+	if count != 26 {
+		t.Errorf("total children = %d, want 26", count)
+	}
+}
+
+func TestMaxFanIn(t *testing.T) {
+	g := MustNew(FCG, 10)
+	pt := BuildPathTree(g, 3)
+	if pt.MaxFanIn() != 9 {
+		t.Errorf("FCG MaxFanIn = %d, want 9", pt.MaxFanIn())
+	}
+}
+
+func TestRootFanInShrinksWithVirtualTopology(t *testing.T) {
+	// The contention-attenuation claim in structural form: fan-in at the
+	// hot node drops from N-1 (FCG) to O(sqrt N) (MFCG) to O(cbrt N)
+	// (CFCG) to O(log N) (Hypercube).
+	n := 1024
+	fan := map[Kind]int{}
+	for _, kind := range Kinds {
+		fan[kind] = BuildPathTree(MustNew(kind, n), 0).RootFanIn()
+	}
+	if fan[FCG] != n-1 {
+		t.Errorf("FCG fan-in = %d", fan[FCG])
+	}
+	if !(fan[MFCG] < fan[FCG] && fan[CFCG] < fan[MFCG] && fan[Hypercube] < fan[CFCG]) {
+		t.Errorf("fan-in ordering violated: %v", fan)
+	}
+	if fan[Hypercube] != 10 {
+		t.Errorf("Hypercube fan-in = %d, want log2(1024)=10", fan[Hypercube])
+	}
+}
+
+func TestForwarderLoad(t *testing.T) {
+	g := MustNew(MFCG, 9)
+	pt := BuildPathTree(g, 0)
+	load := pt.ForwarderLoad()
+	// In a 3x3 MFCG, requests to node 0 from the 4 non-neighbors {4,5,7,8}
+	// are forwarded through row/column intermediates of node 0.
+	total := 0
+	for v, l := range load {
+		total += l
+		if l > 0 && !g.Connected(v, 0) {
+			t.Errorf("forwarder %d is not adjacent to root", v)
+		}
+	}
+	if total != 4 {
+		t.Errorf("total forwarded = %d, want 4", total)
+	}
+	if load[0] != 0 {
+		t.Errorf("root shows forwarder load %d", load[0])
+	}
+}
+
+func TestPathTreeHeightMatchesMaxHops(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, n := range []int{8, 64} {
+			g := MustNew(kind, n)
+			pt := BuildPathTree(g, 0)
+			if pt.Height() > g.MaxHops() {
+				t.Errorf("%v: height %d exceeds MaxHops %d", g, pt.Height(), g.MaxHops())
+			}
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package fabric models the physical interconnect of a Cray XT5-class
+// machine: a 3-D torus of nodes with dimension-order routing, per-link
+// bandwidth serialization, per-hop latency, and NIC injection/ejection
+// serialization. It substitutes for the SeaStar2+/Portals hardware the paper
+// ran on: hot-spot traffic queues up at the victim node's ejection port and
+// on the links leading to it, which is the physical phenomenon the paper's
+// virtual topologies attenuate in software.
+//
+// Messages advance hop by hop in virtual time (package sim), reserving each
+// link at their actual arrival instant, so FIFO contention and backpressure
+// delays are modeled faithfully rather than estimated.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"armcivt/internal/sim"
+)
+
+// Config sets the physical machine parameters. Bandwidths are in bytes per
+// nanosecond (1 byte/ns = 1 GB/s).
+type Config struct {
+	// Shape is the torus extent per dimension; its product must cover the
+	// node count. Zero value lets New pick a near-cubic shape.
+	Shape [3]int
+	// LinkBandwidth is the per-link bandwidth (SeaStar2+ peak ~9.6 GB/s).
+	LinkBandwidth float64
+	// NICBandwidth is the node injection/ejection bandwidth.
+	NICBandwidth float64
+	// HopLatency is per-hop propagation plus router traversal time.
+	HopLatency sim.Time
+	// SoftwareOverhead is the per-message send cost paid at injection
+	// (Portals command issue, doorbell, descriptor setup).
+	SoftwareOverhead sim.Time
+	// StreamLimit is the number of distinct source nodes an ejection port
+	// can serve concurrently at full rate, modeling SeaStar2+'s bounded
+	// set of simultaneous message streams. Beyond it, the BEER protocol's
+	// flow control and retransmission slow every transfer down.
+	StreamLimit int
+	// StreamPenalty is the fractional serialization slowdown added per
+	// source beyond StreamLimit (0.25 means each excess concurrent source
+	// adds 25% to a message's ejection time).
+	StreamPenalty float64
+}
+
+// DefaultConfig returns XT5-flavoured parameters and a near-cubic torus
+// shape for n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Shape:            TorusShape(n),
+		LinkBandwidth:    9.6,
+		NICBandwidth:     2.0,
+		HopLatency:       100 * sim.Nanosecond,
+		SoftwareOverhead: 1 * sim.Microsecond,
+		StreamLimit:      32,
+		StreamPenalty:    0.25,
+	}
+}
+
+// BlueGenePConfig returns parameters flavoured after the IBM Blue Gene/P
+// interconnect the paper names as future work: a 3-D torus with much slower
+// links (425 MB/s) but a lower-overhead DMA path and a hardware-managed
+// injection FIFO that tolerates more concurrent streams. Virtual-topology
+// experiments run against it to check that contention attenuation is not an
+// XT5 artifact.
+func BlueGenePConfig(n int) Config {
+	return Config{
+		Shape:            TorusShape(n),
+		LinkBandwidth:    0.425,
+		NICBandwidth:     0.85,
+		HopLatency:       64 * sim.Nanosecond,
+		SoftwareOverhead: 600 * sim.Nanosecond,
+		StreamLimit:      64,
+		StreamPenalty:    0.125,
+	}
+}
+
+// TorusShape factors n into three near-equal extents whose product covers n.
+func TorusShape(n int) [3]int {
+	if n < 1 {
+		n = 1
+	}
+	x := int(math.Ceil(math.Cbrt(float64(n))))
+	if x < 1 {
+		x = 1
+	}
+	y := int(math.Ceil(math.Sqrt(float64(n) / float64(x))))
+	if y < 1 {
+		y = 1
+	}
+	z := (n + x*y - 1) / (x * y)
+	if z < 1 {
+		z = 1
+	}
+	return [3]int{x, y, z}
+}
+
+// link is a directed physical channel with FIFO bandwidth reservation.
+type link struct {
+	nextFree sim.Time
+	busy     sim.Time // accumulated serialization time
+	msgs     uint64
+}
+
+// reserve books the link for a transfer of ser duration arriving at t and
+// returns the instant transmission starts.
+func (l *link) reserve(t sim.Time, ser sim.Time) sim.Time {
+	start := t
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	l.nextFree = start + ser
+	l.busy += ser
+	l.msgs++
+	return start
+}
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	Messages     uint64
+	Bytes        uint64
+	MaxQueueWait sim.Time // worst single-link queue delay observed
+	MaxStreams   int      // most distinct sources concurrently queued at one ejection port
+}
+
+// Network is a simulated torus interconnect for n nodes.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	n     int
+	shape [3]int
+	// Directed links: index (node*6 + dim*2 + dir), dir 0 = minus, 1 = plus.
+	links []link
+	// NIC injection (inj) and ejection (ej) ports per node.
+	inj []link
+	ej  []link
+	// ejSources[node] counts queued messages per source node at the
+	// ejection port, for the stream-overload model.
+	ejSources []map[int]int
+	stats     Stats
+}
+
+// New creates a network of n nodes on engine e. A zero-value cfg field is
+// replaced by its default.
+func New(e *sim.Engine, n int, cfg Config) *Network {
+	def := DefaultConfig(n)
+	if cfg.Shape == ([3]int{}) {
+		cfg.Shape = def.Shape
+	}
+	if cfg.LinkBandwidth <= 0 {
+		cfg.LinkBandwidth = def.LinkBandwidth
+	}
+	if cfg.NICBandwidth <= 0 {
+		cfg.NICBandwidth = def.NICBandwidth
+	}
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = def.HopLatency
+	}
+	if cfg.SoftwareOverhead <= 0 {
+		cfg.SoftwareOverhead = def.SoftwareOverhead
+	}
+	if cfg.StreamLimit <= 0 {
+		cfg.StreamLimit = def.StreamLimit
+	}
+	if cfg.StreamPenalty <= 0 {
+		cfg.StreamPenalty = def.StreamPenalty
+	}
+	if cfg.Shape[0]*cfg.Shape[1]*cfg.Shape[2] < n {
+		panic(fmt.Sprintf("fabric: shape %v cannot hold %d nodes", cfg.Shape, n))
+	}
+	// Links exist for every torus coordinate: when the job does not fill
+	// the torus, routes still pass through the unpopulated positions'
+	// routers (on the real machine those nodes belong to other jobs).
+	capacity := cfg.Shape[0] * cfg.Shape[1] * cfg.Shape[2]
+	nw := &Network{
+		eng:       e,
+		cfg:       cfg,
+		n:         n,
+		shape:     cfg.Shape,
+		links:     make([]link, capacity*6),
+		inj:       make([]link, n),
+		ej:        make([]link, n),
+		ejSources: make([]map[int]int, n),
+	}
+	for i := range nw.ejSources {
+		nw.ejSources[i] = make(map[int]int)
+	}
+	return nw
+}
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Config returns the effective configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Stats returns aggregate counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Coord maps a node ID to its torus coordinates.
+func (nw *Network) Coord(node int) [3]int {
+	return [3]int{
+		node % nw.shape[0],
+		node / nw.shape[0] % nw.shape[1],
+		node / (nw.shape[0] * nw.shape[1]) % nw.shape[2],
+	}
+}
+
+// Hops returns the dimension-order path length between two nodes with torus
+// wraparound.
+func (nw *Network) Hops(a, b int) int {
+	ca, cb := nw.Coord(a), nw.Coord(b)
+	total := 0
+	for d := 0; d < 3; d++ {
+		dist := ca[d] - cb[d]
+		if dist < 0 {
+			dist = -dist
+		}
+		if wrap := nw.shape[d] - dist; wrap < dist {
+			dist = wrap
+		}
+		total += dist
+	}
+	return total
+}
+
+// route returns the sequence of (node, dim, dir) link indices from src to
+// dst under dimension-order torus routing.
+func (nw *Network) route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	var out []int
+	cur := nw.Coord(src)
+	tgt := nw.Coord(dst)
+	strides := [3]int{1, nw.shape[0], nw.shape[0] * nw.shape[1]}
+	node := src
+	for d := 0; d < 3; d++ {
+		for cur[d] != tgt[d] {
+			fwd := (tgt[d] - cur[d] + nw.shape[d]) % nw.shape[d]
+			bwd := nw.shape[d] - fwd
+			dir := 1 // plus
+			if bwd < fwd {
+				dir = 0
+			}
+			out = append(out, node*6+d*2+dir)
+			if dir == 1 {
+				cur[d] = (cur[d] + 1) % nw.shape[d]
+			} else {
+				cur[d] = (cur[d] - 1 + nw.shape[d]) % nw.shape[d]
+			}
+			node = cur[0]*strides[0] + cur[1]*strides[1] + cur[2]*strides[2]
+		}
+	}
+	return out
+}
+
+// Send injects a message of size bytes from node src to node dst and calls
+// deliver (in engine context) when the last byte is ejected at dst. It may
+// be called from process or engine context. Loopback (src == dst) pays only
+// the software overhead.
+func (nw *Network) Send(src, dst, size int, deliver func()) {
+	if src < 0 || src >= nw.n || dst < 0 || dst >= nw.n {
+		panic(fmt.Sprintf("fabric: Send %d->%d out of range [0,%d)", src, dst, nw.n))
+	}
+	if size < 0 {
+		panic("fabric: negative message size")
+	}
+	nw.stats.Messages++
+	nw.stats.Bytes += uint64(size)
+	if src == dst {
+		nw.eng.After(nw.cfg.SoftwareOverhead, deliver)
+		return
+	}
+	path := nw.route(src, dst)
+	serLink := sim.Time(float64(size) / nw.cfg.LinkBandwidth)
+	serNIC := sim.Time(float64(size) / nw.cfg.NICBandwidth)
+
+	// Injection: software overhead then NIC serialization.
+	nw.eng.After(nw.cfg.SoftwareOverhead, func() {
+		now := nw.eng.Now()
+		start := nw.inj[src].reserve(now, serNIC)
+		nw.noteWait(start - now)
+		arrive := start + serNIC + nw.cfg.HopLatency
+		nw.walk(path, 0, arrive, serLink, serNIC, src, dst, deliver)
+	})
+}
+
+// walk advances the message across path[i:], then through dst's ejection
+// port.
+func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+	nw.eng.At(arrive, func() {
+		now := nw.eng.Now()
+		if i < len(path) {
+			start := nw.links[path[i]].reserve(now, serLink)
+			nw.noteWait(start - now)
+			nw.walk(path, i+1, start+serLink+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
+			return
+		}
+		// Ejection with the stream-overload model: the port slows down
+		// when more distinct sources than StreamLimit are queued, the
+		// BEER-throttling behaviour hot-spot nodes exhibit on the XT5.
+		srcs := nw.ejSources[dst]
+		srcs[src]++
+		if n := len(srcs); n > nw.stats.MaxStreams {
+			nw.stats.MaxStreams = n
+		}
+		ser := serNIC
+		if excess := len(srcs) - nw.cfg.StreamLimit; excess > 0 {
+			ser += sim.Time(float64(serNIC) * nw.cfg.StreamPenalty * float64(excess))
+		}
+		start := nw.ej[dst].reserve(now, ser)
+		nw.noteWait(start - now)
+		nw.eng.At(start+ser, func() {
+			if srcs[src] <= 1 {
+				delete(srcs, src)
+			} else {
+				srcs[src]--
+			}
+			deliver()
+		})
+	})
+}
+
+func (nw *Network) noteWait(w sim.Time) {
+	if w > nw.stats.MaxQueueWait {
+		nw.stats.MaxQueueWait = w
+	}
+}
+
+// LinkBusy returns total serialization time accumulated on all links leaving
+// node, a utilization signal for tests.
+func (nw *Network) LinkBusy(node int) sim.Time {
+	var t sim.Time
+	for d := 0; d < 6; d++ {
+		t += nw.links[node*6+d].busy
+	}
+	return t
+}
+
+// EjectionBusy returns total serialization time at node's ejection port; the
+// hot-spot node in the contention experiments shows this saturating.
+func (nw *Network) EjectionBusy(node int) sim.Time { return nw.ej[node].busy }
+
+// EjectionMsgs returns how many messages were delivered to node.
+func (nw *Network) EjectionMsgs(node int) uint64 { return nw.ej[node].msgs }

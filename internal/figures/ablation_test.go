@@ -1,0 +1,147 @@
+package figures
+
+import (
+	"testing"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+// stormTime runs a synchronized hot-spot storm (every off-node rank fires
+// `ops` fetch-&-adds at rank 0) and returns the virtual completion time.
+func stormTime(t *testing.T, cfg armci.Config, ops int) sim.Time {
+	t.Helper()
+	eng := sim.New()
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Alloc("hot", 8)
+	if err := rt.Run(func(r *armci.Rank) {
+		if r.Node() == 0 {
+			return
+		}
+		for k := 0; k < ops; k++ {
+			r.FetchAdd(0, "hot", 0, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// Ablation: deeper per-process buffer pools admit more in-flight hot-spot
+// traffic; with the storm fixed, total completion time must not get worse,
+// and per-edge flow-control waiting must drop.
+func TestAblationBufferDepth(t *testing.T) {
+	waits := map[int]uint64{}
+	for _, m := range []int{1, 8} {
+		eng := sim.New()
+		cfg := armci.DefaultConfig(16, 2)
+		cfg.Topology = core.MustNew(core.MFCG, 16)
+		cfg.BufsPerProc = m
+		rt, err := armci.New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Alloc("hot", 8192)
+		if err := rt.Run(func(r *armci.Rank) {
+			if r.Node() == 0 {
+				return
+			}
+			for k := 0; k < 10; k++ {
+				r.FetchAdd(0, "hot", 0, 1)
+			}
+			// A bulk put to stress the credit pools.
+			r.Put(0, "hot", 8, make([]byte, 4096))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		waits[m] = rt.Stats().CreditWaits
+	}
+	if waits[8] > waits[1] {
+		t.Errorf("credit waits rose with deeper pools: M=1 %d, M=8 %d", waits[1], waits[8])
+	}
+}
+
+// Ablation: skewing the MFCG shape degenerates it toward FCG. A 1xN mesh IS
+// a fully connected graph (degree N-1, zero forwards); squarer meshes trade
+// degree for forwarding.
+func TestAblationMeshAspect(t *testing.T) {
+	type res struct {
+		degree   int
+		forwards uint64
+	}
+	out := map[string]res{}
+	for _, shape := range [][2]int{{8, 8}, {2, 32}, {1, 64}} {
+		topo, err := core.NewMesh(shape[0], shape[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New()
+		cfg := armci.DefaultConfig(64, 1)
+		cfg.Topology = topo
+		rt, err := armci.New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Alloc("hot", 8)
+		if err := rt.Run(func(r *armci.Rank) {
+			if r.Node() != 0 {
+				r.FetchAdd(0, "hot", 0, 1)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		key := topo.String()
+		out[key] = res{degree: topo.Degree(0), forwards: rt.Stats().Forwards}
+		_ = key
+	}
+	sq := out["MFCG 8x8 (64 nodes)"]
+	skew := out["MFCG 2x32 (64 nodes)"]
+	flat := out["MFCG 1x64 (64 nodes)"]
+	if !(sq.degree < skew.degree && skew.degree < flat.degree) {
+		t.Errorf("degree ordering: square %d, skewed %d, flat %d", sq.degree, skew.degree, flat.degree)
+	}
+	if flat.degree != 63 || flat.forwards != 0 {
+		t.Errorf("1x64 mesh should degenerate to FCG: degree %d, forwards %d", flat.degree, flat.forwards)
+	}
+	if !(sq.forwards > skew.forwards) {
+		t.Errorf("forward ordering: square %d, skewed %d", sq.forwards, skew.forwards)
+	}
+}
+
+// Ablation: extended LDF makes a partially populated prime-size mesh behave
+// like its padded power-of-grid neighbour — no cliff for awkward node
+// counts.
+func TestAblationPartialVsPadded(t *testing.T) {
+	mk := func(n int) sim.Time {
+		cfg := armci.DefaultConfig(n, 1)
+		cfg.Topology = core.MustNew(core.MFCG, n)
+		return stormTime(t, cfg, 5)
+	}
+	partial := mk(61) // prime: 8x8 mesh, top row ragged
+	padded := mk(64)
+	ratio := float64(partial) / float64(padded)
+	if ratio > 1.25 || ratio < 0.6 {
+		t.Errorf("partial/padded storm ratio = %.2f (61 nodes %v vs 64 nodes %v)", ratio, partial, padded)
+	}
+}
+
+// Ablation: the per-forward CHT cost decides where high-dimension topologies
+// stop paying off — hypercube storms must degrade faster than MFCG storms as
+// forwarding gets more expensive.
+func TestAblationForwardCost(t *testing.T) {
+	run := func(kind core.Kind, fwd sim.Time) sim.Time {
+		cfg := armci.DefaultConfig(16, 2)
+		cfg.Topology = core.MustNew(kind, 16)
+		cfg.CHTForwardOverhead = fwd
+		return stormTime(t, cfg, 10)
+	}
+	mfcgSlope := float64(run(core.MFCG, 16*sim.Microsecond)) / float64(run(core.MFCG, 1*sim.Microsecond))
+	hcSlope := float64(run(core.Hypercube, 16*sim.Microsecond)) / float64(run(core.Hypercube, 1*sim.Microsecond))
+	if hcSlope <= mfcgSlope {
+		t.Errorf("hypercube slope %.2f not steeper than MFCG %.2f as forwards get expensive", hcSlope, mfcgSlope)
+	}
+}

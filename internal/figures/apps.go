@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"fmt"
+
+	"armcivt/internal/apps/ccsd"
+	"armcivt/internal/apps/dft"
+	"armcivt/internal/apps/lu"
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+// simEngine returns a fresh deterministic engine.
+func simEngine() *sim.Engine { return sim.New() }
+
+// runtimeFor builds a runtime of one topology kind.
+func runtimeFor(kind core.Kind, nodes, ppn int) (*armci.Runtime, error) {
+	topo, err := core.New(kind, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := armci.DefaultConfig(nodes, ppn)
+	cfg.Topology = topo
+	return armci.New(simEngine(), cfg)
+}
+
+// Fig8 reproduces Figure 8: NAS LU execution time versus process count, one
+// series per topology. procCounts must be multiples of ppn; hypercube points
+// are skipped when the node count is not a power of two (as in the paper's
+// restriction).
+func Fig8(procCounts []int, ppn int, cfg lu.Config) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, kind := range core.Kinds {
+		s := &stats.Series{Label: kind.String()}
+		for _, procs := range procCounts {
+			if procs%ppn != 0 {
+				return nil, fmt.Errorf("figures: %d processes not divisible by ppn %d", procs, ppn)
+			}
+			rt, err := runtimeFor(kind, procs/ppn, ppn)
+			if err != nil {
+				continue // hypercube off powers of two
+			}
+			c := lu.Setup(rt, cfg)
+			var t0 float64
+			if err := rt.Run(func(r *armci.Rank) {
+				res := lu.Run(r, c)
+				if r.Rank() == 0 {
+					t0 = res.Seconds
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("figures: LU %v x%d: %w", kind, procs, err)
+			}
+			s.Add(float64(procs), t0)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig9a reproduces Figure 9(a): NWChem DFT (SiOSi3 proxy) execution time
+// versus core count for all four topologies.
+func Fig9a(coreCounts []int, ppn int, cfg dft.Config) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, kind := range core.Kinds {
+		s := &stats.Series{Label: kind.String()}
+		for _, cores := range coreCounts {
+			if cores%ppn != 0 {
+				return nil, fmt.Errorf("figures: %d cores not divisible by ppn %d", cores, ppn)
+			}
+			rt, err := runtimeFor(kind, cores/ppn, ppn)
+			if err != nil {
+				continue
+			}
+			st := dft.Setup(rt, cfg)
+			var t0 float64
+			if err := rt.Run(func(r *armci.Rank) {
+				res := dft.Run(r, st)
+				if r.Rank() == 0 {
+					t0 = res.Seconds
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("figures: DFT %v x%d: %w", kind, cores, err)
+			}
+			s.Add(float64(cores), t0)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig9b reproduces Figure 9(b): NWChem CCSD(T) water-model proxy execution
+// time versus core count, FCG and MFCG only (as in the paper).
+func Fig9b(coreCounts []int, ppn int, cfg ccsd.Config) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, kind := range []core.Kind{core.FCG, core.MFCG} {
+		s := &stats.Series{Label: kind.String()}
+		for _, cores := range coreCounts {
+			if cores%ppn != 0 {
+				return nil, fmt.Errorf("figures: %d cores not divisible by ppn %d", cores, ppn)
+			}
+			rt, err := runtimeFor(kind, cores/ppn, ppn)
+			if err != nil {
+				return nil, err
+			}
+			st := ccsd.Setup(rt, cfg)
+			var t0 float64
+			if err := rt.Run(func(r *armci.Rank) {
+				res := ccsd.Run(r, st)
+				if r.Rank() == 0 {
+					t0 = res.Seconds
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("figures: CCSD %v x%d: %w", kind, cores, err)
+			}
+			s.Add(float64(cores), t0)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package figures
+
+import (
+	"fmt"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+// ContentionOp selects the one-sided operation of the microbenchmark.
+type ContentionOp int
+
+const (
+	// OpVectoredPut is the noncontiguous data-transfer benchmark (Fig 6).
+	OpVectoredPut ContentionOp = iota
+	// OpFetchAdd is the atomic fetch-&-add benchmark (Fig 7).
+	OpFetchAdd
+)
+
+func (o ContentionOp) String() string {
+	if o == OpFetchAdd {
+		return "fetch-add"
+	}
+	return "vectored-put"
+}
+
+// ContentionConfig sizes one run of the Section V-B microbenchmark: every
+// process (except rank 0's node) takes a turn performing Iters one-sided
+// operations to rank 0 while ContenderEvery-th processes hammer rank 0
+// continuously.
+type ContentionConfig struct {
+	Kind  core.Kind
+	Nodes int // paper: 256
+	PPN   int // paper: 4
+	Iters int // paper: 20
+	// ContenderEvery selects hot-spot pressure: 0 = no contention,
+	// 9 = 11% contention, 5 = 20% contention (paper's three scenarios).
+	ContenderEvery int
+	Op             ContentionOp
+	// VecSegs x VecSegLen defines the vectored payload (default 32 x 256B).
+	VecSegs, VecSegLen int
+	// SampleEvery measures every k-th eligible rank (default 1 = all), a
+	// simulation-cost knob that subsamples the x-axis without changing
+	// per-point behaviour.
+	SampleEvery int
+	// StreamLimit overrides the NIC stream limit (0 keeps the fabric
+	// default). Scaled-down runs shrink it proportionally so the ratio of
+	// contending sources to hardware streams matches the paper-scale
+	// experiment.
+	StreamLimit int
+}
+
+func (c ContentionConfig) withDefaults() ContentionConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 256
+	}
+	if c.PPN == 0 {
+		c.PPN = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.VecSegs == 0 {
+		c.VecSegs = 32
+	}
+	if c.VecSegLen == 0 {
+		c.VecSegLen = 256
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 1
+	}
+	return c
+}
+
+// Contention runs the microbenchmark and returns average per-operation time
+// (microseconds) per measured process rank.
+func Contention(c ContentionConfig) (*stats.Series, error) {
+	c = c.withDefaults()
+	eng := simEngine()
+	topo, err := core.New(c.Kind, c.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := armci.DefaultConfig(c.Nodes, c.PPN)
+	cfg.Topology = topo
+	if c.StreamLimit > 0 {
+		cfg.Fabric.StreamLimit = c.StreamLimit
+	}
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Rank 0's window: disjoint slots per origin so vectored puts never
+	// overlap semantically.
+	n := rt.NRanks()
+	slot := c.VecSegs * c.VecSegLen * 2
+	rt.Alloc("hot", 8+n*slot)
+
+	// Out-of-band coordination, standing in for the paper's "all other
+	// processes are idle in a barrier": turn[i] admits measured rank i;
+	// finished fires when the last measured rank is done.
+	turn := make(map[int]*sim.Event)
+	var order []int
+	for rank := c.PPN; rank < n; rank += c.SampleEvery { // skip node 0
+		turn[rank] = sim.NewEvent(eng, fmt.Sprintf("turn%d", rank))
+		order = append(order, rank)
+	}
+	finished := sim.NewEvent(eng, "finished")
+	next := func(rank int) {
+		for i, v := range order {
+			if v == rank {
+				if i+1 < len(order) {
+					turn[order[i+1]].Fire()
+				} else {
+					finished.Fire()
+				}
+				return
+			}
+		}
+	}
+	eng.At(0, func() {
+		if len(order) == 0 {
+			finished.Fire()
+		} else {
+			turn[order[0]].Fire()
+		}
+	})
+
+	series := &stats.Series{Label: c.Kind.String()}
+	times := make(map[int]float64)
+
+	doOp := func(r *armci.Rank) {
+		switch c.Op {
+		case OpFetchAdd:
+			r.FetchAdd(0, "hot", 0, 1)
+		default:
+			base := 8 + r.Rank()*slot
+			segs := make([]armci.Seg, c.VecSegs)
+			for i := range segs {
+				segs[i] = armci.Seg{Off: base + i*c.VecSegLen*2, Len: c.VecSegLen}
+			}
+			data := make([]byte, c.VecSegs*c.VecSegLen)
+			r.PutV(0, "hot", segs, data)
+		}
+	}
+	measure := func(r *armci.Rank) {
+		t0 := r.Now()
+		for k := 0; k < c.Iters; k++ {
+			doOp(r)
+		}
+		times[r.Rank()] = (r.Now() - t0).Micros() / float64(c.Iters)
+		next(r.Rank())
+	}
+
+	body := func(r *armci.Rank) {
+		if r.Node() == 0 {
+			return // rank 0 is the target; its node-mates stay idle
+		}
+		isContender := c.ContenderEvery > 0 && r.Rank()%c.ContenderEvery == 0
+		ev := turn[r.Rank()]
+		if !isContender {
+			if ev == nil {
+				return // unsampled, idle "in a barrier"
+			}
+			ev.Wait(r.Proc())
+			measure(r)
+			return
+		}
+		// Contenders hammer rank 0 for the whole experiment, taking their
+		// measured turn in stride.
+		for !finished.Fired() {
+			if ev != nil && ev.Fired() {
+				measure(r)
+				ev = nil
+				continue
+			}
+			doOp(r)
+		}
+	}
+	if err := rt.Run(body); err != nil {
+		return nil, err
+	}
+	for _, rank := range order {
+		if t, ok := times[rank]; ok {
+			series.Add(float64(rank), t)
+		}
+	}
+	return series, nil
+}
+
+// Fig6 runs the vectored-put contention benchmark (one series per requested
+// topology) at the given contention level.
+func Fig6(kinds []core.Kind, contenderEvery int, scale ContentionConfig) ([]*stats.Series, error) {
+	return contentionSet(kinds, contenderEvery, scale, OpVectoredPut)
+}
+
+// Fig7 runs the fetch-&-add contention benchmark.
+func Fig7(kinds []core.Kind, contenderEvery int, scale ContentionConfig) ([]*stats.Series, error) {
+	return contentionSet(kinds, contenderEvery, scale, OpFetchAdd)
+}
+
+func contentionSet(kinds []core.Kind, contenderEvery int, scale ContentionConfig, op ContentionOp) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, kind := range kinds {
+		c := scale
+		c.Kind = kind
+		c.ContenderEvery = contenderEvery
+		c.Op = op
+		if _, ok := topoFor(kind, c.withDefaults().Nodes); !ok {
+			continue
+		}
+		s, err := Contention(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

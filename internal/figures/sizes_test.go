@@ -1,0 +1,24 @@
+package figures
+
+import (
+	"armcivt/internal/apps/ccsd"
+	"armcivt/internal/apps/dft"
+	"armcivt/internal/apps/lu"
+	"armcivt/internal/sim"
+)
+
+// Reduced app configurations shared by the figure shape tests.
+
+func luSmall() lu.Config {
+	// Compute-dominated sizing (as NAS LU is at the paper's scales): the
+	// per-sweep block work is ~10x the boundary-exchange cost.
+	return lu.Config{NX: 128, NY: 128, Iters: 3, ResidualEvery: 3, CellFlop: 400}
+}
+
+func dftSmall() dft.Config {
+	return dft.Config{N: 192, BlockSize: 8, SCFIters: 2, TaskFlop: 100 * sim.Microsecond, HotBlocks: 4, CounterBatch: 4}
+}
+
+func ccsdSmall() ccsd.Config {
+	return ccsd.Config{N: 128, BlockSize: 32, TasksPerRank: 2, TaskFlop: 500 * sim.Microsecond}
+}

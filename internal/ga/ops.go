@@ -1,0 +1,136 @@
+package ga
+
+import (
+	"fmt"
+
+	"armcivt/internal/armci"
+)
+
+// Collective whole-array operations in the GA_* style. Each must be called
+// by every rank; they synchronize internally where noted.
+
+// Fill sets every element of the array to v. Collective; returns after an
+// internal barrier.
+func (a *Array) Fill(r *armci.Rank, v float64) {
+	lo, hi := a.Distribution(r.Rank())
+	raw := r.Local(a.name)
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			armci.PutFloat64(raw, a.localOff(i, j), v)
+		}
+	}
+	r.Barrier()
+}
+
+// Copy copies src into dst (same dims required; they share the process
+// grid). Collective.
+func Copy(r *armci.Rank, src, dst *Array) {
+	if src.rows != dst.rows || src.cols != dst.cols {
+		panic(fmt.Sprintf("ga: Copy dims mismatch %dx%d vs %dx%d", src.rows, src.cols, dst.rows, dst.cols))
+	}
+	// Same dims and same grid: blocks coincide, so the copy is local.
+	copy(r.Local(dst.name), r.Local(src.name))
+	r.Barrier()
+}
+
+// Scale multiplies every element by alpha. Collective.
+func (a *Array) Scale(r *armci.Rank, alpha float64) {
+	lo, hi := a.Distribution(r.Rank())
+	raw := r.Local(a.name)
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			off := a.localOff(i, j)
+			armci.PutFloat64(raw, off, alpha*armci.GetFloat64(raw, off))
+		}
+	}
+	r.Barrier()
+}
+
+// Dot returns the global dot product <x, y> (same dims required).
+// Collective: partial products are accumulated into a scratch cell on rank
+// 0 and read back by everyone.
+func Dot(r *armci.Rank, x, y *Array) float64 {
+	if x.rows != y.rows || x.cols != y.cols {
+		panic(fmt.Sprintf("ga: Dot dims mismatch %dx%d vs %dx%d", x.rows, x.cols, y.rows, y.cols))
+	}
+	scratch := x.name + ".dot"
+	x.rt.Alloc(scratch, 8)
+	r.Barrier()
+	if r.Rank() == 0 {
+		r.PutFloat64At(0, scratch, 0, 0)
+	}
+	r.Barrier()
+	lo, hi := x.Distribution(r.Rank())
+	xr, yr := r.Local(x.name), r.Local(y.name)
+	part := 0.0
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			part += armci.GetFloat64(xr, x.localOff(i, j)) * armci.GetFloat64(yr, y.localOff(i, j))
+		}
+	}
+	r.Acc(0, scratch, 0, 1.0, []float64{part})
+	r.Barrier()
+	v := r.GetFloat64At(0, scratch, 0)
+	r.Barrier()
+	return v
+}
+
+// Transpose writes src's transpose into dst (dst dims must be the swap of
+// src's). Collective: each rank transposes its own block into the global
+// destination with strided puts.
+func Transpose(r *armci.Rank, src, dst *Array) {
+	if src.rows != dst.cols || src.cols != dst.rows {
+		panic(fmt.Sprintf("ga: Transpose dims mismatch %dx%d -> %dx%d", src.rows, src.cols, dst.rows, dst.cols))
+	}
+	lo, hi := src.Distribution(r.Rank())
+	if lo[0] < hi[0] && lo[1] < hi[1] {
+		block := src.Get(r, lo, hi) // own block: local fast path
+		tr := NewMatrix(block.Cols, block.Rows)
+		for i := 0; i < block.Rows; i++ {
+			for j := 0; j < block.Cols; j++ {
+				tr.Set(j, i, block.At(i, j))
+			}
+		}
+		dst.Put(r, [2]int{lo[1], lo[0]}, [2]int{hi[1], hi[0]}, tr)
+	}
+	r.Barrier()
+}
+
+// Symmetrize replaces a square array with (A + A^T)/2. Collective.
+func (a *Array) Symmetrize(r *armci.Rank) {
+	if a.rows != a.cols {
+		panic("ga: Symmetrize needs a square array")
+	}
+	tmp := Create(a.rt, a.name+".symT", a.rows, a.cols)
+	r.Barrier()
+	Transpose(r, a, tmp)
+	lo, hi := a.Distribution(r.Rank())
+	ar, tr := r.Local(a.name), r.Local(tmp.name)
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			off := a.localOff(i, j)
+			v := (armci.GetFloat64(ar, off) + armci.GetFloat64(tr, off)) / 2
+			armci.PutFloat64(ar, off, v)
+		}
+	}
+	r.Barrier()
+}
+
+// Dgemm computes C += alpha * A x B for local matrices (a helper for
+// application kernels; not distributed).
+func Dgemm(alpha float64, a, b, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("ga: Dgemm shapes %dx%d * %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+}

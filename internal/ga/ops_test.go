@@ -1,0 +1,184 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+)
+
+func TestFillAndScale(t *testing.T) {
+	rt := runtimeFor(t, core.MFCG, 4, 1)
+	a := Create(rt, "F", 10, 12)
+	if err := rt.Run(func(r *armci.Rank) {
+		a.Fill(r, 3)
+		a.Scale(r, 2)
+		if r.Rank() == 0 {
+			m := a.Get(r, [2]int{0, 0}, [2]int{10, 12})
+			for _, v := range m.Data {
+				if v != 6 {
+					t.Fatalf("element = %v, want 6", v)
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	rt := runtimeFor(t, core.FCG, 4, 1)
+	a := Create(rt, "src", 8, 8)
+	b := Create(rt, "dst", 8, 8)
+	if err := rt.Run(func(r *armci.Rank) {
+		a.Fill(r, float64(r.Rank()+1))
+		Copy(r, a, b)
+		lo, hi := b.Distribution(r.Rank())
+		if lo[0] < hi[0] && lo[1] < hi[1] {
+			m := b.Get(r, lo, hi)
+			if m.At(0, 0) != float64(r.Rank()+1) {
+				t.Errorf("rank %d copy = %v", r.Rank(), m.At(0, 0))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyDimsMismatchPanics(t *testing.T) {
+	rt := runtimeFor(t, core.FCG, 2, 1)
+	a := Create(rt, "a", 4, 4)
+	b := Create(rt, "b", 4, 5)
+	panicked := false
+	_ = rt.Run(func(r *armci.Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		Copy(r, a, b)
+	})
+	if !panicked {
+		t.Error("dims mismatch accepted")
+	}
+}
+
+func TestDot(t *testing.T) {
+	rt := runtimeFor(t, core.CFCG, 8, 1)
+	x := Create(rt, "x", 6, 6)
+	y := Create(rt, "y", 6, 6)
+	var got float64
+	if err := rt.Run(func(r *armci.Rank) {
+		x.Fill(r, 2)
+		y.Fill(r, 3)
+		d := Dot(r, x, y)
+		if r.Rank() == 0 {
+			got = d
+		}
+		// Every rank must see the same value.
+		if d != 6*36 {
+			t.Errorf("rank %d: dot = %v, want 216", r.Rank(), d)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 216 {
+		t.Errorf("dot = %v, want 216", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rt := runtimeFor(t, core.MFCG, 4, 2)
+	a := Create(rt, "A", 9, 13)
+	b := Create(rt, "At", 13, 9)
+	if err := rt.Run(func(r *armci.Rank) {
+		if r.Rank() == 0 {
+			m := NewMatrix(9, 13)
+			for i := 0; i < 9; i++ {
+				for j := 0; j < 13; j++ {
+					m.Set(i, j, float64(100*i+j))
+				}
+			}
+			a.Put(r, [2]int{0, 0}, [2]int{9, 13}, m)
+		}
+		r.Barrier()
+		Transpose(r, a, b)
+		if r.Rank() == 0 {
+			got := b.Get(r, [2]int{0, 0}, [2]int{13, 9})
+			for i := 0; i < 13; i++ {
+				for j := 0; j < 9; j++ {
+					if got.At(i, j) != float64(100*j+i) {
+						t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), float64(100*j+i))
+					}
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	rt := runtimeFor(t, core.FCG, 4, 1)
+	a := Create(rt, "S", 8, 8)
+	if err := rt.Run(func(r *armci.Rank) {
+		if r.Rank() == 0 {
+			m := NewMatrix(8, 8)
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					m.Set(i, j, float64(i*8+j))
+				}
+			}
+			a.Put(r, [2]int{0, 0}, [2]int{8, 8}, m)
+		}
+		r.Barrier()
+		a.Symmetrize(r)
+		if r.Rank() == 0 {
+			got := a.Get(r, [2]int{0, 0}, [2]int{8, 8})
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					if math.Abs(got.At(i, j)-got.At(j, i)) > 1e-12 {
+						t.Fatalf("not symmetric at (%d,%d)", i, j)
+					}
+				}
+			}
+			// Diagonal unchanged.
+			if got.At(3, 3) != 27 {
+				t.Errorf("diag (3,3) = %v, want 27", got.At(3, 3))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDgemm(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	c := NewMatrix(2, 2)
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	copy(b.Data, vals)
+	Dgemm(1, a, b, c)
+	// a*b = [[22 28],[49 64]]
+	want := []float64{22, 28, 49, 64}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+	Dgemm(1, a, b, c) // accumulate
+	if c.Data[0] != 44 {
+		t.Errorf("accumulated c[0] = %v, want 44", c.Data[0])
+	}
+}
+
+func TestDgemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad Dgemm shapes accepted")
+		}
+	}()
+	Dgemm(1, NewMatrix(2, 3), NewMatrix(2, 3), NewMatrix(2, 3))
+}

@@ -1,0 +1,259 @@
+package sim
+
+import "fmt"
+
+// Queue is an unbounded FIFO mailbox between simulated processes. Put may be
+// called from process or engine context; Get blocks the calling process until
+// an item is available. Waiting processes are served in FIFO order.
+type Queue[T any] struct {
+	e       *Engine
+	name    string
+	items   []T
+	head    int
+	waiters []*Proc
+	puts    uint64
+	maxLen  int
+}
+
+// NewQueue creates a queue attached to e. The name appears in deadlock
+// reports.
+func NewQueue[T any](e *Engine, name string) *Queue[T] {
+	return &Queue[T]{e: e, name: name}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// MaxLen returns the high-water mark of buffered items, a contention signal.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// Puts returns the total number of items ever enqueued.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Put enqueues x and wakes the longest-waiting getter, if any.
+func (q *Queue[T]) Put(x T) {
+	q.items = append(q.items, x)
+	q.puts++
+	if n := q.Len(); n > q.maxLen {
+		q.maxLen = n
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.wake()
+	}
+}
+
+// Get dequeues the oldest item, blocking p until one is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for q.Len() == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park(fmt.Sprintf("queue %s", q.name))
+	}
+	x := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release reference for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return x
+}
+
+// TryGet dequeues without blocking, reporting whether an item was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if q.Len() == 0 {
+		return zero, false
+	}
+	x := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	return x, true
+}
+
+// Resource is a fair (strict-FIFO) counting semaphore. It models the finite
+// request-buffer pools that ARMCI allocates per virtual-topology edge: a
+// sender Acquires credits before sending and the receiver Releases them when
+// the buffer is freed. Strict FIFO means a waiter at the head blocks later,
+// smaller requests (no barging), which is how credit-based flow control
+// behaves and what makes buffer-dependency deadlocks reproducible.
+type Resource struct {
+	e       *Engine
+	name    string
+	avail   int
+	cap     int
+	waiters []resWaiter
+	// stats
+	acquires   uint64
+	waits      uint64
+	waitedTime Time
+	minAvail   int
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with capacity (and initial availability) n.
+func NewResource(e *Engine, name string, n int) *Resource {
+	if n < 0 {
+		panic("sim: NewResource with negative capacity")
+	}
+	return &Resource{e: e, name: name, avail: n, cap: n, minAvail: n}
+}
+
+// Cap returns the total capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// Avail returns the currently available units.
+func (r *Resource) Avail() int { return r.avail }
+
+// InUse returns capacity minus availability.
+func (r *Resource) InUse() int { return r.cap - r.avail }
+
+// MinAvail returns the lowest availability ever observed (0 means the pool
+// was exhausted at least once).
+func (r *Resource) MinAvail() int { return r.minAvail }
+
+// Waits returns how many Acquire calls had to block.
+func (r *Resource) Waits() uint64 { return r.waits }
+
+// WaitedTime returns total virtual time processes spent blocked on r.
+func (r *Resource) WaitedTime() Time { return r.waitedTime }
+
+// Acquire takes n units, blocking p in FIFO order until they are available.
+// It panics if n exceeds the capacity (the request could never succeed).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.cap {
+		panic(fmt.Sprintf("sim: Acquire(%d) exceeds capacity %d of %s", n, r.cap, r.name))
+	}
+	if len(r.waiters) == 0 && r.avail >= n {
+		r.take(n)
+		return
+	}
+	r.waits++
+	start := r.e.now
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	for {
+		p.park(fmt.Sprintf("resource %s (want %d, avail %d)", r.name, n, r.avail))
+		if len(r.waiters) > 0 && r.waiters[0].p == p && r.avail >= n {
+			r.waiters = r.waiters[1:]
+			r.take(n)
+			r.waitedTime += r.e.now - start
+			r.wakeHead()
+			return
+		}
+	}
+}
+
+// TryAcquire takes n units without blocking if available and no earlier
+// waiter is queued; it reports whether it succeeded.
+func (r *Resource) TryAcquire(n int) bool {
+	if len(r.waiters) == 0 && r.avail >= n {
+		r.take(n)
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes the head waiter if it can now proceed.
+func (r *Resource) Release(n int) {
+	r.avail += n
+	if r.avail > r.cap {
+		panic(fmt.Sprintf("sim: Release overflows capacity of %s", r.name))
+	}
+	r.wakeHead()
+}
+
+func (r *Resource) take(n int) {
+	r.avail -= n
+	r.acquires++
+	if r.avail < r.minAvail {
+		r.minAvail = r.avail
+	}
+}
+
+func (r *Resource) wakeHead() {
+	if len(r.waiters) > 0 && r.avail >= r.waiters[0].n {
+		r.waiters[0].p.wake()
+	}
+}
+
+// Event is a broadcast completion flag: processes Wait until some actor calls
+// Fire, after which all current and future waiters proceed immediately.
+type Event struct {
+	e       *Engine
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(e *Engine, name string) *Event { return &Event{e: e, name: name} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event complete and wakes all waiters. Firing twice is a
+// no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		p.wake()
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires (returns immediately if already fired).
+func (ev *Event) Wait(p *Proc) {
+	for !ev.fired {
+		ev.waiters = append(ev.waiters, p)
+		p.park(fmt.Sprintf("event %s", ev.name))
+	}
+}
+
+// WaitGroup counts outstanding work items in virtual time, mirroring
+// sync.WaitGroup for simulated processes.
+type WaitGroup struct {
+	e       *Engine
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with zero count.
+func NewWaitGroup(e *Engine, name string) *WaitGroup { return &WaitGroup{e: e, name: name} }
+
+// Add adjusts the counter by delta; it panics if the counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic(fmt.Sprintf("sim: WaitGroup %s went negative", w.name))
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			p.wake()
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count != 0 {
+		w.waiters = append(w.waiters, p)
+		p.park(fmt.Sprintf("waitgroup %s (count %d)", w.name, w.count))
+	}
+}

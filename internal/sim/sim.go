@@ -1,0 +1,387 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Simulated processes are goroutines that are cooperatively scheduled by the
+// Engine: exactly one goroutine (either the engine's Run loop or a single
+// process) executes at any moment, and control is handed over explicitly at
+// blocking points (Sleep, Queue.Get, Resource.Acquire, ...). Events are
+// ordered by (virtual time, sequence number), so a simulation is fully
+// deterministic and repeatable regardless of GOMAXPROCS.
+//
+// The kernel is the substrate on which the repository models the Cray XT5
+// interconnect (package fabric) and the ARMCI runtime (package armci); in
+// particular its deadlock detector is what lets tests demonstrate that LDF
+// forwarding is deadlock-free while naive forwarding is not.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros reports t as a floating-point number of microseconds, the unit the
+// paper's latency figures use.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// procState tracks the lifecycle of a simulated process.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own body function; they are not safe to call from other
+// goroutines or from engine-context callbacks.
+type Proc struct {
+	e           *Engine
+	id          int
+	name        string
+	resume      chan struct{}
+	state       procState
+	blockedOn   string
+	daemon      bool
+	wakePending bool
+	killed      bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn-order identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// BlockedOn reports the label of the blocking point the process is currently
+// parked at ("" if running or done). Used by the deadlock reporter.
+func (p *Proc) BlockedOn() string { return p.blockedOn }
+
+// Engine drives a simulation. Create one with New, add processes with Spawn
+// (or GoAt), then call Run.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	parked  chan struct{}
+	procs   []*Proc
+	current *Proc
+	rng     *rand.Rand
+	running bool
+	tracer  Tracer
+}
+
+// New creates an engine with virtual time 0 and a deterministic RNG.
+func New() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed reseeds the engine's deterministic RNG.
+func (e *Engine) Seed(s int64) { e.rng = rand.New(rand.NewSource(s)) }
+
+// Rand returns the engine's RNG. Using it from process bodies keeps
+// simulations deterministic (there is only ever one runner at a time).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Now returns current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run in engine context at absolute virtual time t.
+// Scheduling in the past is clamped to now.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.pushEvent(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run in engine context d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn creates a simulated process that starts executing body at the current
+// virtual time. The returned Proc handle is also passed to body.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, body, false)
+}
+
+// SpawnDaemon creates a process that does not keep the simulation alive: Run
+// returns successfully even if daemon processes are still blocked (e.g.
+// server loops waiting for requests that will never come).
+func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(e.now, name, body, true)
+}
+
+// GoAt schedules a process to start at absolute time t.
+func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(t, name, body, false)
+}
+
+func (e *Engine) spawnAt(t Time, name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  procNew,
+		daemon: daemon,
+	}
+	e.procs = append(e.procs, p)
+	e.trace(TraceSpawn, p, "")
+	go func() {
+		<-p.resume
+		if !p.killed {
+			runBody(body, p)
+		}
+		p.state = procDone
+		p.blockedOn = ""
+		e.trace(TraceExit, p, "")
+		e.parked <- struct{}{}
+	}()
+	e.At(t, func() { e.switchTo(p) })
+	return p
+}
+
+// killSignal is panicked through a process's stack to unwind it during
+// Shutdown; runBody swallows it and nothing else.
+type killSignal struct{}
+
+func runBody(body func(p *Proc), p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	body(p)
+}
+
+// switchTo hands control to p and blocks until p parks or finishes. It must
+// be invoked from engine context (inside an event callback).
+func (e *Engine) switchTo(p *Proc) {
+	if p.state == procDone || p.state == procRunning {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.state = procRunning
+	p.blockedOn = ""
+	e.trace(TraceResume, p, "")
+	p.resume <- struct{}{}
+	<-e.parked
+	e.current = prev
+}
+
+// park is called from process context: it returns control to the engine and
+// blocks until the process is resumed by a future switchTo.
+func (p *Proc) park(label string) {
+	p.state = procBlocked
+	p.blockedOn = label
+	p.e.trace(TracePark, p, label)
+	p.e.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+	p.state = procRunning
+	p.blockedOn = ""
+}
+
+// wake schedules the process to be resumed at the current virtual time. It
+// is idempotent: a process with a wake already pending is not scheduled
+// again, so primitives may over-notify safely.
+func (p *Proc) wake() {
+	if p.wakePending || p.state == procDone {
+		return
+	}
+	p.wakePending = true
+	p.e.At(p.e.now, func() {
+		p.wakePending = false
+		p.e.switchTo(p)
+	})
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields, preserving FIFO fairness).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	e.At(e.now+d, func() { e.switchTo(p) })
+	p.park(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Yield gives other ready processes and events at the current instant a
+// chance to run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError is returned by Run when the event queue drains while
+// non-daemon processes are still blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: blocked-on" entries for stuck non-daemon procs
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v, %d blocked process(es): %s",
+		d.At, len(d.Blocked), strings.Join(d.Blocked, "; "))
+}
+
+// TimeLimitError is returned by RunUntil when the horizon is reached with
+// events still pending.
+type TimeLimitError struct {
+	Limit   Time
+	Pending int
+}
+
+func (t *TimeLimitError) Error() string {
+	return fmt.Sprintf("sim: time limit %v reached with %d pending event(s)", t.Limit, t.Pending)
+}
+
+// Run executes events until the queue drains. It returns nil if every
+// non-daemon process finished, and a *DeadlockError otherwise.
+func (e *Engine) Run() error { return e.run(-1) }
+
+// RunUntil executes events with timestamps <= limit. If the queue drains it
+// behaves like Run; otherwise it returns a *TimeLimitError with the clock
+// left at limit.
+func (e *Engine) RunUntil(limit Time) error { return e.run(limit) }
+
+func (e *Engine) run(limit Time) error {
+	if e.running {
+		panic("sim: Engine.Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		if limit >= 0 && e.events.peek().t > limit {
+			e.now = limit
+			return &TimeLimitError{Limit: limit, Pending: e.events.Len()}
+		}
+		ev := e.events.popEvent()
+		e.now = ev.t
+		ev.fn()
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == procBlocked && !p.daemon {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Shutdown terminates every parked or not-yet-started process, releasing
+// their goroutines. Call it after Run (or after abandoning a simulation) in
+// long-lived programs that create many engines; the engine must not be
+// running. Processes are unwound via a recovered panic, so their deferred
+// functions still execute.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown while engine is running")
+	}
+	for _, p := range e.procs {
+		if p.state == procBlocked || p.state == procNew {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-e.parked
+		}
+	}
+	e.events = nil
+}
+
+// BlockedProcs returns the names of all currently blocked non-daemon
+// processes (useful after a TimeLimitError to diagnose livelock).
+func (e *Engine) BlockedProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if p.state == procBlocked && !p.daemon {
+			out = append(out, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockedDaemons returns the blocking points of all parked daemon processes,
+// for diagnosing deadlocks that thread through server loops (e.g. CHTs
+// waiting on downstream buffer credits).
+func (e *Engine) BlockedDaemons() []string {
+	var out []string
+	for _, p := range e.procs {
+		if p.state == procBlocked && p.daemon {
+			out = append(out, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

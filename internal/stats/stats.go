@@ -1,0 +1,237 @@
+// Package stats provides small numeric and rendering helpers shared by the
+// benchmark harnesses: series summaries (mean, percentiles, geomean) and
+// aligned-text / CSV table output for the figure generators.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                  int
+	Min, Max           float64
+	Mean               float64
+	P50, P90, P99      float64
+	Geomean            float64
+	Sum                float64
+	StandardDeviation  float64
+	CoefficientOfRange float64 // (Max-Min)/Mean, a cheap spread signal
+}
+
+// Summarize computes a Summary; it returns a zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	logSum := 0.0
+	logOK := true
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			logOK = false
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if logOK {
+		s.Geomean = math.Exp(logSum / float64(s.N))
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StandardDeviation = math.Sqrt(sq / float64(s.N))
+	if s.Mean != 0 {
+		s.CoefficientOfRange = (s.Max - s.Min) / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Series is one labeled line of a figure: Y[i] observed at X[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the Y value at the given X (exact match), or NaN.
+func (s *Series) YAt(x float64) float64 {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Table renders rows with aligned columns. Header cells set the column
+// count; short rows are padded.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells (fmt.Sprint applied to each value).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, large
+// values with thousands precision, small with 3 significant decimals.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		var underline []string
+		for i := 0; i < len(t.Header); i++ {
+			underline = append(underline, strings.Repeat("-", widths[i]))
+		}
+		writeRow(underline)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+// WriteCSV renders the table as CSV (no quoting: cells must not contain
+// commas, which holds for all generated tables).
+func (t *Table) WriteCSV(w io.Writer) {
+	if len(t.Header) > 0 {
+		fmt.Fprintln(w, strings.Join(t.Header, ","))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// SeriesTable lays out several series sharing the same X values as one
+// table: first column X, one column per series.
+func SeriesTable(title, xLabel string, series []*Series) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{FormatFloat(x)}
+		for _, s := range series {
+			row = append(row, FormatFloat(s.YAt(x)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Sum != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Geomean-math.Pow(24, 0.25)) > 1e-12 {
+		t.Errorf("geomean = %v", s.Geomean)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+	if math.Abs(s.StandardDeviation-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StandardDeviation)
+	}
+}
+
+func TestSummarizeNonPositiveSkipsGeomean(t *testing.T) {
+	if s := Summarize([]float64{-1, 2}); s.Geomean != 0 {
+		t.Errorf("geomean with negatives = %v, want 0", s.Geomean)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Error("extreme percentiles wrong")
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Errorf("P50 = %v, want 25", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		xs := append([]float64(nil), raw...)
+		sort.Float64s(xs)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAddYAt(t *testing.T) {
+	s := &Series{Label: "fcg"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.YAt(2) != 20 {
+		t.Errorf("YAt(2) = %v", s.YAt(2))
+	}
+	if !math.IsNaN(s.YAt(3)) {
+		t.Error("missing X should give NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("b", 123.456)
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha  1") {
+		t.Errorf("bad alignment:\n%s", out)
+	}
+	if !strings.Contains(out, "123.5") {
+		t.Errorf("float formatting:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow(1.0, 2.0)
+	var sb strings.Builder
+	tb.WriteCSV(&sb)
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" || FormatFloat(3.14159) != "3.142" {
+		t.Error("format small")
+	}
+	if FormatFloat(12345.67) != "12345.7" {
+		t.Errorf("format large = %q", FormatFloat(12345.67))
+	}
+	if FormatFloat(math.NaN()) != "-" {
+		t.Error("format NaN")
+	}
+}
+
+func TestSeriesTableMergesX(t *testing.T) {
+	a := &Series{Label: "A"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &Series{Label: "B"}
+	b.Add(2, 200)
+	b.Add(3, 300)
+	tb := SeriesTable("fig", "x", []*Series{a, b})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	if tb.Rows[1][0] != "2" || tb.Rows[1][1] != "20" || tb.Rows[1][2] != "200" {
+		t.Errorf("row = %v", tb.Rows[1])
+	}
+	if tb.Rows[0][2] != "-" {
+		t.Errorf("missing cell = %q, want -", tb.Rows[0][2])
+	}
+}
