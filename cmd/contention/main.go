@@ -7,10 +7,17 @@
 // default here samples every 8th rank to keep the discrete-event run
 // tractable while preserving per-point behaviour.
 //
+// With -metrics, every run additionally prints its observability snapshot
+// (CHT busy fractions, credit-wait histogram, hot-node NIC utilization —
+// see docs/OBSERVABILITY.md). With -trace FILE, all runs are written into
+// one Chrome-trace JSON file (open in Perfetto or chrome://tracing), one
+// trace process per run; -trace-sched adds scheduler run-slices.
+//
 // Usage:
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
-//	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube] [-csv]
+//	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
+//	           [-csv] [-metrics] [-trace FILE [-trace-sched]]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
+	"armcivt/internal/obs"
 	"armcivt/internal/stats"
 )
 
@@ -33,6 +41,9 @@ func main() {
 	sample := flag.Int("sample", 8, "measure every k-th rank")
 	topos := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topologies to run")
 	csv := flag.Bool("csv", false, "emit CSV")
+	metrics := flag.Bool("metrics", false, "print each run's observability metrics table")
+	traceFile := flag.String("trace", "", "write a combined Chrome-trace JSON file")
+	traceSched := flag.Bool("trace-sched", false, "include scheduler run-slices in the trace (verbose)")
 	flag.Parse()
 
 	var kinds []core.Kind
@@ -68,21 +79,43 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+	pid := 0
+
 	scale := figures.ContentionConfig{Nodes: *nodes, PPN: *ppn, Iters: *iters, SampleEvery: *sample}
 	for _, lv := range order {
 		every := levels[lv]
-		var series []*stats.Series
-		var err error
-		if opSel == figures.OpFetchAdd {
-			series, err = figures.Fig7(kinds, every, scale)
-		} else {
-			series, err = figures.Fig6(kinds, every, scale)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 		pct := map[string]string{"none": "no contention", "11": "11% contention", "20": "20% contention"}[lv]
+		var series []*stats.Series
+		var snaps []*stats.Table
+		for _, kind := range kinds {
+			if _, err := core.New(kind, *nodes); err != nil {
+				fmt.Fprintf(os.Stderr, "skipping %v: %v\n", kind, err)
+				continue
+			}
+			c := scale
+			c.Kind, c.ContenderEvery, c.Op = kind, every, opSel
+			if *metrics {
+				c.Metrics = obs.NewRegistry()
+			}
+			if tracer != nil {
+				c.Trace, c.TracePID, c.TraceSched = tracer, pid, *traceSched
+				pid++
+			}
+			s, err := figures.Contention(c)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			series = append(series, s)
+			if *metrics {
+				snaps = append(snaps, c.Metrics.Snapshot(
+					fmt.Sprintf("metrics: %v, %s", kind, pct)))
+			}
+		}
 		tbl := stats.SeriesTable(
 			fmt.Sprintf("%s to rank 0, %s — avg us/op per process rank", figName, pct),
 			"rank", series)
@@ -102,5 +135,31 @@ func main() {
 		}
 		sum.Write(os.Stdout)
 		fmt.Println()
+		for _, snap := range snaps {
+			if *csv {
+				snap.WriteCSV(os.Stdout)
+			} else {
+				snap.Write(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped); open in https://ui.perfetto.dev\n",
+			tracer.Len(), *traceFile, tracer.Dropped())
 	}
 }

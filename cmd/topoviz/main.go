@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"armcivt/internal/core"
+	"armcivt/internal/obs"
 	"armcivt/internal/stats"
 )
 
@@ -69,6 +70,26 @@ func main() {
 		}
 	}
 	tbl.Write(os.Stdout)
+
+	// The same analysis numbers again as an observability snapshot, in the
+	// exact table format the runtime's -metrics flags produce, so topology
+	// structure and run metrics can be diffed side by side (names are
+	// documented in docs/OBSERVABILITY.md).
+	reg := obs.NewRegistry()
+	for _, kind := range kinds {
+		t, err := core.New(kind, *n)
+		if err != nil {
+			continue
+		}
+		topo := obs.L("topo", kind.String())
+		reg.Gauge("core_diameter_hops", topo).Set(float64(core.Diameter(t)))
+		reg.Gauge("core_avg_hops", topo).Set(core.AvgHops(t))
+		reg.Gauge("core_forwarder_share", topo).Set(core.ForwarderShare(t, *root))
+		reg.Gauge("core_edges_total", topo).Set(float64(core.TotalEdges(t)))
+		reg.Gauge("core_tree_height", topo).Set(float64(core.BuildPathTree(t, *root).Height()))
+	}
+	fmt.Println()
+	reg.Snapshot(fmt.Sprintf("core analysis metrics, %d nodes, root %d", *n, *root)).Write(os.Stdout)
 
 	fmt.Println()
 	fmt.Println("Depth histograms of the request-path tree (paper Fig 4):")

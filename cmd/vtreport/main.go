@@ -6,9 +6,14 @@
 // The default -quick mode runs reduced-scale experiments (minutes); -full
 // uses the paper-scale parameters documented in EXPERIMENTS.md.
 //
+// With -metrics, each contention run (Figs 6-7) appends its observability
+// snapshot to the report; with -trace FILE all contention runs are written
+// into one Chrome-trace JSON file, one trace process per run (see
+// docs/OBSERVABILITY.md).
+//
 // Usage:
 //
-//	vtreport [-quick|-full] > report.md
+//	vtreport [-quick|-full] [-metrics] [-trace FILE] > report.md
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"armcivt/internal/apps/lu"
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
+	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 	"armcivt/internal/stats"
 )
@@ -76,6 +82,8 @@ func fullScale() scale {
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
+	metrics := flag.Bool("metrics", false, "append observability snapshots to the contention sections")
+	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file")
 	flag.Parse()
 	s := quickScale()
 	mode := "quick"
@@ -83,6 +91,11 @@ func main() {
 		s = fullScale()
 		mode = "full"
 	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+	tracePID := 0
 	w := os.Stdout
 	started := time.Now()
 	fmt.Fprintf(w, "# Virtual-topology evaluation report (%s mode)\n\n", mode)
@@ -95,23 +108,51 @@ func main() {
 	check(err)
 	stats.SeriesTable("memory (MBytes)", "processes", ss).Write(w)
 
+	// runContention mirrors figures.Fig6/Fig7 but runs each topology
+	// itself so every run can get its own metrics registry and trace pid.
+	runContention := func(kinds []core.Kind, every int, op figures.ContentionOp, secName string) {
+		var series []*stats.Series
+		var snaps []*stats.Table
+		for _, kind := range kinds {
+			c := s.contention
+			c.Kind, c.ContenderEvery, c.Op = kind, every, op
+			if _, err := core.New(kind, c.Nodes); err != nil {
+				continue // topology inapplicable at this node count
+			}
+			if *metrics {
+				c.Metrics = obs.NewRegistry()
+			}
+			if tracer != nil {
+				c.Trace, c.TracePID = tracer, tracePID
+				tracePID++
+			}
+			cs, err := figures.Contention(c)
+			check(err)
+			series = append(series, cs)
+			if *metrics {
+				snaps = append(snaps, c.Metrics.Snapshot(
+					fmt.Sprintf("metrics: %v, %s", kind, secName)))
+			}
+		}
+		summary(w, series)
+		for _, snap := range snaps {
+			fmt.Fprintln(w)
+			snap.Write(w)
+		}
+	}
 	for _, lv := range []struct {
 		name  string
 		every int
 	}{{"no contention", 0}, {"11% contention", 9}, {"20% contention", 5}} {
-		section(w, "Figure 6 (vectored put), "+lv.name)
 		kinds := core.Kinds
 		if lv.every > 0 {
 			kinds = []core.Kind{core.FCG, core.MFCG, core.CFCG} // paper drops hypercube under load
 		}
-		cs, err := figures.Fig6(kinds, lv.every, s.contention)
-		check(err)
-		summary(w, cs)
+		section(w, "Figure 6 (vectored put), "+lv.name)
+		runContention(kinds, lv.every, figures.OpVectoredPut, lv.name)
 
 		section(w, "Figure 7 (fetch-&-add), "+lv.name)
-		cs, err = figures.Fig7(kinds, lv.every, s.contention)
-		check(err)
-		summary(w, cs)
+		runContention(kinds, lv.every, figures.OpFetchAdd, lv.name)
 	}
 
 	section(w, "Figure 8: NAS LU execution time")
@@ -131,6 +172,15 @@ func main() {
 
 	section(w, "Topology advisor (Section VIII recommendations)")
 	advisor(w)
+
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(tracer.WriteJSON(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped)\n",
+			tracer.Len(), *traceFile, tracer.Dropped())
+	}
 
 	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(started).Round(time.Millisecond))
 }

@@ -44,7 +44,11 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 		if targetNode != ns.id {
 			svc += rt.cfg.CHTForwardOverhead
 		}
+		start := p.Now()
 		p.Sleep(svc)
+		if rt.obs != nil {
+			rt.obs.noteService(ns.id, req, targetNode != ns.id, start, svc)
+		}
 
 		if targetNode != ns.id {
 			next := rt.nextHop(ns.id, targetNode)

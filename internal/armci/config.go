@@ -27,6 +27,7 @@ import (
 
 	"armcivt/internal/core"
 	"armcivt/internal/fabric"
+	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 )
 
@@ -41,60 +42,91 @@ const (
 // Config parameterizes a Runtime. The zero value of any field is replaced by
 // its default (DefaultConfig documents them).
 type Config struct {
-	// Nodes is the number of compute nodes.
+	// Nodes is the number of compute nodes (the paper's experiments use up
+	// to 256 for contention, 1024 for memory scaling).
 	Nodes int
-	// PPN is the number of application processes per node.
+	// PPN is the number of application processes per node (paper: 4 for
+	// Figs 6-7, 12 for Figs 5 and 8-9, matching Jaguar's 12-core nodes).
 	PPN int
 	// Topology is the virtual topology; nil selects FCG over Nodes.
 	Topology core.Topology
-	// BufSize is the size of one request buffer (paper: 16 KB).
+	// BufSize is the size of one request buffer in bytes (paper: 16 KB).
+	// With BufsPerProc it sets the topology-dependent memory term of
+	// Figure 5 and the chunk size large transfers are split into.
 	BufSize int
 	// BufsPerProc is the number of request buffers dedicated to each
-	// remote process on a connected node (paper: 4).
+	// remote process on a connected node (paper: 4). The credit pool per
+	// directed edge is PPN * BufsPerProc; the buffer-depth ablation in
+	// DESIGN.md §5 sweeps this knob.
 	BufsPerProc int
 	// Fabric configures the physical torus network.
 	Fabric fabric.Config
 
-	// CHTBaseOverhead is the fixed per-request handling cost at a CHT.
+	// CHTBaseOverhead is the fixed per-request handling cost at a CHT, in
+	// virtual time (default 600 ns). It anchors the uncontended
+	// per-operation latency floor of Figs 6-7.
 	CHTBaseOverhead sim.Time
-	// CHTPollPerSource is the extra per-request cost for every distinct
-	// upstream peer with requests pending at the CHT: the helper thread
-	// polls one buffer set per connected peer, so hot CHTs on
-	// high-degree topologies pay more per request.
+	// CHTPollPerSource is the extra per-request cost, in virtual time per
+	// distinct upstream peer with requests pending (default 30 ns): the
+	// helper thread polls one buffer set per connected peer, so hot CHTs
+	// on high-degree topologies pay more per request. This constant
+	// drives the FCG hot-node degradation of Figs 6b/c and 7b/c.
 	CHTPollPerSource sim.Time
 	// CHTPollCap bounds the number of peers charged per request (the
 	// poll sweep is amortized once the backlog is deep), keeping the
-	// degradation of a flat-tree hot node large but finite.
+	// degradation of a flat-tree hot node large but finite. Unitless
+	// count (default 128).
 	CHTPollCap int
 	// CHTForwardOverhead is the extra cost of forwarding a request to the
-	// next virtual-topology hop: descriptor setup, downstream credit
-	// bookkeeping and re-injection are far more expensive than applying a
-	// small operation locally. This is the price high-dimension
-	// topologies (Hypercube) pay on every hot-path operation.
+	// next virtual-topology hop, in virtual time (default 8 us):
+	// descriptor setup, downstream credit bookkeeping and re-injection
+	// are far more expensive than applying a small operation locally.
+	// This is the per-hop price of topology dimension — the gap between
+	// curves in uncontended Figs 6a/7a and the Hypercube loss of Fig 9a.
 	CHTForwardOverhead sim.Time
-	// CHTPerByte is the CHT's memory-copy cost per payload byte (ns/B).
+	// CHTPerByte is the CHT's memory-copy cost per payload byte, in
+	// ns/byte (default 0.25, i.e. 4 GB/s). It scales the vectored-put
+	// service time of Fig 6.
 	CHTPerByte float64
-	// LocalLatency is the fixed cost of a same-node (shared-memory) op.
+	// LocalLatency is the fixed cost of a same-node (shared-memory)
+	// operation, in virtual time (default 200 ns).
 	LocalLatency sim.Time
-	// LocalPerByte is the same-node copy cost per byte (ns/B).
+	// LocalPerByte is the same-node copy cost, in ns/byte (default 0.25).
 	LocalPerByte float64
-	// BarrierStep is the per-tree-level cost of a barrier.
+	// BarrierStep is the per-tree-level cost of a barrier, in virtual
+	// time (default 1.5 us); barriers fence every figure's phases.
 	BarrierStep sim.Time
 
-	// BaseRSSBytes is the per-process resident set before any
-	// communication buffers (the paper measures ~612 MB on Jaguar).
+	// BaseRSSBytes is the per-process resident set in bytes before any
+	// communication buffers — the 612 MB base of Figure 5, measured on
+	// Jaguar.
 	BaseRSSBytes int64
-	// ConnBytes is the per-remote-process connection metadata (Portals
-	// descriptors, bookkeeping) the master process keeps per edge.
+	// ConnBytes is the per-remote-process connection metadata in bytes
+	// (Portals descriptors, bookkeeping) the master process keeps per
+	// edge; with the buffer term it completes the Figure 5 memory model.
 	ConnBytes int64
 	// Mutexes is the number of ARMCI mutexes, distributed round-robin
-	// across nodes.
+	// across nodes (unitless count).
 	Mutexes int
 	// RouteOverride, when non-nil, replaces the topology's LDF next-hop
 	// rule. It exists to demonstrate (in tests and ablations) that naive
 	// forwarding orders deadlock where LDF does not. The override must
 	// still return directly connected hops.
 	RouteOverride core.NextHopFunc
+
+	// Metrics, when non-nil, enables the observability layer: the runtime
+	// records credit-pool wait times, CHT inbox depths and per-node CHT
+	// activity during the run (and instruments the fabric with the same
+	// registry); FillMetrics exports the end-of-run snapshot. Nil (the
+	// default) costs only nil checks and leaves virtual-time results
+	// bit-identical. Schema: docs/OBSERVABILITY.md.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one Chrome-trace span per CHT service
+	// or forward (category "cht", tid = node id) in virtual time.
+	Trace *obs.Tracer
+	// TracePID is the trace process id spans are emitted under, letting
+	// several runs share one trace file (one run per pid).
+	TracePID int
 }
 
 // DefaultConfig returns the calibration used throughout the repository:

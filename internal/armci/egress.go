@@ -28,6 +28,9 @@ type egress struct {
 	from, to int
 	credits  int
 	pending  []*pendingSend
+	// peakInUse is the most buffers ever simultaneously occupied at the
+	// peer over this edge; tracked only when observability is enabled.
+	peakInUse int
 }
 
 type pendingSend struct {
@@ -49,6 +52,9 @@ func newEgress(rt *Runtime, from, to, credits int) *egress {
 func (eg *egress) submitRank(p *sim.Proc, req *request) {
 	if len(eg.pending) == 0 && eg.credits > 0 {
 		eg.transmit(req)
+		if o := eg.rt.obs; o != nil {
+			o.creditWait.Observe(0)
+		}
 		return
 	}
 	eg.rt.stats.CreditWaits++
@@ -66,6 +72,9 @@ func (eg *egress) submitRank(p *sim.Proc, req *request) {
 func (eg *egress) submitForward(req *request, onSend func()) {
 	if len(eg.pending) == 0 && eg.credits > 0 {
 		eg.transmit(req)
+		if o := eg.rt.obs; o != nil {
+			o.creditWait.Observe(0)
+		}
 		onSend()
 		return
 	}
@@ -81,7 +90,11 @@ func (eg *egress) release() {
 		eg.pending[0] = nil
 		eg.pending = eg.pending[1:]
 		eg.transmit(ps.req)
-		eg.rt.stats.CreditWaited += eg.rt.eng.Now() - ps.enq
+		waited := eg.rt.eng.Now() - ps.enq
+		eg.rt.stats.CreditWaited += waited
+		if o := eg.rt.obs; o != nil {
+			o.creditWait.Observe(waited.Micros())
+		}
 		if ps.onSend != nil {
 			ps.onSend()
 		}
@@ -98,6 +111,11 @@ func (eg *egress) transmit(req *request) {
 		panic(fmt.Sprintf("armci: egress %d->%d transmitting without credit", eg.from, eg.to))
 	}
 	eg.credits--
+	if eg.rt.obs != nil {
+		if used := eg.inUse(); used > eg.peakInUse {
+			eg.peakInUse = used
+		}
+	}
 	req.prevNode = eg.from
 	dst := eg.rt.nodes[eg.to]
 	eg.rt.stats.Requests++

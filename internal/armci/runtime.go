@@ -27,6 +27,9 @@ type Runtime struct {
 	world    []int // all ranks, the member list of world collectives
 
 	stats Stats
+	// obs is the observability side-car (nil unless Config.Metrics or
+	// Config.Trace is set); see obs.go and docs/OBSERVABILITY.md.
+	obs *obsState
 }
 
 // Stats aggregates runtime-level counters used by tests and reports.
@@ -111,6 +114,9 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		rt.world[r] = r
 	}
 	rt.collInit()
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		rt.obs = newObsState(rt)
+	}
 	return rt, nil
 }
 

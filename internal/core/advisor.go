@@ -31,10 +31,11 @@ type Advice struct {
 	Reason string
 }
 
-// BufferBytes returns the per-node request-buffer footprint for a topology
-// kind over n nodes with the given per-process buffer parameters. It uses
-// node 0 (the maximum-degree node for partially populated shapes is within
-// one group of it).
+// BufferBytes returns the per-node request-buffer footprint in bytes —
+// degree(0) * ppn * bufsPerProc * bufSize, the topology-dependent memory
+// term Figure 5 plots — for a topology kind over n nodes. It uses node 0
+// (the maximum-degree node for partially populated shapes is within one
+// group of it).
 func BufferBytes(kind Kind, n, ppn, bufsPerProc, bufSize int) (int64, error) {
 	t, err := New(kind, n)
 	if err != nil {

@@ -1,9 +1,13 @@
 package core
 
-// Analysis metrics over a topology's LDF routes, used by cmd/topoviz and the
-// documentation tables.
+// Analysis metrics over a topology's LDF routes, used by cmd/topoviz (which
+// also republishes them as core_* observability gauges, see
+// docs/OBSERVABILITY.md) and the documentation tables.
 
-// Diameter returns the longest LDF route (in hops) over all ordered pairs.
+// Diameter returns the longest LDF route, in hops (virtual-topology edges),
+// over all ordered pairs. It realizes the per-kind bounds of Section IV:
+// 1 for FCG, 2 for MFCG, 3 for CFCG, log2 N for Hypercube — each extra hop
+// costs CHTForwardOverhead in the uncontended curves of Figs 6a/7a.
 func Diameter(t Topology) int {
 	n := t.Nodes()
 	d := 0
@@ -17,8 +21,9 @@ func Diameter(t Topology) int {
 	return d
 }
 
-// AvgHops returns the mean LDF route length over all ordered pairs of
-// distinct nodes (0 for a single node).
+// AvgHops returns the mean LDF route length, in hops, over all ordered
+// pairs of distinct nodes (0 for a single node) — the expected forwarding
+// cost of uniform traffic, which separates the topology curves of Fig 8.
 func AvgHops(t Topology) float64 {
 	n := t.Nodes()
 	if n < 2 {
@@ -35,10 +40,12 @@ func AvgHops(t Topology) float64 {
 	return float64(total) / float64(n*(n-1))
 }
 
-// ForwarderShare returns, for the request-path tree into root, the largest
-// fraction of non-root traffic funneled through a single intermediate node.
-// This is the "heavy child" effect that hurts high-dimension topologies: a
-// hypercube's largest subtree carries half of all requests into the root.
+// ForwarderShare returns, for the request-path tree into root (the Fig 2/4
+// structure), the largest fraction (0..1) of non-root traffic funneled
+// through a single intermediate node. This is the "heavy child" effect that
+// hurts high-dimension topologies — a hypercube's largest subtree carries
+// half of all requests into the root — and is the structural cause of the
+// Hypercube losses in Figs 6a/7a/9a.
 func ForwarderShare(t Topology, root int) float64 {
 	if t.Nodes() < 2 {
 		return 0

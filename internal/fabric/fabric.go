@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 )
 
@@ -139,6 +140,13 @@ type Network struct {
 	// ejection port, for the stream-overload model.
 	ejSources []map[int]int
 	stats     Stats
+
+	// Observability (nil when disabled): per-port queue-wait histograms,
+	// resolved once at Instrument time so the hot path pays one nil check.
+	reg      *obs.Registry
+	waitInj  *obs.Histogram
+	waitLink *obs.Histogram
+	waitEj   *obs.Histogram
 }
 
 // New creates a network of n nodes on engine e. A zero-value cfg field is
@@ -281,7 +289,7 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 	nw.eng.After(nw.cfg.SoftwareOverhead, func() {
 		now := nw.eng.Now()
 		start := nw.inj[src].reserve(now, serNIC)
-		nw.noteWait(start - now)
+		nw.noteWait(start-now, nw.waitInj)
 		arrive := start + serNIC + nw.cfg.HopLatency
 		nw.walk(path, 0, arrive, serLink, serNIC, src, dst, deliver)
 	})
@@ -294,7 +302,7 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 		now := nw.eng.Now()
 		if i < len(path) {
 			start := nw.links[path[i]].reserve(now, serLink)
-			nw.noteWait(start - now)
+			nw.noteWait(start-now, nw.waitLink)
 			nw.walk(path, i+1, start+serLink+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
 			return
 		}
@@ -311,7 +319,7 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 			ser += sim.Time(float64(serNIC) * nw.cfg.StreamPenalty * float64(excess))
 		}
 		start := nw.ej[dst].reserve(now, ser)
-		nw.noteWait(start - now)
+		nw.noteWait(start-now, nw.waitEj)
 		nw.eng.At(start+ser, func() {
 			if srcs[src] <= 1 {
 				delete(srcs, src)
@@ -323,9 +331,12 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 	})
 }
 
-func (nw *Network) noteWait(w sim.Time) {
+func (nw *Network) noteWait(w sim.Time, h *obs.Histogram) {
 	if w > nw.stats.MaxQueueWait {
 		nw.stats.MaxQueueWait = w
+	}
+	if h != nil {
+		h.Observe(w.Micros())
 	}
 }
 
@@ -345,3 +356,70 @@ func (nw *Network) EjectionBusy(node int) sim.Time { return nw.ej[node].busy }
 
 // EjectionMsgs returns how many messages were delivered to node.
 func (nw *Network) EjectionMsgs(node int) uint64 { return nw.ej[node].msgs }
+
+// linkNames labels the six directed links leaving a torus node, lowest
+// dimension first, minus direction before plus.
+var linkNames = [6]string{"x-", "x+", "y-", "y+", "z-", "z+"}
+
+// Instrument enables the fabric's observability: per-port queue-wait
+// histograms (fabric_port_wait_us) are recorded during the run, and
+// FillMetrics exports the aggregate counters plus per-link/NIC utilization
+// of the hottest node. A nil registry leaves the network uninstrumented
+// (the default); instrumentation is passive and never changes virtual time.
+func (nw *Network) Instrument(reg *obs.Registry) {
+	nw.reg = reg
+	if reg == nil {
+		nw.waitInj, nw.waitLink, nw.waitEj = nil, nil, nil
+		return
+	}
+	nw.waitInj = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "inj"))
+	nw.waitLink = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "link"))
+	nw.waitEj = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "ej"))
+}
+
+// HottestEjection returns the node whose ejection port accumulated the most
+// serialization time — the hot-spot victim in the contention experiments.
+func (nw *Network) HottestEjection() int {
+	hot := 0
+	for n := 1; n < nw.n; n++ {
+		if nw.ej[n].busy > nw.ej[hot].busy {
+			hot = n
+		}
+	}
+	return hot
+}
+
+// FillMetrics exports the network's end-of-run counters into the registry
+// passed to Instrument: message/byte totals, the stream high-water mark, and
+// — for the hottest ejection node — the utilization (busy fraction of
+// elapsed virtual time) of its NIC injection/ejection ports and each of its
+// six outgoing torus links. Call it after the simulation has run; it is a
+// no-op when uninstrumented.
+func (nw *Network) FillMetrics() {
+	reg := nw.reg
+	if reg == nil {
+		return
+	}
+	reg.Counter("fabric_messages_total").Add(float64(nw.stats.Messages))
+	reg.Counter("fabric_bytes_total").Add(float64(nw.stats.Bytes))
+	reg.Gauge("fabric_max_queue_wait_us").Set(nw.stats.MaxQueueWait.Micros())
+	reg.Gauge("fabric_max_streams").Set(float64(nw.stats.MaxStreams))
+
+	elapsed := nw.eng.Now()
+	util := func(busy sim.Time) float64 {
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(busy) / float64(elapsed)
+	}
+	hot := nw.HottestEjection()
+	node := obs.L("node", fmt.Sprint(hot))
+	reg.Gauge("fabric_hot_node").Set(float64(hot))
+	reg.Gauge("fabric_nic_util", node, obs.L("port", "ej")).Set(util(nw.ej[hot].busy))
+	reg.Gauge("fabric_nic_util", node, obs.L("port", "inj")).Set(util(nw.inj[hot].busy))
+	reg.Counter("fabric_nic_ej_msgs", node).Add(float64(nw.ej[hot].msgs))
+	for d := 0; d < 6; d++ {
+		reg.Gauge("fabric_link_util", node, obs.L("link", linkNames[d])).
+			Set(util(nw.links[hot*6+d].busy))
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"armcivt/internal/armci"
 	"armcivt/internal/core"
+	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 	"armcivt/internal/stats"
 )
@@ -50,6 +51,22 @@ type ContentionConfig struct {
 	// contending sources to hardware streams matches the paper-scale
 	// experiment.
 	StreamLimit int
+
+	// Metrics, when non-nil, collects the run's observability counters,
+	// gauges and histograms (see docs/OBSERVABILITY.md). Use a fresh
+	// registry per run: metric names carry no topology label, so sharing
+	// one registry across runs merges their numbers.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives CHT service/forward spans as
+	// Chrome-trace events. One Tracer may be shared across runs; give each
+	// run a distinct TracePID to keep them apart in the viewer.
+	Trace *obs.Tracer
+	// TracePID is the trace process id identifying this run in a combined
+	// trace file (ignored when Trace is nil).
+	TracePID int
+	// TraceSched additionally records every scheduler run-slice of every
+	// simulated process (verbose; multiplies trace volume several-fold).
+	TraceSched bool
 }
 
 func (c ContentionConfig) withDefaults() ContentionConfig {
@@ -87,6 +104,19 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	cfg.Topology = topo
 	if c.StreamLimit > 0 {
 		cfg.Fabric.StreamLimit = c.StreamLimit
+	}
+	cfg.Metrics = c.Metrics
+	cfg.Trace = c.Trace
+	cfg.TracePID = c.TracePID
+	if c.Trace != nil {
+		contend := "no contention"
+		if c.ContenderEvery > 0 {
+			contend = fmt.Sprintf("1-in-%d contending", c.ContenderEvery)
+		}
+		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("contention %v %v, %s", c.Op, c.Kind, contend))
+		if c.TraceSched {
+			eng.SetTracer(obs.NewSimTracer(c.Trace, c.TracePID))
+		}
 	}
 	rt, err := armci.New(eng, cfg)
 	if err != nil {
@@ -182,6 +212,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	if err := rt.Run(body); err != nil {
 		return nil, err
 	}
+	rt.FillMetrics()
 	for _, rank := range order {
 		if t, ok := times[rank]; ok {
 			series.Add(float64(rank), t)

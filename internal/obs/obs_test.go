@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"armcivt/internal/sim"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	g := r.Gauge("y")
+	g.Set(3)
+	g.SetMax(9)
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if r.Names() != nil || r.Len() != 0 {
+		t.Error("nil registry must enumerate empty")
+	}
+	if rows := r.Snapshot("t").Rows; len(rows) != 0 {
+		t.Errorf("nil snapshot rows = %d", len(rows))
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops", L("kind", "put"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if c.Value() != 3 {
+		t.Errorf("counter = %v, want 3", c.Value())
+	}
+	if again := r.Counter("ops", L("kind", "put")); again != c {
+		t.Error("same name+labels must return the same counter")
+	}
+	if other := r.Counter("ops", L("kind", "get")); other == c {
+		t.Error("different labels must be a distinct series")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Errorf("gauge value/max = %v/%v, want 2/7", g.Value(), g.Max())
+	}
+	g.SetMax(1)
+	if g.Value() != 2 {
+		t.Error("SetMax below current must not lower the gauge")
+	}
+	g.SetMax(11)
+	if g.Value() != 11 || g.Max() != 11 {
+		t.Errorf("SetMax = %v/%v, want 11/11", g.Value(), g.Max())
+	}
+}
+
+func TestLabelCanonicalOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order must not create distinct series")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", TimeBuckets)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i)) // 1..1000
+	}
+	if h.Count() != 1000 || h.Max() != 1000 || h.Mean() != 500.5 {
+		t.Errorf("count/max/mean = %v/%v/%v", h.Count(), h.Max(), h.Mean())
+	}
+	// Bucketed estimates: within a factor of the 2x bucket width.
+	if q := h.Quantile(0.5); q < 250 || q > 1000 {
+		t.Errorf("p50 = %v, want within bucket of 500", q)
+	}
+	if q := h.Quantile(0.99); q < 500 || q > 1000 {
+		t.Errorf("p99 = %v", q)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Errorf("q0/q1 = %v/%v, want exact min/max", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 2})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read as zero")
+	}
+	h.Observe(100) // overflow bucket
+	if h.Count() != 1 || h.Max() != 100 {
+		t.Errorf("overflow count/max = %v/%v", h.Count(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("single overflow p50 = %v, want clamped to 100", q)
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_metric").Set(2)
+	r.Counter("a_metric", L("z", "1")).Inc()
+	r.Counter("a_metric", L("a", "1")).Inc()
+	r.Histogram("c_metric", CountBuckets).Observe(3)
+	tb := r.Snapshot("snap")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	order := []string{"a_metric", "a_metric", "b_metric", "c_metric"}
+	for i, want := range order {
+		if tb.Rows[i][0] != want {
+			t.Errorf("row %d metric = %q, want %q", i, tb.Rows[i][0], want)
+		}
+	}
+	if tb.Rows[0][1] != "a=1" || tb.Rows[1][1] != "z=1" {
+		t.Errorf("label sort: %q then %q", tb.Rows[0][1], tb.Rows[1][1])
+	}
+	var sb1, sb2 strings.Builder
+	tb.Write(&sb1)
+	r.Snapshot("snap").Write(&sb2)
+	if sb1.String() != sb2.String() {
+		t.Error("snapshot not deterministic")
+	}
+}
+
+func TestNamesSortedDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Counter("a", L("k", "1"))
+	r.Counter("a", L("k", "2"))
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestTracerWritesValidChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.ProcessName(1, "run")
+	tr.ThreadName(1, 0, "cht0")
+	tr.Complete("service", "cht", 1, 0, 10*sim.Microsecond, 3*sim.Microsecond,
+		map[string]any{"op": "put"})
+	tr.Instant("mark", "test", 1, 0, 15*sim.Microsecond, nil)
+	tr.CounterSample("depth", 1, 20*sim.Microsecond, map[string]any{"inbox": 4})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	// Metadata first, then the span with virtual-time microseconds.
+	if events[0]["ph"] != "M" {
+		t.Errorf("first event ph = %v, want metadata", events[0]["ph"])
+	}
+	var span map[string]any
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			span = ev
+		}
+	}
+	if span == nil {
+		t.Fatal("no X span in output")
+	}
+	if span["ts"].(float64) != 10 || span["dur"].(float64) != 3 {
+		t.Errorf("span ts/dur = %v/%v, want 10/3 us", span["ts"], span["dur"])
+	}
+}
+
+func TestTracerLimitDrops(t *testing.T) {
+	tr := &Tracer{Limit: 2}
+	for i := 0; i < 5; i++ {
+		tr.Complete("s", "c", 0, 0, sim.Time(i), 1, nil)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Errorf("len/dropped = %d/%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "trace_dropped_events") {
+		t.Error("dropped-events metadata missing")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON with drops: %v", err)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Complete("a", "b", 0, 0, 0, 0, nil)
+	tr.Instant("a", "b", 0, 0, 0, nil)
+	tr.CounterSample("a", 0, 0, nil)
+	tr.ProcessName(0, "x")
+	tr.ThreadName(0, 0, "x")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must read empty")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil || len(events) != 0 {
+		t.Errorf("nil tracer JSON = %q", sb.String())
+	}
+}
+
+func TestSimTracerSpansScheduler(t *testing.T) {
+	tr := NewTracer()
+	eng := sim.New()
+	eng.SetTracer(NewSimTracer(tr, 7))
+	eng.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var spans []TraceEvent
+	for _, ev := range tr.Events() {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	// One run slice ending at the sleep park, one ending at exit.
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].PID != 7 || spans[0].Cat != "sched" {
+		t.Errorf("span pid/cat = %d/%q", spans[0].PID, spans[0].Cat)
+	}
+	if blocked, ok := spans[0].Args["blocked_on"].(string); !ok || !strings.Contains(blocked, "sleep") {
+		t.Errorf("first slice blocked_on = %v", spans[0].Args)
+	}
+	if spans[1].TS != 5 {
+		t.Errorf("second slice starts at %v us, want 5", spans[1].TS)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := expBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if len(TimeBuckets) != 21 || len(CountBuckets) != 13 {
+		t.Error("standard layouts changed size; update docs/OBSERVABILITY.md")
+	}
+}

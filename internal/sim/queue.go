@@ -13,6 +13,7 @@ type Queue[T any] struct {
 	waiters []*Proc
 	puts    uint64
 	maxLen  int
+	onDepth func(depth int)
 }
 
 // NewQueue creates a queue attached to e. The name appears in deadlock
@@ -30,12 +31,22 @@ func (q *Queue[T]) MaxLen() int { return q.maxLen }
 // Puts returns the total number of items ever enqueued.
 func (q *Queue[T]) Puts() uint64 { return q.puts }
 
+// OnDepth registers fn (nil to remove) to observe the buffered depth after
+// every Put. It is the queue-occupancy hook of the observability layer:
+// purely passive, called synchronously in whatever context Put runs in, and
+// it must not touch the engine.
+func (q *Queue[T]) OnDepth(fn func(depth int)) { q.onDepth = fn }
+
 // Put enqueues x and wakes the longest-waiting getter, if any.
 func (q *Queue[T]) Put(x T) {
 	q.items = append(q.items, x)
 	q.puts++
-	if n := q.Len(); n > q.maxLen {
+	n := q.Len()
+	if n > q.maxLen {
 		q.maxLen = n
+	}
+	if q.onDepth != nil {
+		q.onDepth(n)
 	}
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]

@@ -92,6 +92,31 @@ func TestRingTracerWrapsChronologically(t *testing.T) {
 	}
 }
 
+func TestRingTracerExactCapacity(t *testing.T) {
+	// Filling to exactly capacity is the wrap boundary: next has reset to
+	// 0 and full is set, so Records must return all N entries once, oldest
+	// first, not an empty or doubled slice.
+	rt := NewRingTracer(4)
+	for i := 0; i < 4; i++ {
+		rt.Trace(TraceRecord{T: Time(i), Kind: TracePark, Proc: "p"})
+	}
+	recs := rt.Records()
+	if len(recs) != 4 {
+		t.Fatalf("len = %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.T != Time(i) {
+			t.Errorf("record %d time %v, want %v", i, r.T, Time(i))
+		}
+	}
+	// One more record evicts exactly the oldest.
+	rt.Trace(TraceRecord{T: 4})
+	recs = rt.Records()
+	if len(recs) != 4 || recs[0].T != 1 || recs[3].T != 4 {
+		t.Errorf("after wrap: %v", recs)
+	}
+}
+
 func TestRingTracerPartial(t *testing.T) {
 	rt := NewRingTracer(8)
 	rt.Trace(TraceRecord{T: 1})

@@ -36,6 +36,32 @@ func TestSummarizeNonPositiveSkipsGeomean(t *testing.T) {
 	}
 }
 
+func TestSummarizeSingleElement(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Sum != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Errorf("single-element percentiles = %v/%v/%v, want all 7", s.P50, s.P90, s.P99)
+	}
+	if s.Geomean != 7 || s.StandardDeviation != 0 || s.CoefficientOfRange != 0 {
+		t.Errorf("geomean/stddev/range = %v/%v/%v", s.Geomean, s.StandardDeviation, s.CoefficientOfRange)
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	xs := []float64{42}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile(xs, p); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v, want 42", p, got)
+		}
+	}
+	// Out-of-range p clamps rather than indexing out of bounds.
+	if Percentile(xs, -5) != 42 || Percentile(xs, 250) != 42 {
+		t.Error("out-of-range p must clamp to the sample bounds")
+	}
+}
+
 func TestPercentileEdges(t *testing.T) {
 	xs := []float64{10, 20, 30, 40}
 	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
