@@ -13,22 +13,30 @@
 // one Chrome-trace JSON file (open in Perfetto or chrome://tracing), one
 // trace process per run; -trace-sched adds scheduler run-slices.
 //
+// With -faults SPEC, every run executes under the given fault schedule
+// (grammar in docs/FAULTS.md, e.g. "link:3-7@t=1ms,cht:12@t=2ms"): the
+// runtime enables request timeouts/retries and a deadlock watchdog, and the
+// retry/reroute counters appear in the -metrics snapshot.
+//
 // Usage:
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
 //	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
-//	           [-csv] [-metrics] [-trace FILE [-trace-sched]]
+//	           [-csv] [-metrics] [-trace FILE [-trace-sched]] [-faults SPEC]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"armcivt/internal/core"
+	"armcivt/internal/faults"
 	"armcivt/internal/figures"
 	"armcivt/internal/obs"
+	"armcivt/internal/sim"
 	"armcivt/internal/stats"
 )
 
@@ -44,7 +52,17 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print each run's observability metrics table")
 	traceFile := flag.String("trace", "", "write a combined Chrome-trace JSON file")
 	traceSched := flag.Bool("trace-sched", false, "include scheduler run-slices in the trace (verbose)")
+	faultSpec := flag.String("faults", "", "fault schedule, e.g. link:3-7@t=1ms,cht:12@t=2ms (see docs/FAULTS.md)")
 	flag.Parse()
+
+	var spec *faults.Spec
+	if *faultSpec != "" {
+		var err error
+		if spec, err = faults.ParseSpec(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	var kinds []core.Kind
 	for _, name := range strings.Split(*topos, ",") {
@@ -85,7 +103,7 @@ func main() {
 	}
 	pid := 0
 
-	scale := figures.ContentionConfig{Nodes: *nodes, PPN: *ppn, Iters: *iters, SampleEvery: *sample}
+	scale := figures.ContentionConfig{Nodes: *nodes, PPN: *ppn, Iters: *iters, SampleEvery: *sample, Faults: spec}
 	for _, lv := range order {
 		every := levels[lv]
 		pct := map[string]string{"none": "no contention", "11": "11% contention", "20": "20% contention"}[lv]
@@ -107,7 +125,12 @@ func main() {
 			}
 			s, err := figures.Contention(c)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				var werr *sim.WatchdogError
+				if errors.As(err, &werr) {
+					fmt.Fprint(os.Stderr, werr.Report.String())
+				} else {
+					fmt.Fprintln(os.Stderr, err)
+				}
 				os.Exit(1)
 			}
 			series = append(series, s)

@@ -9,11 +9,13 @@
 // With -metrics, each contention run (Figs 6-7) appends its observability
 // snapshot to the report; with -trace FILE all contention runs are written
 // into one Chrome-trace JSON file, one trace process per run (see
-// docs/OBSERVABILITY.md).
+// docs/OBSERVABILITY.md). With -faults SPEC, the contention runs execute
+// under the given fault schedule (grammar in docs/FAULTS.md), exercising
+// the timeout/retry/reroute machinery.
 //
 // Usage:
 //
-//	vtreport [-quick|-full] [-metrics] [-trace FILE] > report.md
+//	vtreport [-quick|-full] [-metrics] [-trace FILE] [-faults SPEC] > report.md
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"armcivt/internal/apps/dft"
 	"armcivt/internal/apps/lu"
 	"armcivt/internal/core"
+	"armcivt/internal/faults"
 	"armcivt/internal/figures"
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
@@ -84,12 +87,21 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	metrics := flag.Bool("metrics", false, "append observability snapshots to the contention sections")
 	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file")
+	faultSpec := flag.String("faults", "", "fault schedule for the contention runs (see docs/FAULTS.md)")
 	flag.Parse()
 	s := quickScale()
 	mode := "quick"
 	if *full {
 		s = fullScale()
 		mode = "full"
+	}
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		s.contention.Faults = spec
 	}
 	var tracer *obs.Tracer
 	if *traceFile != "" {

@@ -32,6 +32,13 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 	rt := ns.rt
 	for {
 		req := ns.inbox.Get(p)
+		// An injected CHT stall freezes the helper thread between requests:
+		// the inbox keeps filling (buffers are the flow control, not the
+		// thread) until the fault repairs. Permanent stalls park the daemon
+		// forever; origin-side timeouts recover the traffic.
+		if fi := rt.faultInj; fi != nil && fi.CHTStalled(ns.id) {
+			fi.AwaitRepair(ns.id, p)
+		}
 		targetNode := req.target / rt.cfg.PPN
 		moved := ns.serviceBytes(req, targetNode)
 		srcs := len(ns.pendingBySrc)
@@ -52,17 +59,65 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 
 		if targetNode != ns.id {
 			next := rt.nextHop(ns.id, targetNode)
+			eg, err := rt.egressFor(ns.id, next)
+			if err != nil {
+				rt.stats.NoRoutes++
+				ns.fail(req, err)
+				continue
+			}
 			rt.stats.Forwards++
 			prev := req.prevNode
-			rt.egressTo(ns.id, next).submitForward(req, func() {
+			eg.submitForward(req, func() {
 				// The request has left this node: free its buffer.
 				ns.finish(req, prev)
 			})
 			continue
 		}
+		if ns.rids != nil && req.rid != 0 {
+			if rec, ok := ns.rids[req.rid]; ok {
+				ns.handleDup(p, req, rec)
+				ns.finish(req, req.prevNode)
+				continue
+			}
+			ns.rids[req.rid] = &dupState{}
+		}
 		ns.handle(p, req)
 		ns.finish(req, req.prevNode)
 	}
+}
+
+// handleDup serves a retransmitted request whose original already reached
+// this target. Reads re-execute (idempotent, and the original response may
+// have been lost with the payload); everything else must not re-apply — if
+// the original has responded, only the completion is re-sent (with the
+// remembered rmw old value), otherwise the original is still in flight here
+// and the duplicate is simply dropped.
+func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec *dupState) {
+	ns.rt.stats.DupDrops++
+	switch req.kind {
+	case opGet, opGetV:
+		ns.handle(p, req)
+	default:
+		if rec.responded {
+			ns.respond(req, nil, rec.old)
+		}
+	}
+}
+
+// fail reports a request that cannot make progress back to its origin: the
+// chunk is failed on its handle (unblocking the waiter with a non-nil
+// Handle.Err) and the buffer credit is returned as usual.
+func (ns *nodeState) fail(req *request, err error) {
+	rt := ns.rt
+	rt.stats.Failures++
+	h, chunk := req.h, req.chunk
+	deliver := func() { h.failChunk(chunk, err) }
+	if req.originNode == ns.id {
+		rt.eng.After(rt.cfg.LocalLatency, deliver)
+	} else {
+		rt.net.Send(ns.id, req.originNode, respBytes, deliver)
+	}
+	ns.finish(req, req.prevNode)
 }
 
 // finish releases the request buffer this CHT held: bookkeeping plus a
@@ -200,7 +255,16 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 // the handle's buffer at the chunk's flat offset, rmw carries the old value.
 func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 	rt := ns.rt
-	h := req.h
+	if ns.rids != nil && req.rid != 0 {
+		if rec, ok := ns.rids[req.rid]; ok {
+			// Remember that (and what) we answered, so a retransmit whose
+			// original response was lost can be re-answered without
+			// re-applying the operation.
+			rec.responded = true
+			rec.old = old
+		}
+	}
+	h, chunk := req.h, req.chunk
 	flat := req.flatOff
 	size := respBytes + len(payload)
 	deliver := func() {
@@ -210,7 +274,7 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 		if req.kind == opRmw || req.kind == opSwap {
 			h.old = old
 		}
-		h.completeChunk()
+		h.completeChunkAt(chunk)
 	}
 	if req.originNode == ns.id {
 		// Same-node response through shared memory.

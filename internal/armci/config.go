@@ -27,6 +27,7 @@ import (
 
 	"armcivt/internal/core"
 	"armcivt/internal/fabric"
+	"armcivt/internal/faults"
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 )
@@ -114,6 +115,34 @@ type Config struct {
 	// still return directly connected hops.
 	RouteOverride core.NextHopFunc
 
+	// Faults, when non-nil, injects the spec's link and CHT failures into
+	// the run: the fabric stalls and reroutes around failed links, CHT
+	// forwarding detours around stalled helper threads, and the resilience
+	// knobs below default to non-zero values so traffic recovers. Nil (the
+	// default) leaves every protocol path bit-identical to the fault-free
+	// runtime. See docs/FAULTS.md.
+	Faults *faults.Injector
+	// RequestTimeout is how long the origin waits for a request chunk to
+	// complete before retransmitting it (0 disables; defaults to
+	// DefaultRequestTimeout when Faults is set). Retransmits are
+	// deduplicated at the target by request id, so at-most-once apply
+	// semantics survive both lost requests and lost responses.
+	RequestTimeout sim.Time
+	// MaxRetries bounds retransmissions per chunk; the chunk then fails
+	// with a TimeoutError on its Handle rather than wedging the rank.
+	MaxRetries int
+	// RetryBackoff is the multiplicative backoff applied to RequestTimeout
+	// after every retransmission (values < 1 are invalid; 0 selects
+	// DefaultRetryBackoff).
+	RetryBackoff float64
+	// CreditTimeout is how long an egress with parked sends may go without
+	// transmitting before it assumes a credit ack was lost on a failed
+	// link and regenerates one credit (0 disables; defaults to
+	// DefaultCreditTimeout when Faults is set). Late real acks are
+	// swallowed against the regeneration debt so the pool never exceeds
+	// its capacity.
+	CreditTimeout sim.Time
+
 	// Metrics, when non-nil, enables the observability layer: the runtime
 	// records credit-pool wait times, CHT inbox depths and per-node CHT
 	// activity during the run (and instruments the fabric with the same
@@ -128,6 +157,14 @@ type Config struct {
 	// several runs share one trace file (one run per pid).
 	TracePID int
 }
+
+// Resilience defaults, applied when Config.Faults is set.
+const (
+	DefaultRequestTimeout = 2 * sim.Millisecond
+	DefaultMaxRetries     = 6
+	DefaultRetryBackoff   = 2.0
+	DefaultCreditTimeout  = 2 * sim.Millisecond
+)
 
 // DefaultConfig returns the calibration used throughout the repository:
 // paper-specified protocol constants (16 KB buffers, 4 per process) and
@@ -153,26 +190,72 @@ func DefaultConfig(nodes, ppn int) Config {
 	}
 }
 
-// withDefaults fills zero fields from DefaultConfig and validates.
-func (c Config) withDefaults() (Config, error) {
+// Validate checks the configuration for values no defaulting can repair:
+// non-positive extents, negative costs or budgets, and a topology that does
+// not cover the node count. Zero fields are legal (they select defaults);
+// New and MustNew call Validate after defaulting, and callers building
+// configurations programmatically can invoke it early for a better error.
+func (c Config) Validate() error {
 	if c.Nodes <= 0 {
-		return c, fmt.Errorf("armci: Nodes must be positive, got %d", c.Nodes)
+		return fmt.Errorf("armci: Nodes must be positive, got %d", c.Nodes)
 	}
 	if c.PPN <= 0 {
-		return c, fmt.Errorf("armci: PPN must be positive, got %d", c.PPN)
+		return fmt.Errorf("armci: PPN must be positive, got %d", c.PPN)
+	}
+	if c.BufSize != 0 && c.BufSize < 256 {
+		return fmt.Errorf("armci: BufSize %d too small (need >= 256 for headers)", c.BufSize)
+	}
+	if c.BufsPerProc < 0 {
+		return fmt.Errorf("armci: BufsPerProc must be >= 1, got %d", c.BufsPerProc)
+	}
+	for _, f := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"CHTBaseOverhead", c.CHTBaseOverhead},
+		{"CHTPollPerSource", c.CHTPollPerSource},
+		{"CHTForwardOverhead", c.CHTForwardOverhead},
+		{"LocalLatency", c.LocalLatency},
+		{"BarrierStep", c.BarrierStep},
+		{"RequestTimeout", c.RequestTimeout},
+		{"CreditTimeout", c.CreditTimeout},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("armci: %s must not be negative, got %v", f.name, f.v)
+		}
+	}
+	if c.CHTPerByte < 0 || c.LocalPerByte < 0 {
+		return fmt.Errorf("armci: per-byte costs must not be negative (CHTPerByte=%g, LocalPerByte=%g)",
+			c.CHTPerByte, c.LocalPerByte)
+	}
+	if c.CHTPollCap < 0 || c.Mutexes < 0 || c.MaxRetries < 0 {
+		return fmt.Errorf("armci: counts must not be negative (CHTPollCap=%d, Mutexes=%d, MaxRetries=%d)",
+			c.CHTPollCap, c.Mutexes, c.MaxRetries)
+	}
+	if c.BaseRSSBytes < 0 || c.ConnBytes < 0 {
+		return fmt.Errorf("armci: memory-model bytes must not be negative (BaseRSSBytes=%d, ConnBytes=%d)",
+			c.BaseRSSBytes, c.ConnBytes)
+	}
+	if c.RetryBackoff != 0 && c.RetryBackoff < 1 {
+		return fmt.Errorf("armci: RetryBackoff must be >= 1, got %g", c.RetryBackoff)
+	}
+	if c.Topology != nil && c.Topology.Nodes() != c.Nodes {
+		return fmt.Errorf("armci: topology covers %d nodes, runtime has %d", c.Topology.Nodes(), c.Nodes)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields from DefaultConfig and validates.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	d := DefaultConfig(c.Nodes, c.PPN)
 	if c.BufSize == 0 {
 		c.BufSize = d.BufSize
 	}
-	if c.BufSize < 256 {
-		return c, fmt.Errorf("armci: BufSize %d too small (need >= 256 for headers)", c.BufSize)
-	}
 	if c.BufsPerProc == 0 {
 		c.BufsPerProc = d.BufsPerProc
-	}
-	if c.BufsPerProc < 1 {
-		return c, fmt.Errorf("armci: BufsPerProc must be >= 1, got %d", c.BufsPerProc)
 	}
 	if c.CHTBaseOverhead == 0 {
 		c.CHTBaseOverhead = d.CHTBaseOverhead
@@ -210,8 +293,23 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Topology == nil {
 		c.Topology = core.MustNew(core.FCG, c.Nodes)
 	}
-	if c.Topology.Nodes() != c.Nodes {
-		return c, fmt.Errorf("armci: topology covers %d nodes, runtime has %d", c.Topology.Nodes(), c.Nodes)
+	// Fault injection turns the resilience machinery on by default; without
+	// it the knobs stay at zero (disabled) unless set explicitly.
+	if c.Faults != nil {
+		if c.RequestTimeout == 0 {
+			c.RequestTimeout = DefaultRequestTimeout
+		}
+		if c.CreditTimeout == 0 {
+			c.CreditTimeout = DefaultCreditTimeout
+		}
+	}
+	if c.RequestTimeout > 0 {
+		if c.MaxRetries == 0 {
+			c.MaxRetries = DefaultMaxRetries
+		}
+		if c.RetryBackoff == 0 {
+			c.RetryBackoff = DefaultRetryBackoff
+		}
 	}
 	return c, nil
 }

@@ -31,6 +31,17 @@ type egress struct {
 	// peakInUse is the most buffers ever simultaneously occupied at the
 	// peer over this edge; tracked only when observability is enabled.
 	peakInUse int
+
+	// Credit-loss recovery (active only with fault injection and a
+	// CreditTimeout): when sends sit parked for a full interval with no
+	// transmission, the edge assumes a credit ack was dropped on a failed
+	// link and regenerates one credit. regenDebt counts regenerations not
+	// yet matched by a late real ack — release() pays the debt down before
+	// growing the pool, so capacity is never exceeded.
+	regenDebt     int
+	regenArmed    bool
+	regenInterval sim.Time
+	transmits     uint64 // progress signal for the regen check
 }
 
 type pendingSend struct {
@@ -64,6 +75,7 @@ func (eg *egress) submitRank(p *sim.Proc, req *request) {
 		enq:  eg.rt.eng.Now(),
 	}
 	eg.pending = append(eg.pending, ps)
+	eg.maybeArmRegen()
 	ps.sent.Wait(p) // wait time is accounted in release()
 }
 
@@ -80,11 +92,23 @@ func (eg *egress) submitForward(req *request, onSend func()) {
 	}
 	eg.rt.stats.CreditWaits++
 	eg.pending = append(eg.pending, &pendingSend{req: req, onSend: onSend, enq: eg.rt.eng.Now()})
+	eg.maybeArmRegen()
 }
 
-// release returns one buffer credit and drains the pending FIFO.
+// release returns one buffer credit and drains the pending FIFO. A credit
+// already regenerated against this edge's debt is swallowed instead: the
+// ack was late, not lost, and the pool must not exceed its capacity.
 func (eg *egress) release() {
-	eg.credits++
+	if eg.regenDebt > 0 {
+		eg.regenDebt--
+	} else {
+		eg.credits++
+	}
+	eg.drain()
+}
+
+// drain transmits parked sends while credits last.
+func (eg *egress) drain() {
 	for len(eg.pending) > 0 && eg.credits > 0 {
 		ps := eg.pending[0]
 		eg.pending[0] = nil
@@ -104,6 +128,49 @@ func (eg *egress) release() {
 	}
 }
 
+// maybeArmRegen arms the credit-loss detector: with fault injection on, a
+// CreditTimeout set and sends parked, a check fires after the interval. It
+// keeps re-arming while sends remain parked — the guarantee that a rank
+// blocked on a lost ack is eventually released.
+func (eg *egress) maybeArmRegen() {
+	rt := eg.rt
+	if rt.cfg.CreditTimeout <= 0 || rt.faultInj == nil || eg.regenArmed || len(eg.pending) == 0 {
+		return
+	}
+	eg.regenArmed = true
+	if eg.regenInterval <= 0 {
+		eg.regenInterval = rt.cfg.CreditTimeout
+	}
+	last := eg.transmits
+	rt.eng.After(eg.regenInterval, func() { eg.regenCheck(last) })
+}
+
+// regenCheck decides whether the edge is starved: no transmission for a full
+// interval with sends parked means a credit ack is presumed lost, so one
+// credit is regenerated and the interval backs off (real congestion then
+// costs little; genuine loss still recovers). Progress resets the backoff.
+func (eg *egress) regenCheck(lastSeen uint64) {
+	eg.regenArmed = false
+	rt := eg.rt
+	if len(eg.pending) == 0 {
+		eg.regenInterval = rt.cfg.CreditTimeout
+		return
+	}
+	if eg.transmits != lastSeen {
+		eg.regenInterval = rt.cfg.CreditTimeout
+		eg.maybeArmRegen()
+		return
+	}
+	rt.stats.CreditRegens++
+	eg.regenDebt++
+	eg.credits++
+	eg.drain()
+	if eg.regenInterval < 8*rt.cfg.CreditTimeout {
+		eg.regenInterval *= 2
+	}
+	eg.maybeArmRegen()
+}
+
 // transmit consumes a credit and injects the request into the fabric toward
 // the peer's CHT.
 func (eg *egress) transmit(req *request) {
@@ -111,6 +178,7 @@ func (eg *egress) transmit(req *request) {
 		panic(fmt.Sprintf("armci: egress %d->%d transmitting without credit", eg.from, eg.to))
 	}
 	eg.credits--
+	eg.transmits++
 	if eg.rt.obs != nil {
 		if used := eg.inUse(); used > eg.peakInUse {
 			eg.peakInUse = used

@@ -1,0 +1,35 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/sim"
+)
+
+// NoRouteError reports a forwarding decision that does not correspond to a
+// directed edge of the virtual topology (a broken RouteOverride, or a
+// topology violating its own next-hop contract). The CHT fails the request
+// back to its origin instead of panicking or silently dropping it.
+type NoRouteError struct {
+	From, To int
+}
+
+func (e *NoRouteError) Error() string {
+	return fmt.Sprintf("armci: no edge %d->%d in the virtual topology", e.From, e.To)
+}
+
+// TimeoutError reports a request chunk that exhausted MaxRetries without
+// completing — the origin-side verdict that the target (or every route to
+// it) stayed unreachable for the whole retry schedule.
+type TimeoutError struct {
+	Kind     string   // operation, e.g. "put"
+	Origin   int      // issuing rank
+	Target   int      // target rank
+	Attempts int      // transmissions, including the original
+	Elapsed  sim.Time // virtual time from first transmission to giving up
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("armci: %s rank %d -> rank %d timed out after %d attempts over %v",
+		e.Kind, e.Origin, e.Target, e.Attempts, e.Elapsed)
+}

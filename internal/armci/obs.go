@@ -107,6 +107,17 @@ func (rt *Runtime) FillMetrics() {
 	reg.Counter("armci_credit_wait_events_total").Add(float64(s.CreditWaits))
 	reg.Gauge("armci_cht_backlog_peak").Set(float64(s.MaxCHTBacklog))
 
+	// Resilience counters (all zero on fault-free runs; schema in
+	// docs/FAULTS.md). The fault injector exports its own set below.
+	reg.Counter("armci_request_timeouts_total").Add(float64(s.Timeouts))
+	reg.Counter("armci_retries_total").Add(float64(s.Retries))
+	reg.Counter("armci_request_failures_total").Add(float64(s.Failures))
+	reg.Counter("armci_credit_regens_total").Add(float64(s.CreditRegens))
+	reg.Counter("armci_cht_reroutes_total").Add(float64(s.Reroutes))
+	reg.Counter("armci_dup_drops_total").Add(float64(s.DupDrops))
+	reg.Counter("armci_forward_no_route_total").Add(float64(s.NoRoutes))
+	rt.faultInj.FillMetrics()
+
 	// Node classes: hot = busiest CHT, other = mean/sum over the rest.
 	hot := rt.HotNode()
 	elapsed := rt.eng.Now()

@@ -78,6 +78,12 @@ type request struct {
 	wire       int     // message size on the fabric
 	prevNode   int     // upstream node owed a buffer credit (-1: none)
 	h          *Handle // origin-side completion handle
+
+	// Resilience fields, populated only when Config.RequestTimeout > 0.
+	chunk   int      // index into the handle's chunkDone bitset
+	rid     uint64   // runtime-unique request id, the target's dedup key
+	attempt int      // transmissions so far beyond the first
+	issued  sim.Time // first transmission instant, for TimeoutError
 }
 
 // Handle tracks completion of a (possibly multi-chunk) non-blocking
@@ -92,10 +98,21 @@ type Handle struct {
 	old int64
 	// issued total chunks, for diagnostics.
 	chunks int
+	// chunkDone marks chunks already completed (or failed), making
+	// completion idempotent under retransmission: a retried chunk whose
+	// original response arrives late must not over-complete the handle.
+	chunkDone []bool
+	// err is the first failure recorded against any chunk.
+	err error
 }
 
 func newHandle(eng *sim.Engine, chunks int, dataBytes int) *Handle {
-	h := &Handle{pending: chunks, chunks: chunks, done: sim.NewEvent(eng, "op")}
+	h := &Handle{
+		pending:   chunks,
+		chunks:    chunks,
+		chunkDone: make([]bool, chunks),
+		done:      sim.NewEvent(eng, "op"),
+	}
 	if dataBytes > 0 {
 		h.data = make([]byte, dataBytes)
 	}
@@ -114,6 +131,38 @@ func (h *Handle) completeChunk() {
 		h.done.Fire()
 	}
 }
+
+// completeChunkAt completes chunk i exactly once; duplicate completions
+// (a retransmitted request whose original also succeeded) are dropped.
+func (h *Handle) completeChunkAt(i int) {
+	if h.chunkComplete(i) {
+		return
+	}
+	h.chunkDone[i] = true
+	h.completeChunk()
+}
+
+// failChunk records err against chunk i and counts it as complete, so the
+// operation's waiter unblocks instead of wedging; Err surfaces the failure.
+func (h *Handle) failChunk(i int, err error) {
+	if h.chunkComplete(i) {
+		return
+	}
+	h.chunkDone[i] = true
+	if h.err == nil {
+		h.err = err
+	}
+	h.completeChunk()
+}
+
+// chunkComplete reports whether chunk i has already completed or failed.
+func (h *Handle) chunkComplete(i int) bool {
+	return i >= 0 && i < len(h.chunkDone) && h.chunkDone[i]
+}
+
+// Err returns the first failure recorded against the operation (nil on
+// success). Only faulted runs with request timeouts enabled can fail.
+func (h *Handle) Err() error { return h.err }
 
 // Done reports whether the operation has fully completed.
 func (h *Handle) Done() bool { return h.done.Fired() }

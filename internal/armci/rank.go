@@ -96,6 +96,7 @@ func (r *Rank) Fence() {
 func (r *Rank) send(req *request) {
 	rt := r.rt
 	targetNode := req.target / rt.cfg.PPN
+	rt.armTimeout(req, targetNode)
 	first := rt.nextHop(r.node, targetNode)
 	rt.egressTo(r.node, first).submitRank(r.proc, req)
 }
@@ -129,8 +130,8 @@ func (r *Rank) NbPut(dst int, alloc string, off int, data []byte) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), 0)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)
@@ -163,8 +164,8 @@ func (r *Rank) NbGet(src int, alloc string, off, n int) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), n)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)
@@ -214,8 +215,8 @@ func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float
 		return newHandle(rt.eng, 0, 0)
 	}
 	h := newHandle(rt.eng, len(reqs), 0)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)
@@ -261,8 +262,8 @@ func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), 0)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)
@@ -305,8 +306,8 @@ func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), total)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)

@@ -1,0 +1,83 @@
+package armci
+
+import (
+	"fmt"
+
+	"armcivt/internal/sim"
+)
+
+// Origin-side request timeouts: every chunk a rank injects is watched by a
+// virtual-time timer. If the chunk has not completed when the timer fires,
+// the origin retransmits a clone along the (possibly rerouted) virtual
+// topology path and backs the timer off multiplicatively; after MaxRetries
+// the chunk fails with a TimeoutError on its handle. Retransmits carry the
+// original's request id, which the target deduplicates (see handleDup), so
+// the protocol stays at-most-once-apply under lost requests, lost
+// responses, and lost credit acks alike.
+
+// armTimeout assigns req a request id and starts its timeout timer. No-op
+// when request timeouts are disabled.
+func (rt *Runtime) armTimeout(req *request, targetNode int) {
+	if rt.cfg.RequestTimeout <= 0 {
+		return
+	}
+	rt.ridSeq++
+	req.rid = rt.ridSeq
+	req.issued = rt.eng.Now()
+	rt.scheduleTimeout(req, targetNode, rt.cfg.RequestTimeout)
+}
+
+func (rt *Runtime) scheduleTimeout(req *request, targetNode int, timeout sim.Time) {
+	rt.eng.After(timeout, func() {
+		h := req.h
+		if h == nil || h.chunkComplete(req.chunk) {
+			return // completed (or already failed) — timer expires silently
+		}
+		rt.stats.Timeouts++
+		elapsed := rt.eng.Now() - req.issued
+		if req.attempt >= rt.cfg.MaxRetries {
+			rt.stats.Failures++
+			err := &TimeoutError{
+				Kind:     req.kind.String(),
+				Origin:   req.origin,
+				Target:   req.target,
+				Attempts: req.attempt + 1,
+				Elapsed:  elapsed,
+			}
+			rt.noteRetry("timeout-fail", req, elapsed)
+			h.failChunk(req.chunk, err)
+			return
+		}
+		req.attempt++
+		rt.stats.Retries++
+		rt.noteRetry("retry", req, elapsed)
+		// Retransmit a clone so the in-flight original (possibly parked at
+		// a failed link or a stalled CHT) cannot alias the retry's state.
+		clone := *req
+		next := rt.nextHop(req.originNode, targetNode)
+		eg, err := rt.egressFor(req.originNode, next)
+		if err != nil {
+			rt.stats.NoRoutes++
+			rt.stats.Failures++
+			h.failChunk(req.chunk, err)
+			return
+		}
+		// Non-blocking submission: the timer runs in engine context and the
+		// issuing rank is typically parked in Wait. Credit starvation here
+		// is recovered by the edge's regen machinery, not by blocking.
+		eg.submitForward(&clone, func() {})
+		rt.scheduleTimeout(req, targetNode, sim.Time(float64(timeout)*rt.cfg.RetryBackoff))
+	})
+}
+
+// noteRetry emits a Chrome-trace instant marker for a retry decision.
+func (rt *Runtime) noteRetry(what string, req *request, elapsed sim.Time) {
+	o := rt.obs
+	if o == nil || o.tr == nil {
+		return
+	}
+	o.tr.Instant(fmt.Sprintf("%s %s rank%d->rank%d", what, req.kind, req.origin, req.target),
+		"fault", o.pid, req.originNode, rt.eng.Now(), map[string]any{
+			"attempt": req.attempt, "rid": req.rid, "elapsed_us": elapsed.Micros(),
+		})
+}

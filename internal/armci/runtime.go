@@ -5,6 +5,7 @@ import (
 
 	"armcivt/internal/core"
 	"armcivt/internal/fabric"
+	"armcivt/internal/faults"
 	"armcivt/internal/sim"
 )
 
@@ -30,6 +31,10 @@ type Runtime struct {
 	// obs is the observability side-car (nil unless Config.Metrics or
 	// Config.Trace is set); see obs.go and docs/OBSERVABILITY.md.
 	obs *obsState
+	// faultInj mirrors Config.Faults (nil when fault injection is off).
+	faultInj *faults.Injector
+	// ridSeq issues runtime-unique request ids for timeout dedup.
+	ridSeq uint64
 }
 
 // Stats aggregates runtime-level counters used by tests and reports.
@@ -41,6 +46,15 @@ type Stats struct {
 	CreditWaits   uint64 // times a sender or CHT blocked on buffer credits
 	CreditWaited  sim.Time
 	MaxCHTBacklog int // worst CHT queue depth observed
+
+	// Resilience counters (all zero unless faults/timeouts are enabled).
+	Timeouts     uint64 // request chunks whose timeout fired
+	Retries      uint64 // retransmissions issued
+	Failures     uint64 // chunks failed (retries exhausted or no route)
+	CreditRegens uint64 // credits regenerated after presumed ack loss
+	Reroutes     uint64 // forwards detoured around a stalled CHT
+	DupDrops     uint64 // duplicate requests deduplicated at the target
+	NoRoutes     uint64 // forwards with no egress edge for the next hop
 }
 
 type nodeState struct {
@@ -55,6 +69,16 @@ type nodeState struct {
 	// CHT poll-cost model.
 	pendingBySrc map[int]int
 	chtProc      *sim.Proc
+	// rids deduplicates retransmitted requests at the target (allocated
+	// only when request timeouts are enabled).
+	rids map[uint64]*dupState
+}
+
+// dupState is what the target remembers about a request id: whether it has
+// responded, and the rmw old value it must re-send for a lost response.
+type dupState struct {
+	responded bool
+	old       int64
 }
 
 type allocation struct {
@@ -80,13 +104,18 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The injector is shared with the physical layer: link faults act on
+	// the fabric, CHT faults on the runtime, one schedule drives both.
+	cfg.Fabric.Faults = cfg.Faults
 	rt := &Runtime{
-		cfg:    cfg,
-		eng:    eng,
-		topo:   cfg.Topology,
-		net:    fabric.New(eng, cfg.Nodes, cfg.Fabric),
-		allocs: map[string]*allocation{},
+		cfg:      cfg,
+		eng:      eng,
+		topo:     cfg.Topology,
+		net:      fabric.New(eng, cfg.Nodes, cfg.Fabric),
+		allocs:   map[string]*allocation{},
+		faultInj: cfg.Faults,
 	}
+	cfg.Faults.Instrument(cfg.Metrics, cfg.Trace, cfg.TracePID)
 	rt.barrier.ev = sim.NewEvent(eng, "barrier")
 	rt.mutexes = make([]mutexState, cfg.Mutexes)
 	for m := range rt.mutexes {
@@ -101,6 +130,9 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 			inbox:        sim.NewQueue[*request](eng, fmt.Sprintf("cht%d", n)),
 			egress:       map[int]*egress{},
 			pendingBySrc: map[int]int{},
+		}
+		if cfg.RequestTimeout > 0 {
+			ns.rids = map[uint64]*dupState{}
 		}
 		for _, peer := range rt.topo.Neighbors(n) {
 			ns.egress[peer] = newEgress(rt, n, peer, poolCap)
@@ -249,11 +281,25 @@ func (rt *Runtime) BufferBytes(node int) int64 {
 }
 
 // nextHop resolves the forwarding rule in effect (LDF unless overridden).
+// When fault injection is on and the preferred intermediate's CHT is
+// stalled, it detours through the next admissible LDF hop — a different
+// dimension correction, so the D <= M bound of partially populated
+// topologies still holds (the same-dimension "detour" would route straight
+// back through the stalled node).
 func (rt *Runtime) nextHop(src, dst int) int {
 	if rt.cfg.RouteOverride != nil {
 		return rt.cfg.RouteOverride(src, dst)
 	}
-	return rt.topo.NextHop(src, dst)
+	next := rt.topo.NextHop(src, dst)
+	if fi := rt.faultInj; fi != nil && next != dst && next != src && fi.CHTStalled(next) {
+		for _, alt := range core.AdmissibleHops(rt.topo, src, dst) {
+			if alt != next && !fi.CHTStalled(alt) {
+				rt.stats.Reroutes++
+				return alt
+			}
+		}
+	}
+	return next
 }
 
 // egressTo returns node's egress over the direct edge to peer.
@@ -263,6 +309,18 @@ func (rt *Runtime) egressTo(node, peer int) *egress {
 		panic(fmt.Sprintf("armci: no edge %d->%d in %v", node, peer, rt.topo))
 	}
 	return eg
+}
+
+// egressFor is egressTo with a typed error instead of a panic, for the CHT
+// forward path: a request routed onto a non-edge must fail back to its
+// origin, not crash the simulation or vanish.
+func (rt *Runtime) egressFor(node, peer int) (*egress, error) {
+	if peer >= 0 && peer < len(rt.nodes) {
+		if eg := rt.nodes[node].egress[peer]; eg != nil {
+			return eg, nil
+		}
+	}
+	return nil, &NoRouteError{From: node, To: peer}
 }
 
 // returnCredit sends an ack from node back to peer releasing one buffer

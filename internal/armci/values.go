@@ -96,8 +96,8 @@ func (r *Rank) NbAccV(dst int, alloc string, segs []Seg, scale float64, vals []f
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), 0)
-	for _, req := range reqs {
-		req.h = h
+	for i, req := range reqs {
+		req.h, req.chunk = h, i
 		r.send(req)
 	}
 	return r.track(h)

@@ -1,0 +1,30 @@
+package core
+
+// AdmissibleHops returns every next hop from src toward dst that one
+// LDF-style dimension correction can reach: for each dimension where the two
+// nodes' virtual coordinates differ, the node with src's coordinate in that
+// dimension replaced by dst's, when that position is populated. Each entry
+// strictly reduces the number of differing dimensions, so routing through any
+// of them preserves the paper's D <= M hop bound; the first entry is always
+// the hop NextHop itself picks (lowest correctable dimension first), and the
+// rest are the fallbacks — the next populated row/column — a runtime can
+// reroute through when the preferred intermediate is unavailable.
+func AdmissibleHops(t Topology, src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	s := t.Coord(src)
+	d := t.Coord(dst)
+	var out []int
+	for i := range s {
+		if s[i] == d[i] {
+			continue
+		}
+		c := append([]int(nil), s...)
+		c[i] = d[i]
+		if hop := t.NodeAt(c); hop >= 0 {
+			out = append(out, hop)
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"armcivt/internal/faults"
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 )
@@ -43,6 +44,18 @@ type Config struct {
 	// source beyond StreamLimit (0.25 means each excess concurrent source
 	// adds 25% to a message's ejection time).
 	StreamPenalty float64
+
+	// Faults, when non-nil, makes routing and link traversal consult the
+	// injector: hard-failed links stall in-flight messages and steer fresh
+	// routes onto the opposite ring arc, degraded links stretch their
+	// serialization time. Nil (the default) leaves every code path
+	// bit-identical to the fault-free model.
+	Faults *faults.Injector
+	// LinkRetry is how often a message parked at a failed link re-probes it.
+	LinkRetry sim.Time
+	// LinkStallLimit caps how long a message waits at a failed link before
+	// the fabric drops it (the runtime's timeout machinery recovers it).
+	LinkStallLimit sim.Time
 }
 
 // DefaultConfig returns XT5-flavoured parameters and a near-cubic torus
@@ -123,6 +136,9 @@ type Stats struct {
 	Bytes        uint64
 	MaxQueueWait sim.Time // worst single-link queue delay observed
 	MaxStreams   int      // most distinct sources concurrently queued at one ejection port
+	LinkStalls   uint64   // messages that parked at a hard-failed link
+	Reroutes     uint64   // routes steered onto the long ring arc around a failure
+	Dropped      uint64   // messages dropped after LinkStallLimit at a failed link
 }
 
 // Network is a simulated torus interconnect for n nodes.
@@ -143,10 +159,11 @@ type Network struct {
 
 	// Observability (nil when disabled): per-port queue-wait histograms,
 	// resolved once at Instrument time so the hot path pays one nil check.
-	reg      *obs.Registry
-	waitInj  *obs.Histogram
-	waitLink *obs.Histogram
-	waitEj   *obs.Histogram
+	reg       *obs.Registry
+	waitInj   *obs.Histogram
+	waitLink  *obs.Histogram
+	waitEj    *obs.Histogram
+	waitStall *obs.Histogram
 }
 
 // New creates a network of n nodes on engine e. A zero-value cfg field is
@@ -173,6 +190,12 @@ func New(e *sim.Engine, n int, cfg Config) *Network {
 	}
 	if cfg.StreamPenalty <= 0 {
 		cfg.StreamPenalty = def.StreamPenalty
+	}
+	if cfg.LinkRetry <= 0 {
+		cfg.LinkRetry = 2 * sim.Microsecond
+	}
+	if cfg.LinkStallLimit <= 0 {
+		cfg.LinkStallLimit = 10 * sim.Millisecond
 	}
 	if cfg.Shape[0]*cfg.Shape[1]*cfg.Shape[2] < n {
 		panic(fmt.Sprintf("fabric: shape %v cannot hold %d nodes", cfg.Shape, n))
@@ -264,6 +287,87 @@ func (nw *Network) route(src, dst int) []int {
 	return out
 }
 
+// linkEnds returns the torus positions joined by directed link idx.
+func (nw *Network) linkEnds(idx int) (from, to int) {
+	from = idx / 6
+	d := (idx % 6) / 2
+	c := nw.Coord(from)
+	if idx%2 == 1 {
+		c[d] = (c[d] + 1) % nw.shape[d]
+	} else {
+		c[d] = (c[d] - 1 + nw.shape[d]) % nw.shape[d]
+	}
+	to = c[0] + c[1]*nw.shape[0] + c[2]*nw.shape[0]*nw.shape[1]
+	return from, to
+}
+
+// arcBlocked reports whether walking dist steps from start along dimension d
+// in direction dir crosses a currently hard-failed link.
+func (nw *Network) arcBlocked(start, d, dir, dist int) bool {
+	fi := nw.cfg.Faults
+	cur := nw.Coord(start)
+	node := start
+	for s := 0; s < dist; s++ {
+		next := cur
+		if dir == 1 {
+			next[d] = (cur[d] + 1) % nw.shape[d]
+		} else {
+			next[d] = (cur[d] - 1 + nw.shape[d]) % nw.shape[d]
+		}
+		nb := next[0] + next[1]*nw.shape[0] + next[2]*nw.shape[0]*nw.shape[1]
+		if fi.LinkDown(node, nb) {
+			return true
+		}
+		cur, node = next, nb
+	}
+	return false
+}
+
+// routeFaultAware is dimension-order routing that reacts to hard link
+// failures: in each dimension it picks a ring arc once, preferring the
+// shorter one but taking the long way round when only the short arc crosses
+// a failed link. Choosing per dimension (never mid-arc) keeps routes minimal
+// per dimension and rules out ping-pong livelock. With no active faults it
+// returns exactly the same path as route.
+func (nw *Network) routeFaultAware(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	var out []int
+	cur := nw.Coord(src)
+	tgt := nw.Coord(dst)
+	strides := [3]int{1, nw.shape[0], nw.shape[0] * nw.shape[1]}
+	node := src
+	for d := 0; d < 3; d++ {
+		if cur[d] == tgt[d] {
+			continue
+		}
+		fwd := (tgt[d] - cur[d] + nw.shape[d]) % nw.shape[d]
+		bwd := nw.shape[d] - fwd
+		dir, dist := 1, fwd
+		if bwd < fwd {
+			dir, dist = 0, bwd
+		}
+		if nw.arcBlocked(node, d, dir, dist) {
+			altDir, altDist := 1-dir, nw.shape[d]-dist
+			if altDist > 0 && !nw.arcBlocked(node, d, altDir, altDist) {
+				dir, dist = altDir, altDist
+				nw.stats.Reroutes++
+			}
+		}
+		for s := 0; s < dist; s++ {
+			out = append(out, node*6+d*2+dir)
+			if dir == 1 {
+				cur[d] = (cur[d] + 1) % nw.shape[d]
+			} else {
+				cur[d] = (cur[d] - 1 + nw.shape[d]) % nw.shape[d]
+			}
+			node = cur[0]*strides[0] + cur[1]*strides[1] + cur[2]*strides[2]
+		}
+	}
+	return out
+}
+
 // Send injects a message of size bytes from node src to node dst and calls
 // deliver (in engine context) when the last byte is ejected at dst. It may
 // be called from process or engine context. Loopback (src == dst) pays only
@@ -281,12 +385,19 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 		nw.eng.After(nw.cfg.SoftwareOverhead, deliver)
 		return
 	}
-	path := nw.route(src, dst)
 	serLink := sim.Time(float64(size) / nw.cfg.LinkBandwidth)
 	serNIC := sim.Time(float64(size) / nw.cfg.NICBandwidth)
 
-	// Injection: software overhead then NIC serialization.
+	// Injection: software overhead then NIC serialization. The route is
+	// resolved at injection time so it reflects the fault state then, not at
+	// the Send call.
 	nw.eng.After(nw.cfg.SoftwareOverhead, func() {
+		var path []int
+		if nw.cfg.Faults != nil {
+			path = nw.routeFaultAware(src, dst)
+		} else {
+			path = nw.route(src, dst)
+		}
 		now := nw.eng.Now()
 		start := nw.inj[src].reserve(now, serNIC)
 		nw.noteWait(start-now, nw.waitInj)
@@ -301,9 +412,21 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 	nw.eng.At(arrive, func() {
 		now := nw.eng.Now()
 		if i < len(path) {
-			start := nw.links[path[i]].reserve(now, serLink)
+			ser := serLink
+			if fi := nw.cfg.Faults; fi != nil {
+				a, b := nw.linkEnds(path[i])
+				if fi.LinkDown(a, b) {
+					nw.stats.LinkStalls++
+					nw.stallAt(path, i, now, serLink, serNIC, src, dst, deliver)
+					return
+				}
+				if f := fi.LinkFactor(a, b); f < 1 {
+					ser = sim.Time(float64(serLink) / f)
+				}
+			}
+			start := nw.links[path[i]].reserve(now, ser)
 			nw.noteWait(start-now, nw.waitLink)
-			nw.walk(path, i+1, start+serLink+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
+			nw.walk(path, i+1, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
 			return
 		}
 		// Ejection with the stream-overload model: the port slows down
@@ -328,6 +451,28 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 			}
 			deliver()
 		})
+	})
+}
+
+// stallAt parks a message in front of the hard-failed link path[i],
+// re-probing every LinkRetry until the link repairs — at which point the walk
+// resumes and the total stall time is recorded — or LinkStallLimit elapses
+// and the message is dropped. Dropping instead of waiting forever keeps the
+// event queue finite; the runtime's request timeouts retransmit the payload.
+func (nw *Network) stallAt(path []int, i int, since sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+	a, b := nw.linkEnds(path[i])
+	if !nw.cfg.Faults.LinkDown(a, b) {
+		waited := nw.eng.Now() - since
+		nw.noteWait(waited, nw.waitStall)
+		nw.walk(path, i, nw.eng.Now(), serLink, serNIC, src, dst, deliver)
+		return
+	}
+	if nw.eng.Now()-since >= nw.cfg.LinkStallLimit {
+		nw.stats.Dropped++
+		return
+	}
+	nw.eng.After(nw.cfg.LinkRetry, func() {
+		nw.stallAt(path, i, since, serLink, serNIC, src, dst, deliver)
 	})
 }
 
@@ -369,12 +514,13 @@ var linkNames = [6]string{"x-", "x+", "y-", "y+", "z-", "z+"}
 func (nw *Network) Instrument(reg *obs.Registry) {
 	nw.reg = reg
 	if reg == nil {
-		nw.waitInj, nw.waitLink, nw.waitEj = nil, nil, nil
+		nw.waitInj, nw.waitLink, nw.waitEj, nw.waitStall = nil, nil, nil, nil
 		return
 	}
 	nw.waitInj = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "inj"))
 	nw.waitLink = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "link"))
 	nw.waitEj = reg.Histogram("fabric_port_wait_us", obs.TimeBuckets, obs.L("port", "ej"))
+	nw.waitStall = reg.Histogram("fabric_link_stall_wait_us", obs.TimeBuckets)
 }
 
 // HottestEjection returns the node whose ejection port accumulated the most
@@ -404,6 +550,9 @@ func (nw *Network) FillMetrics() {
 	reg.Counter("fabric_bytes_total").Add(float64(nw.stats.Bytes))
 	reg.Gauge("fabric_max_queue_wait_us").Set(nw.stats.MaxQueueWait.Micros())
 	reg.Gauge("fabric_max_streams").Set(float64(nw.stats.MaxStreams))
+	reg.Counter("fabric_link_stalls_total").Add(float64(nw.stats.LinkStalls))
+	reg.Counter("fabric_reroutes_total").Add(float64(nw.stats.Reroutes))
+	reg.Counter("fabric_dropped_msgs_total").Add(float64(nw.stats.Dropped))
 
 	elapsed := nw.eng.Now()
 	util := func(busy sim.Time) float64 {

@@ -1,0 +1,389 @@
+// Package faults is a deterministic, seed-driven fault-injection subsystem
+// for the simulated XT5 reproduction. A fault schedule (Spec) is parsed from
+// the compact scenario grammar the -faults CLI flags use, or generated
+// pseudo-randomly from a seed, and an Injector attached to a simulation
+// engine turns it into timed state transitions the other layers query:
+//
+//   - package fabric asks LinkDown/LinkFactor when routing and when
+//     advancing a message hop by hop (fail-at-time, degrade-bandwidth and
+//     transient-flap link models);
+//   - package armci asks CHTStalled when choosing a next hop and parks a
+//     stalled helper thread on AwaitRepair (failed-intermediate model that
+//     its timeout/retry/reroute machinery recovers from).
+//
+// Everything is driven by virtual-time events, so faulted runs are exactly
+// as repeatable as healthy ones. See docs/FAULTS.md for the fault model,
+// grammar and recovery semantics.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"armcivt/internal/sim"
+)
+
+// Kind enumerates the fault models.
+type Kind int
+
+const (
+	// LinkFail takes a physical torus link (both directions between two
+	// adjacent-or-not node positions) hard down at a point in time,
+	// optionally repairing it later.
+	LinkFail Kind = iota
+	// LinkDegrade multiplies a link's bandwidth by a factor in (0,1).
+	LinkDegrade
+	// LinkFlap toggles a link down/up with a fixed half-period over a
+	// bounded window — the transient-error model.
+	LinkFlap
+	// CHTStall freezes a node's Communication Helper Thread: requests keep
+	// arriving and buffering but nothing is served until repair.
+	CHTStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkFail:
+		return "link_fail"
+	case LinkDegrade:
+		return "link_degrade"
+	case LinkFlap:
+		return "link_flap"
+	case CHTStall:
+		return "cht_stall"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// maxFlapToggles bounds how many down/up transitions one flap entry may
+// expand to, so a parsed schedule cannot flood the event queue.
+const maxFlapToggles = 4096
+
+// Fault is one concrete scheduled fault.
+type Fault struct {
+	Kind Kind
+	// A, B are the link endpoints (torus node positions); CHT faults use A
+	// and leave B = -1.
+	A, B int
+	// At is when the fault activates.
+	At sim.Time
+	// For is how long it lasts; 0 means permanent (LinkFlap requires a
+	// finite window and defaults it from Period).
+	For sim.Time
+	// Factor is LinkDegrade's bandwidth multiplier in (0,1).
+	Factor float64
+	// Period is LinkFlap's half-period: down for Period, up for Period.
+	Period sim.Time
+}
+
+// RandSpec asks for Count pseudo-random faults drawn deterministically from
+// Seed, activating within [0, Horizon).
+type RandSpec struct {
+	Count   int
+	Seed    int64
+	Horizon sim.Time // 0 selects DefaultRandHorizon
+}
+
+// DefaultRandHorizon is the activation window of rand: entries that do not
+// specify one.
+const DefaultRandHorizon = 10 * sim.Millisecond
+
+// Spec is a parsed fault schedule: explicit faults plus an optional random
+// batch expanded (against the run's node count) at injector-attach time.
+type Spec struct {
+	Faults []Fault
+	Rand   *RandSpec
+}
+
+// ParseSpec parses the scenario-flag grammar. A spec is comma-separated
+// entries; each entry is kind:target followed by @key=value clauses:
+//
+//	link:3-7@t=1ms              link 3-7 fails at t=1ms, permanently
+//	link:3-7@t=1ms@for=5ms      ... and repairs 5ms later
+//	degrade:1-2@t=0s@bw=0.25    link 1-2 drops to 25% bandwidth at t=0
+//	flap:0-1@t=1ms@period=100us@for=2ms
+//	cht:12@t=2ms@for=5ms        node 12's CHT stalls for 5ms
+//	rand:8@seed=42@for=10ms     8 seeded random faults within 10ms
+//
+// Durations use Go syntax (time.ParseDuration). Clause keys: t (activation
+// time, default 0), for (duration, default permanent), bw (degrade factor),
+// period (flap half-period, default 100us), seed (rand, required).
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	spec := &Spec{}
+	for _, entry := range strings.Split(s, ",") {
+		if err := spec.parseEntry(strings.TrimSpace(entry)); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+// MustParseSpec is ParseSpec but panics on error, for tests and literals.
+func MustParseSpec(s string) *Spec {
+	spec, err := ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func (s *Spec) parseEntry(entry string) error {
+	if entry == "" {
+		return fmt.Errorf("faults: empty entry")
+	}
+	parts := strings.Split(entry, "@")
+	kindStr, targetStr, ok := strings.Cut(parts[0], ":")
+	if !ok {
+		return fmt.Errorf("faults: entry %q: want kind:target", entry)
+	}
+	clauses := map[string]string{}
+	for _, c := range parts[1:] {
+		k, v, ok := strings.Cut(c, "=")
+		if !ok || k == "" || v == "" {
+			return fmt.Errorf("faults: entry %q: bad clause %q (want key=value)", entry, c)
+		}
+		if _, dup := clauses[k]; dup {
+			return fmt.Errorf("faults: entry %q: duplicate clause %q", entry, k)
+		}
+		clauses[k] = v
+	}
+	used := map[string]bool{}
+	dur := func(key string, def sim.Time) (sim.Time, error) {
+		v, ok := clauses[key]
+		if !ok {
+			return def, nil
+		}
+		used[key] = true
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("faults: entry %q: clause %s: %v", entry, key, err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("faults: entry %q: clause %s: negative duration", entry, key)
+		}
+		return sim.Time(d), nil
+	}
+	checkUnused := func() error {
+		for k := range clauses {
+			if !used[k] {
+				return fmt.Errorf("faults: entry %q: unknown clause %q", entry, k)
+			}
+		}
+		return nil
+	}
+
+	if kindStr == "rand" {
+		count, err := strconv.Atoi(targetStr)
+		if err != nil || count < 1 {
+			return fmt.Errorf("faults: entry %q: rand wants a positive count", entry)
+		}
+		seedStr, ok := clauses["seed"]
+		if !ok {
+			return fmt.Errorf("faults: entry %q: rand requires @seed=N", entry)
+		}
+		used["seed"] = true
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: entry %q: bad seed %q", entry, seedStr)
+		}
+		horizon, err := dur("for", 0)
+		if err != nil {
+			return err
+		}
+		if err := checkUnused(); err != nil {
+			return err
+		}
+		if s.Rand != nil {
+			return fmt.Errorf("faults: entry %q: at most one rand: entry per spec", entry)
+		}
+		s.Rand = &RandSpec{Count: count, Seed: seed, Horizon: horizon}
+		return nil
+	}
+
+	f := Fault{B: -1}
+	switch kindStr {
+	case "link":
+		f.Kind = LinkFail
+	case "degrade":
+		f.Kind = LinkDegrade
+	case "flap":
+		f.Kind = LinkFlap
+	case "cht":
+		f.Kind = CHTStall
+	default:
+		return fmt.Errorf("faults: entry %q: unknown kind %q (want link, degrade, flap, cht or rand)", entry, kindStr)
+	}
+
+	if f.Kind == CHTStall {
+		n, err := strconv.Atoi(targetStr)
+		if err != nil || n < 0 {
+			return fmt.Errorf("faults: entry %q: cht wants a node id", entry)
+		}
+		f.A = n
+	} else {
+		aStr, bStr, ok := strings.Cut(targetStr, "-")
+		if !ok {
+			return fmt.Errorf("faults: entry %q: link target wants A-B", entry)
+		}
+		a, errA := strconv.Atoi(aStr)
+		b, errB := strconv.Atoi(bStr)
+		if errA != nil || errB != nil || a < 0 || b < 0 {
+			return fmt.Errorf("faults: entry %q: bad link endpoints %q", entry, targetStr)
+		}
+		if a == b {
+			return fmt.Errorf("faults: entry %q: link endpoints must differ", entry)
+		}
+		f.A, f.B = a, b
+	}
+
+	var err error
+	if f.At, err = dur("t", 0); err != nil {
+		return err
+	}
+	if f.For, err = dur("for", 0); err != nil {
+		return err
+	}
+	if f.Kind == LinkDegrade {
+		v, ok := clauses["bw"]
+		if !ok {
+			return fmt.Errorf("faults: entry %q: degrade requires @bw=F in (0,1)", entry)
+		}
+		used["bw"] = true
+		f.Factor, err = strconv.ParseFloat(v, 64)
+		if err != nil || f.Factor <= 0 || f.Factor >= 1 {
+			return fmt.Errorf("faults: entry %q: degrade factor must be in (0,1), got %q", entry, v)
+		}
+	}
+	if f.Kind == LinkFlap {
+		if f.Period, err = dur("period", 100*sim.Microsecond); err != nil {
+			return err
+		}
+		if f.Period <= 0 {
+			return fmt.Errorf("faults: entry %q: flap period must be positive", entry)
+		}
+		if f.For == 0 {
+			f.For = 20 * f.Period // flapping must end; default a finite window
+		}
+		if toggles := int64(f.For / f.Period); toggles > maxFlapToggles {
+			return fmt.Errorf("faults: entry %q: %d flap toggles exceed the %d cap (shorten for= or lengthen period=)",
+				entry, toggles, maxFlapToggles)
+		}
+	}
+	if err := checkUnused(); err != nil {
+		return err
+	}
+	s.Faults = append(s.Faults, f)
+	return nil
+}
+
+// String renders the spec back in the grammar ParseSpec accepts, canonically
+// enough that ParseSpec(s.String()) reproduces the schedule.
+func (s *Spec) String() string {
+	var parts []string
+	for _, f := range s.Faults {
+		parts = append(parts, f.String())
+	}
+	if s.Rand != nil {
+		e := fmt.Sprintf("rand:%d@seed=%d", s.Rand.Count, s.Rand.Seed)
+		if s.Rand.Horizon > 0 {
+			e += "@for=" + time.Duration(s.Rand.Horizon).String()
+		}
+		parts = append(parts, e)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders one fault as a grammar entry.
+func (f Fault) String() string {
+	var b strings.Builder
+	switch f.Kind {
+	case LinkFail:
+		fmt.Fprintf(&b, "link:%d-%d", f.A, f.B)
+	case LinkDegrade:
+		fmt.Fprintf(&b, "degrade:%d-%d", f.A, f.B)
+	case LinkFlap:
+		fmt.Fprintf(&b, "flap:%d-%d", f.A, f.B)
+	case CHTStall:
+		fmt.Fprintf(&b, "cht:%d", f.A)
+	}
+	fmt.Fprintf(&b, "@t=%s", time.Duration(f.At))
+	if f.For > 0 {
+		fmt.Fprintf(&b, "@for=%s", time.Duration(f.For))
+	}
+	if f.Kind == LinkDegrade {
+		fmt.Fprintf(&b, "@bw=%s", strconv.FormatFloat(f.Factor, 'g', -1, 64))
+	}
+	if f.Kind == LinkFlap {
+		fmt.Fprintf(&b, "@period=%s", time.Duration(f.Period))
+	}
+	return b.String()
+}
+
+// Expand resolves the schedule against a concrete node count: explicit
+// faults verbatim plus the deterministic expansion of any rand: batch.
+func (s *Spec) Expand(nodes int) []Fault {
+	if s == nil {
+		return nil
+	}
+	out := append([]Fault(nil), s.Faults...)
+	if s.Rand != nil {
+		out = append(out, RandomFaults(s.Rand.Seed, nodes, s.Rand.Count, s.Rand.Horizon)...)
+	}
+	return out
+}
+
+// RandomFaults draws count faults deterministically from seed: a mix of link
+// failures, degradations, flaps and CHT stalls over nodes in [0, nodes),
+// activating within [0, horizon) (0 selects DefaultRandHorizon). Most are
+// transient; roughly a quarter are permanent. The property tests drive LDF
+// resilience with these schedules.
+func RandomFaults(seed int64, nodes, count int, horizon sim.Time) []Fault {
+	if horizon <= 0 {
+		horizon = DefaultRandHorizon
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, 0, count)
+	for i := 0; i < count; i++ {
+		f := Fault{B: -1, At: sim.Time(rng.Int63n(int64(horizon)))}
+		pick := rng.Intn(100)
+		switch {
+		case pick < 30 && nodes >= 2:
+			f.Kind = LinkFail
+		case pick < 55 && nodes >= 2:
+			f.Kind = LinkDegrade
+			f.Factor = 0.1 + 0.8*rng.Float64()
+		case pick < 75 && nodes >= 2:
+			f.Kind = LinkFlap
+			f.Period = sim.Time(int64(horizon)/200 + 1)
+		default:
+			f.Kind = CHTStall
+		}
+		if f.Kind != CHTStall {
+			f.A = rng.Intn(nodes)
+			f.B = rng.Intn(nodes - 1)
+			if f.B >= f.A {
+				f.B++
+			}
+		} else {
+			f.A = rng.Intn(nodes)
+		}
+		// Transient by default; every fourth or so is permanent (except
+		// flaps, whose window must be finite).
+		if f.Kind == LinkFlap || rng.Intn(4) != 0 {
+			f.For = sim.Time(int64(horizon)/10 + rng.Int63n(int64(horizon)/2+1))
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"armcivt/internal/obs"
+	"armcivt/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Fault
+	}{
+		{"link:3-7@t=1ms", Fault{Kind: LinkFail, A: 3, B: 7, At: sim.Millisecond}},
+		{"link:3-7@t=1ms@for=5ms", Fault{Kind: LinkFail, A: 3, B: 7, At: sim.Millisecond, For: 5 * sim.Millisecond}},
+		{"cht:12@t=2ms", Fault{Kind: CHTStall, A: 12, B: -1, At: 2 * sim.Millisecond}},
+		{"cht:0", Fault{Kind: CHTStall, A: 0, B: -1}},
+		{"degrade:1-2@t=0s@for=5ms@bw=0.25",
+			Fault{Kind: LinkDegrade, A: 1, B: 2, For: 5 * sim.Millisecond, Factor: 0.25}},
+		{"flap:0-1@t=1ms@period=100us@for=2ms",
+			Fault{Kind: LinkFlap, A: 0, B: 1, At: sim.Millisecond, For: 2 * sim.Millisecond, Period: 100 * sim.Microsecond}},
+		{"flap:0-1", Fault{Kind: LinkFlap, A: 0, B: 1, For: 2 * sim.Millisecond, Period: 100 * sim.Microsecond}},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if len(spec.Faults) != 1 {
+			t.Errorf("ParseSpec(%q): %d faults, want 1", c.in, len(spec.Faults))
+			continue
+		}
+		if spec.Faults[0] != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, spec.Faults[0], c.want)
+		}
+	}
+}
+
+func TestParseSpecMulti(t *testing.T) {
+	spec, err := ParseSpec("link:3-7@t=1ms,cht:12@t=2ms,rand:4@seed=42@for=8ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) != 2 {
+		t.Fatalf("got %d explicit faults, want 2", len(spec.Faults))
+	}
+	if spec.Rand == nil || spec.Rand.Count != 4 || spec.Rand.Seed != 42 || spec.Rand.Horizon != 8*sim.Millisecond {
+		t.Fatalf("rand = %+v", spec.Rand)
+	}
+	if got := len(spec.Expand(9)); got != 6 {
+		t.Fatalf("Expand produced %d faults, want 6", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"link",
+		"link:3",
+		"link:3-3",
+		"link:3-x",
+		"link:-1-2",
+		"bogus:1-2",
+		"cht:x",
+		"cht:-4",
+		"cht:1@t=1ms@t=2ms",          // duplicate clause
+		"cht:1@wat=2ms",              // unknown clause
+		"cht:1@t=",                   // empty value
+		"link:1-2@t=-1ms",            // negative duration
+		"degrade:1-2@t=0s",           // missing bw
+		"degrade:1-2@bw=1.5",         // factor out of range
+		"degrade:1-2@bw=0",           // factor out of range
+		"flap:1-2@period=0s",         // zero period
+		"flap:1-2@period=1us@for=1s", // toggle cap
+		"rand:0@seed=1",
+		"rand:4",                      // missing seed
+		"rand:2@seed=1,rand:2@seed=2", // two rand batches
+		"link:1-2@@t=1ms",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"link:3-7@t=1ms@for=5ms",
+		"degrade:1-2@t=0s@for=5ms@bw=0.25",
+		"flap:0-1@t=1ms@period=50us@for=2ms",
+		"cht:12@t=2ms",
+		"link:0-1@t=250us,cht:3,rand:4@seed=-7@for=10ms",
+	} {
+		spec := MustParseSpec(in)
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Errorf("re-parse of %q (-> %q): %v", in, spec.String(), err)
+			continue
+		}
+		if spec.String() != again.String() {
+			t.Errorf("round trip of %q: %q != %q", in, spec.String(), again.String())
+		}
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	a := RandomFaults(42, 16, 32, 10*sim.Millisecond)
+	b := RandomFaults(42, 16, 32, 10*sim.Millisecond)
+	if len(a) != 32 {
+		t.Fatalf("got %d faults, want 32", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i, f := range a {
+		if f.At < 0 || f.At >= 10*sim.Millisecond {
+			t.Errorf("fault %d activation %v outside horizon", i, f.At)
+		}
+		if f.Kind != CHTStall && (f.A == f.B || f.A < 0 || f.B < 0 || f.A >= 16 || f.B >= 16) {
+			t.Errorf("fault %d has bad link endpoints: %+v", i, f)
+		}
+		if f.Kind == LinkFlap && (f.Period <= 0 || f.For <= 0) {
+			t.Errorf("flap %d must have finite window and positive period: %+v", i, f)
+		}
+		if f.Kind == LinkDegrade && (f.Factor <= 0 || f.Factor >= 1) {
+			t.Errorf("degrade %d factor out of range: %+v", i, f)
+		}
+	}
+}
+
+func TestInjectorLinkLifecycle(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, 9, MustParseSpec("link:3-7@t=1ms@for=2ms,degrade:1-2@t=0s@for=4ms@bw=0.25"))
+	type probe struct {
+		at       sim.Time
+		down     bool
+		factor12 float64
+	}
+	var got []probe
+	for _, at := range []sim.Time{0, 500 * sim.Microsecond, 1500 * sim.Microsecond, 3500 * sim.Microsecond, 5 * sim.Millisecond} {
+		at := at
+		eng.At(at, func() {
+			got = append(got, probe{at, in.LinkDown(7, 3), in.LinkFactor(2, 1)})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []probe{
+		{0, false, 0.25},
+		{500 * sim.Microsecond, false, 0.25},
+		{1500 * sim.Microsecond, true, 0.25},
+		{3500 * sim.Microsecond, false, 0.25},
+		{5 * sim.Millisecond, false, 1},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("probe %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if in.Active() != 0 {
+		t.Errorf("Active = %d after all repairs", in.Active())
+	}
+}
+
+func TestInjectorFlapToggles(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, 4, MustParseSpec("flap:0-1@t=1ms@period=100us@for=250us"))
+	var states []bool
+	for _, at := range []sim.Time{999 * sim.Microsecond, 1050 * sim.Microsecond, 1150 * sim.Microsecond,
+		1249 * sim.Microsecond, 1300 * sim.Microsecond} {
+		at := at
+		eng.At(at, func() { states = append(states, in.LinkDown(0, 1)) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Errorf("flap state %d = %v, want %v (all: %v)", i, states[i], want[i], states)
+		}
+	}
+}
+
+func TestInjectorCHTStallAndRepair(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, 9, MustParseSpec("cht:2@t=1ms@for=3ms"))
+	var resumedAt sim.Time
+	eng.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond) // mid-stall
+		if !in.CHTStalled(2) {
+			t.Error("CHT 2 not stalled at t=2ms")
+		}
+		in.AwaitRepair(2, p)
+		resumedAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumedAt != 4*sim.Millisecond {
+		t.Errorf("AwaitRepair released at %v, want 4ms", resumedAt)
+	}
+}
+
+func TestInjectorPermanentStallParksForever(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, 4, MustParseSpec("cht:1@t=0s"))
+	eng.SpawnDaemon("cht1", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		in.AwaitRepair(1, p)
+		t.Error("permanent stall released its waiter")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("daemon parked on a permanent stall must not fail the run: %v", err)
+	}
+	eng.Shutdown()
+}
+
+func TestInjectorMetricsAndTrace(t *testing.T) {
+	eng := sim.New()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	in := NewInjector(eng, 9, MustParseSpec("link:3-7@t=1ms@for=2ms,cht:2@t=0s"))
+	in.Instrument(reg, tr, 5)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	in.FillMetrics()
+	if v := reg.Counter("faults_injected_total", obs.L("kind", "link_fail")).Value(); v != 1 {
+		t.Errorf("faults_injected_total{kind=link_fail} = %v, want 1", v)
+	}
+	if v := reg.Counter("faults_activations_total").Value(); v != 2 {
+		t.Errorf("faults_activations_total = %v, want 2", v)
+	}
+	if v := reg.Counter("faults_repairs_total").Value(); v != 1 {
+		t.Errorf("faults_repairs_total = %v, want 1 (the cht stall is permanent)", v)
+	}
+	if v := reg.Gauge("faults_active_peak").Value(); v != 2 {
+		t.Errorf("faults_active_peak = %v, want 2", v)
+	}
+	var marks []string
+	for _, ev := range tr.Events() {
+		if ev.Cat == "fault" {
+			marks = append(marks, ev.Name)
+		}
+	}
+	joined := strings.Join(marks, "; ")
+	for _, want := range []string{"link_fail 3-7 down", "link_fail 3-7 up", "cht_stall 2"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace markers %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestNilInjectorIsHealthy(t *testing.T) {
+	var in *Injector
+	if in.LinkDown(0, 1) || in.CHTStalled(0) || in.LinkFactor(0, 1) != 1 || in.Active() != 0 {
+		t.Error("nil injector must report a healthy machine")
+	}
+	in.FillMetrics()
+	in.Instrument(nil, nil, 0)
+	if in.Faults() != nil {
+		t.Error("nil injector has faults")
+	}
+}

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"testing"
+
+	"armcivt/internal/sim"
+)
+
+// FuzzFaultSpec hammers the scenario-grammar parser: any input must either
+// be rejected or produce a spec that renders and re-parses to the same
+// schedule and can be expanded and scheduled without panicking. Fuzz targets
+// double as seeded property tests under plain `go test`.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add("link:3-7@t=1ms")
+	f.Add("link:3-7@t=1ms@for=5ms,cht:12@t=2ms")
+	f.Add("degrade:1-2@t=0s@for=5ms@bw=0.25")
+	f.Add("flap:0-1@t=1ms@period=100us@for=2ms")
+	f.Add("rand:8@seed=42@for=10ms")
+	f.Add("cht:0,cht:1,cht:0@t=1ms@for=1ms")
+	f.Add("link:1-2@bw=0.5")
+	f.Add(",,,")
+	f.Add("rand:-1@seed=0")
+	f.Add("flap:1-2@period=1ns@for=10s")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", in, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not canonical: %q -> %q", rendered, again.String())
+		}
+		// Every accepted spec must schedule cleanly and leave a runnable,
+		// finite event queue.
+		eng := sim.New()
+		in2 := NewInjector(eng, 9, spec)
+		if err := eng.Run(); err != nil {
+			t.Fatalf("injected schedule from %q broke the engine: %v", in, err)
+		}
+		if in2.Active() < 0 {
+			t.Fatalf("active fault count went negative for %q", in)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"armcivt/internal/obs"
+	"armcivt/internal/sim"
+)
+
+// Injector materializes a Spec on a simulation engine: it schedules the
+// activation/repair transitions as virtual-time events and answers point
+// queries from the fabric and runtime layers. All state changes happen in
+// engine context, so queries from process context always see a consistent
+// snapshot and faulted runs stay deterministic.
+//
+// A nil *Injector is valid and reports a healthy machine from every query,
+// which is how the disabled path stays bit-identical: callers guard with one
+// nil check and never branch otherwise.
+type Injector struct {
+	eng    *sim.Engine
+	nodes  int
+	faults []Fault
+
+	// linkDown counts active hard failures per unordered node pair (a flap
+	// overlapping a fail must not "repair" the link early).
+	linkDown map[[2]int]int
+	// linkFactor is the active bandwidth multiplier per unordered pair.
+	linkFactor map[[2]int]float64
+	// chtDown counts active stalls per node; repair[node] is the event a
+	// parked CHT waits on, recreated on each 0->1 transition.
+	chtDown map[int]int
+	repair  map[int]*sim.Event
+
+	injected           map[Kind]int
+	activations        uint64
+	repairs            uint64
+	active, peakActive int
+
+	reg *obs.Registry
+	tr  *obs.Tracer
+	pid int
+}
+
+// NewInjector expands spec against nodes and schedules every transition on
+// eng. A nil spec yields an injector with no faults (all queries healthy).
+func NewInjector(eng *sim.Engine, nodes int, spec *Spec) *Injector {
+	in := &Injector{
+		eng:        eng,
+		nodes:      nodes,
+		faults:     spec.Expand(nodes),
+		linkDown:   map[[2]int]int{},
+		linkFactor: map[[2]int]float64{},
+		chtDown:    map[int]int{},
+		repair:     map[int]*sim.Event{},
+		injected:   map[Kind]int{},
+	}
+	for _, f := range in.faults {
+		in.injected[f.Kind]++
+		in.schedule(f)
+	}
+	return in
+}
+
+// Faults returns the expanded schedule (shared slice; do not mutate).
+func (in *Injector) Faults() []Fault {
+	if in == nil {
+		return nil
+	}
+	return in.faults
+}
+
+// Instrument attaches the observability sinks: FillMetrics exports counters
+// into reg, and every activation/repair emits a Chrome-trace instant marker
+// (category "fault") under pid. Either may be nil.
+func (in *Injector) Instrument(reg *obs.Registry, tr *obs.Tracer, pid int) {
+	if in == nil {
+		return
+	}
+	in.reg, in.tr, in.pid = reg, tr, pid
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (in *Injector) schedule(f Fault) {
+	switch f.Kind {
+	case LinkFail:
+		in.eng.At(f.At, func() { in.setLink(f, +1) })
+		if f.For > 0 {
+			in.eng.At(f.At+f.For, func() { in.setLink(f, -1) })
+		}
+	case LinkDegrade:
+		in.eng.At(f.At, func() { in.setDegrade(f, true) })
+		if f.For > 0 {
+			in.eng.At(f.At+f.For, func() { in.setDegrade(f, false) })
+		}
+	case LinkFlap:
+		end := f.At + f.For
+		for t := f.At; t < end; t += 2 * f.Period {
+			down := t
+			up := down + f.Period
+			if up > end {
+				up = end
+			}
+			in.eng.At(down, func() { in.setLink(f, +1) })
+			in.eng.At(up, func() { in.setLink(f, -1) })
+		}
+	case CHTStall:
+		in.eng.At(f.At, func() { in.setCHT(f, +1) })
+		if f.For > 0 {
+			in.eng.At(f.At+f.For, func() { in.setCHT(f, -1) })
+		}
+	}
+}
+
+func (in *Injector) setLink(f Fault, delta int) {
+	key := pairKey(f.A, f.B)
+	was := in.linkDown[key]
+	in.linkDown[key] = was + delta
+	if delta > 0 && was == 0 {
+		in.note(true, fmt.Sprintf("%v %d-%d down", f.Kind, key[0], key[1]))
+	} else if delta < 0 && was+delta == 0 {
+		in.note(false, fmt.Sprintf("%v %d-%d up", f.Kind, key[0], key[1]))
+	}
+}
+
+func (in *Injector) setDegrade(f Fault, on bool) {
+	key := pairKey(f.A, f.B)
+	if on {
+		in.linkFactor[key] = f.Factor
+		in.note(true, fmt.Sprintf("link_degrade %d-%d bw=%g", key[0], key[1], f.Factor))
+	} else {
+		delete(in.linkFactor, key)
+		in.note(false, fmt.Sprintf("link_degrade %d-%d restored", key[0], key[1]))
+	}
+}
+
+func (in *Injector) setCHT(f Fault, delta int) {
+	n := f.A
+	was := in.chtDown[n]
+	in.chtDown[n] = was + delta
+	if delta > 0 && was == 0 {
+		// Fresh event per stall episode: the previous one has fired.
+		in.repair[n] = sim.NewEvent(in.eng, fmt.Sprintf("cht%d repair", n))
+		in.note(true, fmt.Sprintf("cht_stall %d", n))
+	} else if delta < 0 && was+delta == 0 {
+		in.note(false, fmt.Sprintf("cht_stall %d repaired", n))
+		if ev := in.repair[n]; ev != nil {
+			ev.Fire()
+		}
+	}
+}
+
+// note records an activation (on) or repair transition.
+func (in *Injector) note(on bool, label string) {
+	if on {
+		in.activations++
+		in.active++
+		if in.active > in.peakActive {
+			in.peakActive = in.active
+		}
+	} else {
+		in.repairs++
+		in.active--
+	}
+	in.tr.Instant(label, "fault", in.pid, 0, in.eng.Now(), nil)
+}
+
+// LinkDown reports whether the (unordered) link between torus positions a
+// and b is currently hard-failed.
+func (in *Injector) LinkDown(a, b int) bool {
+	if in == nil {
+		return false
+	}
+	return in.linkDown[pairKey(a, b)] > 0
+}
+
+// LinkFactor returns the bandwidth multiplier for the link between a and b:
+// 1 when healthy, the degrade factor in (0,1) while degraded.
+func (in *Injector) LinkFactor(a, b int) float64 {
+	if in == nil {
+		return 1
+	}
+	if f, ok := in.linkFactor[pairKey(a, b)]; ok {
+		return f
+	}
+	return 1
+}
+
+// CHTStalled reports whether node's helper thread is currently frozen.
+func (in *Injector) CHTStalled(node int) bool {
+	if in == nil {
+		return false
+	}
+	return in.chtDown[node] > 0
+}
+
+// AwaitRepair parks p until node's CHT stall clears, returning immediately
+// when healthy. A permanent stall parks p forever — CHTs are daemons, so
+// this does not keep the simulation alive, and the origin-side timeout
+// machinery recovers the traffic.
+func (in *Injector) AwaitRepair(node int, p *sim.Proc) {
+	for in.CHTStalled(node) {
+		ev := in.repair[node]
+		if ev == nil {
+			return
+		}
+		ev.Wait(p)
+	}
+}
+
+// Active returns the number of currently active faults.
+func (in *Injector) Active() int {
+	if in == nil {
+		return 0
+	}
+	return in.active
+}
+
+// FillMetrics exports the injector's counters into the registry passed to
+// Instrument (schema: docs/FAULTS.md). No-op when uninstrumented.
+func (in *Injector) FillMetrics() {
+	if in == nil || in.reg == nil {
+		return
+	}
+	kinds := make([]Kind, 0, len(in.injected))
+	for k := range in.injected {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		in.reg.Counter("faults_injected_total", obs.L("kind", k.String())).Add(float64(in.injected[k]))
+	}
+	in.reg.Counter("faults_activations_total").Add(float64(in.activations))
+	in.reg.Counter("faults_repairs_total").Add(float64(in.repairs))
+	in.reg.Gauge("faults_active_peak").Set(float64(in.peakActive))
+}

@@ -5,6 +5,7 @@ import (
 
 	"armcivt/internal/armci"
 	"armcivt/internal/core"
+	"armcivt/internal/faults"
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 	"armcivt/internal/stats"
@@ -67,6 +68,13 @@ type ContentionConfig struct {
 	// TraceSched additionally records every scheduler run-slice of every
 	// simulated process (verbose; multiplies trace volume several-fold).
 	TraceSched bool
+
+	// Faults, when non-nil, injects the fault schedule into the run (see
+	// docs/FAULTS.md): links fail, degrade or flap, CHTs stall, the armci
+	// layer turns on request timeouts/retries and credit regeneration, and
+	// a deadlock watchdog aborts a wedged run with a *sim.WatchdogError.
+	// Nil keeps the run bit-identical to the fault-free pipeline.
+	Faults *faults.Spec
 }
 
 func (c ContentionConfig) withDefaults() ContentionConfig {
@@ -108,6 +116,14 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	cfg.Metrics = c.Metrics
 	cfg.Trace = c.Trace
 	cfg.TracePID = c.TracePID
+	if c.Faults != nil {
+		cfg.Faults = faults.NewInjector(eng, c.Nodes, c.Faults)
+		// A faulted schedule can livelock on retry churn; the watchdog
+		// (default interval/patience) turns that into a Run error with a
+		// blocked-process report instead of a wall-clock hang.
+		wd := sim.NewWatchdog(eng, 0, 0)
+		wd.Start()
+	}
 	if c.Trace != nil {
 		contend := "no contention"
 		if c.ContenderEvery > 0 {

@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"testing"
+
+	"armcivt/internal/core"
+	"armcivt/internal/faults"
+	"armcivt/internal/obs"
+)
+
+func faultedScale() ContentionConfig {
+	return ContentionConfig{
+		Kind: core.MFCG, Nodes: 16, PPN: 2, Iters: 3,
+		SampleEvery: 4, ContenderEvery: 5, Op: OpVectoredPut,
+	}
+}
+
+// TestFig6FaultedHotCHTCompletes is the regression for the headline failure
+// mode: the hot-spot CHT (rank 0's node) stalls mid-experiment for longer
+// than the request timeout. Retries plus duplicate suppression must carry
+// the vectored-put workload to completion instead of wedging it.
+func TestFig6FaultedHotCHTCompletes(t *testing.T) {
+	c := faultedScale()
+	c.Metrics = obs.NewRegistry()
+	c.Faults = faults.MustParseSpec("cht:0@t=20us@for=6ms")
+	s, err := Contention(c)
+	if err != nil {
+		t.Fatalf("faulted contention run did not complete: %v", err)
+	}
+	if len(s.Y) == 0 {
+		t.Fatal("no measurements produced")
+	}
+	if v := c.Metrics.Counter("armci_retries_total").Value(); v == 0 {
+		t.Error("stall longer than the request timeout produced no retries")
+	}
+	if v := c.Metrics.Counter("faults_injected_total", obs.L("kind", "cht_stall")).Value(); v != 1 {
+		t.Errorf("faults_injected_total{kind=cht_stall} = %v, want 1", v)
+	}
+}
+
+// TestBenignFaultScheduleIsBitIdentical pins the zero-cost guarantee: a
+// fault schedule that never activates during the run must not perturb the
+// measured series, even though it arms timeouts, regen checks and the
+// watchdog.
+func TestBenignFaultScheduleIsBitIdentical(t *testing.T) {
+	clean, err := Contention(faultedScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := faultedScale()
+	c.Faults = faults.MustParseSpec("cht:1@t=1h")
+	armed, err := Contention(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Y) != len(armed.Y) {
+		t.Fatalf("series lengths differ: %d vs %d", len(clean.Y), len(armed.Y))
+	}
+	for i := range clean.Y {
+		if clean.X[i] != armed.X[i] || clean.Y[i] != armed.Y[i] {
+			t.Errorf("point %d differs: clean (%v,%v) vs armed (%v,%v)",
+				i, clean.X[i], clean.Y[i], armed.X[i], armed.Y[i])
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package obs_test
 
-// Documentation-drift check: docs/OBSERVABILITY.md is the schema of record
-// for every metric the repository emits. This test runs an instrumented
-// workload that exercises every emitting layer (armci runtime + fabric via
-// FillMetrics, plus the core analysis gauges cmd/topoviz publishes) and
-// fails if any registered metric name is missing from the document.
+// Documentation-drift check: docs/OBSERVABILITY.md (baseline metrics) and
+// docs/FAULTS.md (fault-injection and resilience metrics) are together the
+// schema of record for every metric the repository emits. This test runs an
+// instrumented workload that exercises every emitting layer (armci runtime +
+// fabric via FillMetrics, a faulted run for the resilience counters, plus
+// the core analysis gauges cmd/topoviz publishes) and fails if any
+// registered metric name is missing from both documents.
 //
 // It lives in package obs_test so it can import internal/armci, which
 // itself imports internal/obs.
@@ -16,6 +18,7 @@ import (
 
 	"armcivt/internal/armci"
 	"armcivt/internal/core"
+	"armcivt/internal/faults"
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 )
@@ -49,6 +52,29 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 	rt.FillMetrics()
 	rt.Shutdown()
 
+	// A faulted run on the same registry adds the fault-injection and
+	// resilience metric names (schema in docs/FAULTS.md): a transient CHT
+	// stall longer than the request timeout forces retries and dedup.
+	feng := sim.New()
+	fcfg := armci.DefaultConfig(4, 1)
+	fcfg.Topology = core.MustNew(core.MFCG, 4)
+	fcfg.Metrics = reg
+	fcfg.Trace = obs.NewTracer()
+	fcfg.Faults = faults.NewInjector(feng, 4,
+		faults.MustParseSpec("cht:1@t=0s@for=300us,degrade:0-1@t=0s@bw=0.5"))
+	fcfg.RequestTimeout = 50 * sim.Microsecond
+	frt := armci.MustNew(feng, fcfg)
+	frt.Alloc("f", 1024)
+	if err := frt.Run(func(r *armci.Rank) {
+		if r.Rank() == 0 {
+			r.Put(1, "f", 0, make([]byte, 256))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frt.FillMetrics()
+	frt.Shutdown()
+
 	// The core analysis gauges, exactly as cmd/topoviz publishes them.
 	tl := obs.L("topo", core.MFCG.String())
 	reg.Gauge("core_diameter_hops", tl).Set(float64(core.Diameter(topo)))
@@ -61,9 +87,13 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 }
 
 func TestEveryEmittedMetricIsDocumented(t *testing.T) {
-	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
-	if err != nil {
-		t.Fatal(err)
+	var docs string
+	for _, path := range []string{"../../docs/OBSERVABILITY.md", "../../docs/FAULTS.md"} {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs += string(doc)
 	}
 	reg := allLayersRegistry(t)
 	names := reg.Names()
@@ -71,8 +101,8 @@ func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 		t.Fatalf("workload registered only %d metric names; the all-layers workload regressed: %v", len(names), names)
 	}
 	for _, name := range names {
-		if !strings.Contains(string(doc), "`"+name+"`") {
-			t.Errorf("metric %q is emitted but not documented in docs/OBSERVABILITY.md", name)
+		if !strings.Contains(docs, "`"+name+"`") {
+			t.Errorf("metric %q is emitted but documented in neither docs/OBSERVABILITY.md nor docs/FAULTS.md", name)
 		}
 	}
 }
@@ -90,6 +120,9 @@ func TestWorkloadCoversDocumentedTables(t *testing.T) {
 		"armci_ops_total", "armci_cht_busy_frac", "armci_credit_wait_us",
 		"armci_edge_buffer_peak", "fabric_port_wait_us", "fabric_nic_util",
 		"fabric_link_util", "core_diameter_hops", "core_forwarder_share",
+		"armci_retries_total", "armci_dup_drops_total",
+		"faults_injected_total", "faults_activations_total",
+		"fabric_link_stalls_total",
 	} {
 		if !have[want] {
 			t.Errorf("documented metric %q not emitted by the all-layers workload", want)

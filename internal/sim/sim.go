@@ -129,6 +129,16 @@ type Engine struct {
 	rng     *rand.Rand
 	running bool
 	tracer  Tracer
+	// resumes counts process resumptions, the progress signal the Watchdog
+	// samples: a simulation whose event queue stays busy without ever
+	// resuming a process is livelocked, not working.
+	resumes uint64
+	// executed counts events popped by the run loop; the Watchdog compares
+	// it with resumes to tell churn (events firing, nobody resuming) from a
+	// quiet wait on a far-future event.
+	executed uint64
+	// halt, when set (see Halt), aborts the run loop before the next event.
+	halt error
 }
 
 // New creates an engine with virtual time 0 and a deterministic RNG.
@@ -230,6 +240,7 @@ func (e *Engine) switchTo(p *Proc) {
 	e.current = p
 	p.state = procRunning
 	p.blockedOn = ""
+	e.resumes++
 	e.trace(TraceResume, p, "")
 	p.resume <- struct{}{}
 	<-e.parked
@@ -319,12 +330,16 @@ func (e *Engine) run(limit Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 	for e.events.Len() > 0 {
+		if e.halt != nil {
+			return e.halt
+		}
 		if limit >= 0 && e.events.peek().t > limit {
 			e.now = limit
 			return &TimeLimitError{Limit: limit, Pending: e.events.Len()}
 		}
 		ev := e.events.popEvent()
 		e.now = ev.t
+		e.executed++
 		ev.fn()
 	}
 	var blocked []string
@@ -370,6 +385,32 @@ func (e *Engine) BlockedProcs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Resumes returns how many times any process has been resumed, the engine's
+// monotone progress counter. The Watchdog samples it to tell "working" from
+// "wedged": events that fire without ever resuming a process make no
+// application progress.
+func (e *Engine) Resumes() uint64 { return e.resumes }
+
+// PendingEvents returns the number of scheduled events not yet executed.
+func (e *Engine) PendingEvents() int { return e.events.Len() }
+
+// Halt requests that the run loop stop before executing its next event and
+// return err from Run/RunUntil. It is how the Watchdog aborts a wedged
+// simulation: the engine state stays consistent, so Shutdown still works.
+// Calling it outside a run (or with nil) is harmless.
+func (e *Engine) Halt(err error) { e.halt = err }
+
+// liveNonDaemons counts non-daemon processes that have not finished.
+func (e *Engine) liveNonDaemons() int {
+	n := 0
+	for _, p := range e.procs {
+		if !p.daemon && p.state != procDone {
+			n++
+		}
+	}
+	return n
 }
 
 // BlockedDaemons returns the blocking points of all parked daemon processes,
