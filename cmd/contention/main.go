@@ -7,11 +7,19 @@
 // default here samples every 8th rank to keep the discrete-event run
 // tractable while preserving per-point behaviour.
 //
+// Runs execute through the internal/sweep worker pool: -j N runs the
+// (topology x level) grid on N workers and -cache DIR reuses previously
+// computed points. Every simulation is an independent deterministic engine,
+// so the printed tables are byte-identical at any -j. cmd/sweep generalizes
+// this binary to arbitrary grids (message sizes, fault specs, seeds) and
+// writes the BENCH_sweep.json perf record; see docs/SWEEP.md.
+//
 // With -metrics, every run additionally prints its observability snapshot
 // (CHT busy fractions, credit-wait histogram, hot-node NIC utilization —
 // see docs/OBSERVABILITY.md). With -trace FILE, all runs are written into
 // one Chrome-trace JSON file (open in Perfetto or chrome://tracing), one
-// trace process per run; -trace-sched adds scheduler run-slices.
+// trace process per run; -trace-sched adds scheduler run-slices. Tracing
+// appends spans run-by-run, so -trace forces serial execution.
 //
 // With -faults SPEC, every run executes under the given fault schedule
 // (grammar in docs/FAULTS.md, e.g. "link:3-7@t=1ms,cht:12@t=2ms"): the
@@ -22,11 +30,11 @@
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
 //	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
-//	           [-csv] [-metrics] [-trace FILE [-trace-sched]] [-faults SPEC]
+//	           [-j N] [-cache DIR] [-csv] [-metrics]
+//	           [-trace FILE [-trace-sched]] [-faults SPEC]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +44,8 @@ import (
 	"armcivt/internal/faults"
 	"armcivt/internal/figures"
 	"armcivt/internal/obs"
-	"armcivt/internal/sim"
 	"armcivt/internal/stats"
+	"armcivt/internal/sweep"
 )
 
 func main() {
@@ -48,17 +56,17 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations per measured process")
 	sample := flag.Int("sample", 8, "measure every k-th rank")
 	topos := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topologies to run")
+	jobs := flag.Int("j", 1, "worker-pool size for the (topology x level) grid")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory ('' disables)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	metrics := flag.Bool("metrics", false, "print each run's observability metrics table")
-	traceFile := flag.String("trace", "", "write a combined Chrome-trace JSON file")
+	traceFile := flag.String("trace", "", "write a combined Chrome-trace JSON file (forces -j 1)")
 	traceSched := flag.Bool("trace-sched", false, "include scheduler run-slices in the trace (verbose)")
 	faultSpec := flag.String("faults", "", "fault schedule, e.g. link:3-7@t=1ms,cht:12@t=2ms (see docs/FAULTS.md)")
 	flag.Parse()
 
-	var spec *faults.Spec
 	if *faultSpec != "" {
-		var err error
-		if spec, err = faults.ParseSpec(*faultSpec); err != nil {
+		if _, err := faults.ParseSpec(*faultSpec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -73,19 +81,17 @@ func main() {
 		}
 		kinds = append(kinds, k)
 	}
-	var opSel figures.ContentionOp
 	var figName string
 	switch *op {
 	case "vput":
-		opSel, figName = figures.OpVectoredPut, "Figure 6: vectored put"
+		figName = "Figure 6: vectored put"
 	case "fadd":
-		opSel, figName = figures.OpFetchAdd, "Figure 7: fetch-&-add"
+		figName = "Figure 7: fetch-&-add"
 	default:
 		fmt.Fprintln(os.Stderr, "bad -op (want vput or fadd)")
 		os.Exit(2)
 	}
 
-	levels := map[string]int{"none": 0, "11": 9, "20": 5}
 	var order []string
 	switch *level {
 	case "all":
@@ -97,51 +103,52 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Expand the (level x topology) grid into sweep points, in print order.
+	// Topologies that cannot be built at this node count are skipped with a
+	// notice, exactly as the per-figure loop did.
+	grid := sweep.Grid{
+		Experiment:  sweep.ExpContention,
+		Op:          *op,
+		Levels:      order,
+		Nodes:       []int{*nodes},
+		PPN:         *ppn,
+		Iters:       *iters,
+		SampleEvery: *sample,
+		Faults:      []string{faultsOrNone(*faultSpec)},
+		Metrics:     *metrics,
+	}
+	for _, kind := range kinds {
+		if _, err := core.New(kind, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %v: %v\n", kind, err)
+			continue
+		}
+		grid.Topos = append(grid.Topos, kind.String())
+	}
+	points, err := grid.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var tracer *obs.Tracer
 	if *traceFile != "" {
 		tracer = obs.NewTracer()
 	}
-	pid := 0
-
-	scale := figures.ContentionConfig{Nodes: *nodes, PPN: *ppn, Iters: *iters, SampleEvery: *sample, Faults: spec}
-	for _, lv := range order {
-		every := levels[lv]
-		pct := map[string]string{"none": "no contention", "11": "11% contention", "20": "20% contention"}[lv]
-		var series []*stats.Series
-		var snaps []*stats.Table
-		for _, kind := range kinds {
-			if _, err := core.New(kind, *nodes); err != nil {
-				fmt.Fprintf(os.Stderr, "skipping %v: %v\n", kind, err)
-				continue
-			}
-			c := scale
-			c.Kind, c.ContenderEvery, c.Op = kind, every, opSel
-			if *metrics {
-				c.Metrics = obs.NewRegistry()
-			}
-			if tracer != nil {
-				c.Trace, c.TracePID, c.TraceSched = tracer, pid, *traceSched
-				pid++
-			}
-			s, err := figures.Contention(c)
-			if err != nil {
-				var werr *sim.WatchdogError
-				if errors.As(err, &werr) {
-					fmt.Fprint(os.Stderr, werr.Report.String())
-				} else {
-					fmt.Fprintln(os.Stderr, err)
-				}
-				os.Exit(1)
-			}
-			series = append(series, s)
-			if *metrics {
-				snaps = append(snaps, c.Metrics.Snapshot(
-					fmt.Sprintf("metrics: %v, %s", kind, pct)))
-			}
+	runner := &sweep.Runner{Workers: *jobs, CacheDir: *cacheDir, Trace: tracer}
+	if tracer != nil && *traceSched {
+		// The generic executor doesn't know about scheduler slices; run
+		// those through a thin wrapper that switches the flag on.
+		runner.Exec = func(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
+			return executeWithSched(p, opts)
 		}
+	}
+	results, _ := runner.Run(points)
+
+	for _, g := range sweep.Groups(results) {
+		pct := sweep.LevelName(g.Point.Level)
 		tbl := stats.SeriesTable(
 			fmt.Sprintf("%s to rank 0, %s — avg us/op per process rank", figName, pct),
-			"rank", series)
+			"rank", g.Series)
 		if *csv {
 			tbl.WriteCSV(os.Stdout)
 		} else {
@@ -152,19 +159,25 @@ func main() {
 			Title:  fmt.Sprintf("summary (%s)", pct),
 			Header: []string{"topology", "mean us", "p50 us", "p99 us", "max us"},
 		}
-		for _, s := range series {
+		for _, s := range g.Series {
 			sm := stats.Summarize(s.Y)
 			sum.AddRow(s.Label, sm.Mean, sm.P50, sm.P99, sm.Max)
 		}
 		sum.Write(os.Stdout)
 		fmt.Println()
-		for _, snap := range snaps {
+		for _, snap := range g.Snapshots {
 			if *csv {
 				snap.WriteCSV(os.Stdout)
 			} else {
 				snap.Write(os.Stdout)
 			}
 			fmt.Println()
+		}
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
 		}
 	}
 
@@ -185,4 +198,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped); open in https://ui.perfetto.dev\n",
 			tracer.Len(), *traceFile, tracer.Dropped())
 	}
+}
+
+func faultsOrNone(spec string) string {
+	if spec == "" {
+		return "none"
+	}
+	return spec
+}
+
+// executeWithSched mirrors sweep.Execute for the -trace-sched path: it
+// rebuilds the contention config with scheduler-slice tracing enabled.
+func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
+	kind, err := core.ParseKind(p.Topo)
+	if err != nil {
+		return sweep.Result{Point: p, Label: p.Label(), Err: err.Error()}
+	}
+	cfg := figures.ContentionConfig{
+		Kind: kind, Nodes: p.Nodes, PPN: p.PPN, Iters: p.Iters,
+		ContenderEvery: p.ContenderEvery, VecSegs: p.VecSegs,
+		VecSegLen: p.MsgSize, SampleEvery: p.SampleEvery,
+		StreamLimit: p.StreamLimit, Seed: p.EffectiveSeed(),
+		Trace: opts.Trace, TracePID: p.Index, TraceSched: true,
+	}
+	if p.Op == "fadd" {
+		cfg.Op = figures.OpFetchAdd
+	}
+	if p.Faults != "" {
+		spec, err := faults.ParseSpec(p.Faults)
+		if err != nil {
+			return sweep.Result{Point: p, Label: p.Label(), Err: err.Error()}
+		}
+		cfg.Faults = spec
+	}
+	res := sweep.Result{Point: p, Label: p.Label()}
+	s, err := figures.Contention(cfg)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.X, res.Y = s.X, s.Y
+	return res
 }

@@ -2,9 +2,14 @@
 // consumption versus process count for FCG, MFCG, CFCG, and Hypercube, at
 // the paper's constants (12 processes/node, 16 KB buffers, 4 per process).
 //
+// The (topology x process-count) cells run through the internal/sweep
+// worker pool (-j N; serial by default) — each cell is an independent
+// deterministic computation, so the table is byte-identical at any -j.
+// cmd/sweep runs the same grid as `sweep -preset fig5`.
+//
 // Usage:
 //
-//	memscale [-ppn 12] [-procs 768,1536,3072,6144,12288] [-csv]
+//	memscale [-ppn 12] [-procs 768,1536,3072,6144,12288] [-j N] [-csv]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
 	"armcivt/internal/stats"
+	"armcivt/internal/sweep"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -34,6 +40,7 @@ func parseInts(s string) ([]int, error) {
 func main() {
 	ppn := flag.Int("ppn", 12, "processes per node")
 	procsFlag := flag.String("procs", "768,1536,3072,6144,12288", "comma-separated process counts")
+	jobs := flag.Int("j", 1, "worker-pool size for the (topology x processes) grid")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 
@@ -42,10 +49,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bad -procs:", err)
 		os.Exit(2)
 	}
-	series, err := figures.Fig5(procs, *ppn)
+	for _, p := range procs {
+		if p%*ppn != 0 {
+			fmt.Fprintf(os.Stderr, "figures: %d processes not divisible by ppn %d\n", p, *ppn)
+			os.Exit(1)
+		}
+	}
+	grid := sweep.Grid{Experiment: sweep.ExpMemscale, PPN: *ppn, Procs: procs}
+	points, err := grid.Expand()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	runner := &sweep.Runner{Workers: *jobs}
+	results, _ := runner.Run(points)
+
+	// One series per topology kind in canonical order — kinds whose every
+	// cell was skipped still get their (empty) column, exactly as Fig5
+	// renders them.
+	byKind := map[string]*stats.Series{}
+	var series []*stats.Series
+	for _, kind := range core.Kinds {
+		s := &stats.Series{Label: kind.String()}
+		byKind[kind.String()] = s
+		series = append(series, s)
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		}
+		byKind[r.Label].Add(float64(r.Point.Procs), r.Value)
 	}
 	tbl := stats.SeriesTable(
 		"Figure 5: master-process memory (MBytes) vs processes",

@@ -6,16 +6,21 @@
 // The default -quick mode runs reduced-scale experiments (minutes); -full
 // uses the paper-scale parameters documented in EXPERIMENTS.md.
 //
+// The contention grid (Figs 6-7: 2 ops x 3 levels x up to 4 topologies)
+// executes through the internal/sweep worker pool: -j N parallelizes it
+// across N workers. Every run is an independent deterministic simulation,
+// so the report is byte-identical at any -j.
+//
 // With -metrics, each contention run (Figs 6-7) appends its observability
 // snapshot to the report; with -trace FILE all contention runs are written
 // into one Chrome-trace JSON file, one trace process per run (see
-// docs/OBSERVABILITY.md). With -faults SPEC, the contention runs execute
-// under the given fault schedule (grammar in docs/FAULTS.md), exercising
-// the timeout/retry/reroute machinery.
+// docs/OBSERVABILITY.md; forces -j 1). With -faults SPEC, the contention
+// runs execute under the given fault schedule (grammar in docs/FAULTS.md),
+// exercising the timeout/retry/reroute machinery.
 //
 // Usage:
 //
-//	vtreport [-quick|-full] [-metrics] [-trace FILE] [-faults SPEC] > report.md
+//	vtreport [-quick|-full] [-j N] [-metrics] [-trace FILE] [-faults SPEC] > report.md
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"armcivt/internal/obs"
 	"armcivt/internal/sim"
 	"armcivt/internal/stats"
+	"armcivt/internal/sweep"
 )
 
 type scale struct {
@@ -83,10 +89,18 @@ func fullScale() scale {
 	return s
 }
 
+// contSection is one contention block of the report: a heading plus the
+// half-open [start, end) range of the sweep's point list it renders.
+type contSection struct {
+	title      string
+	start, end int
+}
+
 func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
+	jobs := flag.Int("j", 1, "worker-pool size for the contention grid (Figs 6-7)")
 	metrics := flag.Bool("metrics", false, "append observability snapshots to the contention sections")
-	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file")
+	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file (forces -j 1)")
 	faultSpec := flag.String("faults", "", "fault schedule for the contention runs (see docs/FAULTS.md)")
 	flag.Parse()
 	s := quickScale()
@@ -96,18 +110,15 @@ func main() {
 		mode = "full"
 	}
 	if *faultSpec != "" {
-		spec, err := faults.ParseSpec(*faultSpec)
-		if err != nil {
+		if _, err := faults.ParseSpec(*faultSpec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		s.contention.Faults = spec
 	}
 	var tracer *obs.Tracer
 	if *traceFile != "" {
 		tracer = obs.NewTracer()
 	}
-	tracePID := 0
 	w := os.Stdout
 	started := time.Now()
 	fmt.Fprintf(w, "# Virtual-topology evaluation report (%s mode)\n\n", mode)
@@ -120,51 +131,71 @@ func main() {
 	check(err)
 	stats.SeriesTable("memory (MBytes)", "processes", ss).Write(w)
 
-	// runContention mirrors figures.Fig6/Fig7 but runs each topology
-	// itself so every run can get its own metrics registry and trace pid.
-	runContention := func(kinds []core.Kind, every int, op figures.ContentionOp, secName string) {
-		var series []*stats.Series
-		var snaps []*stats.Table
-		for _, kind := range kinds {
-			c := s.contention
-			c.Kind, c.ContenderEvery, c.Op = kind, every, op
-			if _, err := core.New(kind, c.Nodes); err != nil {
-				continue // topology inapplicable at this node count
-			}
-			if *metrics {
-				c.Metrics = obs.NewRegistry()
-			}
-			if tracer != nil {
-				c.Trace, c.TracePID = tracer, tracePID
-				tracePID++
-			}
-			cs, err := figures.Contention(c)
-			check(err)
-			series = append(series, cs)
-			if *metrics {
-				snaps = append(snaps, c.Metrics.Snapshot(
-					fmt.Sprintf("metrics: %v, %s", kind, secName)))
-			}
-		}
-		summary(w, series)
-		for _, snap := range snaps {
-			fmt.Fprintln(w)
-			snap.Write(w)
-		}
-	}
+	// Build the whole contention grid (3 levels x {Fig 6 vput, Fig 7 fadd} x
+	// topologies) as one sweep point list, so -j parallelizes across every
+	// section at once; each section then renders its own slice of the
+	// results. Point order matches the report's section order, so trace pids
+	// and output bytes are identical to the old per-run loop.
+	var points []sweep.Point
+	var sections []contSection
 	for _, lv := range []struct {
-		name  string
+		key   string
 		every int
-	}{{"no contention", 0}, {"11% contention", 9}, {"20% contention", 5}} {
+	}{{"none", 0}, {"11", 9}, {"20", 5}} {
 		kinds := core.Kinds
 		if lv.every > 0 {
 			kinds = []core.Kind{core.FCG, core.MFCG, core.CFCG} // paper drops hypercube under load
 		}
-		section(w, "Figure 6 (vectored put), "+lv.name)
-		runContention(kinds, lv.every, figures.OpVectoredPut, lv.name)
+		name := sweep.LevelName(lv.key)
+		for _, fig := range []struct {
+			heading string
+			op      string
+		}{{"Figure 6 (vectored put), " + name, "vput"}, {"Figure 7 (fetch-&-add), " + name, "fadd"}} {
+			sec := contSection{title: fig.heading, start: len(points)}
+			for _, kind := range kinds {
+				if _, err := core.New(kind, s.contention.Nodes); err != nil {
+					continue // topology inapplicable at this node count
+				}
+				points = append(points, sweep.Point{
+					Experiment:     sweep.ExpContention,
+					Topo:           kind.String(),
+					Nodes:          s.contention.Nodes,
+					PPN:            s.contention.PPN,
+					Op:             fig.op,
+					Level:          lv.key,
+					ContenderEvery: lv.every,
+					Iters:          s.contention.Iters,
+					SampleEvery:    s.contention.SampleEvery,
+					StreamLimit:    s.contention.StreamLimit,
+					Faults:         *faultSpec,
+					Metrics:        *metrics,
+				})
+			}
+			sec.end = len(points)
+			sections = append(sections, sec)
+		}
+	}
+	sweep.Reindex(points)
+	runner := &sweep.Runner{Workers: *jobs, Trace: tracer}
+	results, _ := runner.Run(points)
 
-		section(w, "Figure 7 (fetch-&-add), "+lv.name)
-		runContention(kinds, lv.every, figures.OpFetchAdd, lv.name)
+	for _, sec := range sections {
+		section(w, sec.title)
+		var series []*stats.Series
+		for _, r := range results[sec.start:sec.end] {
+			if r.Err != "" {
+				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(1)
+			}
+			series = append(series, r.Series())
+		}
+		summary(w, series)
+		for _, r := range results[sec.start:sec.end] {
+			if r.Snapshot != nil {
+				fmt.Fprintln(w)
+				r.Snapshot.Write(w)
+			}
+		}
 	}
 
 	section(w, "Figure 8: NAS LU execution time")

@@ -44,12 +44,14 @@ func Fig8(procCounts []int, ppn int, cfg lu.Config) ([]*stats.Series, error) {
 			}
 			c := lu.Setup(rt, cfg)
 			var t0 float64
-			if err := rt.Run(func(r *armci.Rank) {
+			err = rt.Run(func(r *armci.Rank) {
 				res := lu.Run(r, c)
 				if r.Rank() == 0 {
 					t0 = res.Seconds
 				}
-			}); err != nil {
+			})
+			rt.Shutdown()
+			if err != nil {
 				return nil, fmt.Errorf("figures: LU %v x%d: %w", kind, procs, err)
 			}
 			s.Add(float64(procs), t0)
@@ -75,12 +77,14 @@ func Fig9a(coreCounts []int, ppn int, cfg dft.Config) ([]*stats.Series, error) {
 			}
 			st := dft.Setup(rt, cfg)
 			var t0 float64
-			if err := rt.Run(func(r *armci.Rank) {
+			err = rt.Run(func(r *armci.Rank) {
 				res := dft.Run(r, st)
 				if r.Rank() == 0 {
 					t0 = res.Seconds
 				}
-			}); err != nil {
+			})
+			rt.Shutdown()
+			if err != nil {
 				return nil, fmt.Errorf("figures: DFT %v x%d: %w", kind, cores, err)
 			}
 			s.Add(float64(cores), t0)
@@ -106,12 +110,14 @@ func Fig9b(coreCounts []int, ppn int, cfg ccsd.Config) ([]*stats.Series, error) 
 			}
 			st := ccsd.Setup(rt, cfg)
 			var t0 float64
-			if err := rt.Run(func(r *armci.Rank) {
+			err = rt.Run(func(r *armci.Rank) {
 				res := ccsd.Run(r, st)
 				if r.Rank() == 0 {
 					t0 = res.Seconds
 				}
-			}); err != nil {
+			})
+			rt.Shutdown()
+			if err != nil {
 				return nil, fmt.Errorf("figures: CCSD %v x%d: %w", kind, cores, err)
 			}
 			s.Add(float64(cores), t0)

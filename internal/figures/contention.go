@@ -52,6 +52,11 @@ type ContentionConfig struct {
 	// contending sources to hardware streams matches the paper-scale
 	// experiment.
 	StreamLimit int
+	// Seed reseeds the engine's deterministic RNG (0 keeps the default
+	// seed, bit-identical to all pre-sweep releases). Two runs with the
+	// same config and seed produce identical results; sweeps vary Seed to
+	// get independent repetitions.
+	Seed int64
 
 	// Metrics, when non-nil, collects the run's observability counters,
 	// gauges and histograms (see docs/OBSERVABILITY.md). Use a fresh
@@ -104,6 +109,9 @@ func (c ContentionConfig) withDefaults() ContentionConfig {
 func Contention(c ContentionConfig) (*stats.Series, error) {
 	c = c.withDefaults()
 	eng := simEngine()
+	if c.Seed != 0 {
+		eng.Seed(c.Seed)
+	}
 	topo, err := core.New(c.Kind, c.Nodes)
 	if err != nil {
 		return nil, err
@@ -138,6 +146,10 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Release every parked goroutine (CHT daemons outlive the run) once the
+	// simulation is over: a sweep executes thousands of engines per process
+	// and would otherwise accumulate them.
+	defer rt.Shutdown()
 	// Rank 0's window: disjoint slots per origin so vectored puts never
 	// overlap semantically.
 	n := rt.NRanks()

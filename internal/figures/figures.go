@@ -49,6 +49,22 @@ func Fig5(procCounts []int, ppn int) ([]*stats.Series, error) {
 	return out, nil
 }
 
+// Fig5Point computes a single cell of Figure 5: master-process RSS (MBytes)
+// for one topology at one process count. It is the per-point unit the sweep
+// runner executes; Fig5 is the serial cross-product of these cells.
+func Fig5Point(procs, ppn int, kind core.Kind) (float64, error) {
+	if procs%ppn != 0 {
+		return 0, fmt.Errorf("figures: %d processes not divisible by ppn %d", procs, ppn)
+	}
+	nodes := procs / ppn
+	topo, err := core.New(kind, nodes)
+	if err != nil {
+		return 0, err
+	}
+	cfg := armci.DefaultConfig(nodes, ppn)
+	return float64(armci.MasterRSSFor(cfg, topo, 0)) / (1 << 20), nil
+}
+
 // Fig5Increment returns the buffer-driven RSS increment (MBytes) over the
 // base footprint, the quantity the paper's text discusses (812 MB for FCG at
 // 12,288 processes).

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue measures raw schedule/dispatch throughput of the event
+// heap: a self-rescheduling chain keeps a fixed population of pending events
+// alive, the access pattern the armci/fabric layers generate. The interesting
+// numbers are ns/op and allocs/op: the hand-rolled heap must not allocate per
+// event (container/heap's interface boxing did).
+func BenchmarkEventQueue(b *testing.B) {
+	for _, pending := range []int{16, 256, 4096} {
+		b.Run(benchName(pending), func(b *testing.B) {
+			e := New()
+			fired := 0
+			var reschedule func()
+			reschedule = func() {
+				fired++
+				if fired < b.N {
+					e.After(Time(fired%7+1), reschedule)
+				}
+			}
+			for i := 0; i < pending; i++ {
+				e.After(Time(i%13+1), reschedule)
+			}
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func benchName(pending int) string {
+	switch pending {
+	case 16:
+		return "pending=16"
+	case 256:
+		return "pending=256"
+	default:
+		return "pending=4096"
+	}
+}
+
+// BenchmarkProcessPingPong measures the full scheduling round-trip two
+// processes alternating on a queue pay per message: park, event dispatch,
+// resume.
+func BenchmarkProcessPingPong(b *testing.B) {
+	e := New()
+	ping := NewQueue[int](e, "ping")
+	pong := NewQueue[int](e, "pong")
+	n := b.N
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Put(i)
+			pong.Get(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Get(p)
+			pong.Put(i)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

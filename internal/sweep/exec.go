@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"armcivt/internal/core"
+	"armcivt/internal/faults"
+	"armcivt/internal/figures"
+	"armcivt/internal/obs"
+	"armcivt/internal/sim"
+	"armcivt/internal/stats"
+)
+
+// Result is the outcome of one point. Series-valued experiments (contention)
+// fill X/Y; scalar ones (memscale) fill Value. Err is set instead when the
+// run failed or panicked — a failed point never aborts the sweep. WallNS is
+// the wall-clock cost of the execution that produced the result, preserved
+// across cache hits (Cached distinguishes the two).
+type Result struct {
+	Point    Point        `json:"point"`
+	Label    string       `json:"label"`
+	X        []float64    `json:"x,omitempty"`
+	Y        []float64    `json:"y,omitempty"`
+	Value    float64      `json:"value,omitempty"`
+	Snapshot *stats.Table `json:"snapshot,omitempty"`
+	WallNS   int64        `json:"wall_ns"`
+	Err      string       `json:"err,omitempty"`
+	Cached   bool         `json:"-"`
+}
+
+// Series converts a series-valued result into a labeled stats.Series.
+func (r Result) Series() *stats.Series {
+	return &stats.Series{Label: r.Label, X: r.X, Y: r.Y}
+}
+
+// ExecOptions carries per-sweep observability attachments into the executor.
+type ExecOptions struct {
+	// Trace, when non-nil, receives every run's spans; the point index is
+	// used as the trace process id. Tracing implies a serial pool (the
+	// tracer is not goroutine-safe), which Runner.Run enforces.
+	Trace *obs.Tracer
+}
+
+// Execute runs one point to completion and returns its result. It is a pure
+// function of the point (plus opts): the same point always produces the same
+// X/Y/Value, which is what makes results cacheable and worker counts
+// invisible. Failures are reported in Result.Err, not as an error, so a
+// sweep records them and moves on.
+func Execute(p Point, opts ExecOptions) Result {
+	res := Result{Point: p, Label: p.Label()}
+	kind, err := core.ParseKind(p.Topo)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	switch p.Experiment {
+	case ExpMemscale:
+		v, err := figures.Fig5Point(p.Procs, p.PPN, kind)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Value = v
+	case ExpContention:
+		cfg := figures.ContentionConfig{
+			Kind:           kind,
+			Nodes:          p.Nodes,
+			PPN:            p.PPN,
+			Iters:          p.Iters,
+			ContenderEvery: p.ContenderEvery,
+			VecSegs:        p.VecSegs,
+			VecSegLen:      p.MsgSize,
+			SampleEvery:    p.SampleEvery,
+			StreamLimit:    p.StreamLimit,
+			Seed:           p.EffectiveSeed(),
+		}
+		if p.Op == "fadd" {
+			cfg.Op = figures.OpFetchAdd
+		}
+		if p.Faults != "" {
+			spec, err := faults.ParseSpec(p.Faults)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			cfg.Faults = spec
+		}
+		var reg *obs.Registry
+		if p.Metrics {
+			reg = obs.NewRegistry()
+			cfg.Metrics = reg
+		}
+		if opts.Trace != nil {
+			cfg.Trace = opts.Trace
+			cfg.TracePID = p.Index
+		}
+		s, err := figures.Contention(cfg)
+		if err != nil {
+			var werr *sim.WatchdogError
+			if errors.As(err, &werr) {
+				res.Err = werr.Report.String()
+			} else {
+				res.Err = err.Error()
+			}
+			return res
+		}
+		res.X, res.Y = s.X, s.Y
+		if reg != nil {
+			res.Snapshot = reg.Snapshot(fmt.Sprintf("metrics: %s, %s", p.Topo, LevelName(p.Level)))
+		}
+	default:
+		res.Err = fmt.Sprintf("sweep: unknown experiment %q", p.Experiment)
+	}
+	return res
+}

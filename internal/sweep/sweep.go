@@ -1,0 +1,394 @@
+// Package sweep is the parallel experiment-sweep engine: it expands a
+// declarative grid specification (topology × nodes × message size × fault
+// spec × seed, with repetitions) into independent deterministic simulation
+// points and executes them on a bounded worker pool with a content-addressed
+// on-disk result cache.
+//
+// Each internal/sim engine is single-threaded and shares no state with any
+// other engine, so points are embarrassingly parallel: the pool only changes
+// wall-clock time, never results. The runner returns results in expansion
+// order regardless of completion order, so the merged output of a sweep is
+// byte-identical at any worker count — a property the tests assert.
+//
+// The grammar of grid specs, the cache-key semantics, the emitted sweep_*
+// metrics and the BENCH_sweep.json schema are documented in docs/SWEEP.md;
+// a drift test fails if the two diverge. The overall data flow of a sweep
+// run is diagrammed in docs/ARCHITECTURE.md.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"armcivt/internal/core"
+)
+
+// Experiment names accepted by the exp= grid key.
+const (
+	ExpContention = "contention" // Figs 6-7 hot-spot microbenchmark
+	ExpMemscale   = "memscale"   // Fig 5 memory scaling
+)
+
+// keySalt versions the cache-key derivation. Bump it whenever the meaning of
+// a Point field (or the executor behind it) changes incompatibly, so stale
+// cache entries can never be served for new semantics.
+const keySalt = "armcivt-sweep-point/v1"
+
+// levelEvery maps the paper's contention scenarios to ContenderEvery values:
+// every 9th process contending is 11%, every 5th is 20%.
+var levelEvery = map[string]int{"none": 0, "11": 9, "20": 5}
+
+// LevelName renders a level key the way the paper's figures caption it.
+func LevelName(level string) string {
+	switch level {
+	case "11":
+		return "11% contention"
+	case "20":
+		return "20% contention"
+	default:
+		return "no contention"
+	}
+}
+
+// Grid is a declarative sweep specification. Every slice field is one axis
+// of the cross-product; scalar fields are shared by all points. The zero
+// value expands to the paper's default Fig 6 grid; ParseGrid fills one from
+// the textual grammar documented in docs/SWEEP.md.
+type Grid struct {
+	// Experiment selects the executor: "contention" (default) or "memscale".
+	Experiment string
+	// Spec preserves the textual form the grid was parsed from, for
+	// provenance in BENCH_sweep.json ("" when constructed in code).
+	Spec string
+
+	Topos  []string // topology kinds; default all four
+	Levels []string // contention levels: none, 11, 20
+	Nodes  []int    // node counts (contention); default 256
+	Sizes  []int    // vectored-put segment lengths in bytes; default 256
+	Faults []string // fault specs (docs/FAULTS.md grammar); "none" = fault-free
+	Seeds  []int64  // engine RNG seeds; default 1 (the engine's own default)
+	Procs  []int    // process counts (memscale); default paper's five
+
+	Op          string // contention op: vput (default) or fadd
+	PPN         int    // processes per node; default 4 (memscale 12)
+	Iters       int    // iterations per measured process; default 20
+	SampleEvery int    // measure every k-th rank; default 8
+	StreamLimit int    // NIC stream-limit override; 0 = fabric default
+	VecSegs     int    // vectored-put segment count; default 32
+	Reps        int    // repetitions per point; rep r perturbs the seed
+	Metrics     bool   // collect a per-point observability snapshot
+}
+
+// ParseGrid parses the textual grid grammar: semicolon-separated key=value
+// fields whose values are comma-separated lists (faults= uses "|" because
+// fault specs contain commas). Example:
+//
+//	exp=contention;op=vput;topos=fcg,mfcg;nodes=64;ppn=2;levels=none,20;seeds=1,2
+func ParseGrid(spec string) (*Grid, error) {
+	g := &Grid{Spec: spec}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("sweep: field %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "exp":
+			if val != ExpContention && val != ExpMemscale {
+				return nil, fmt.Errorf("sweep: unknown experiment %q (want %s or %s)", val, ExpContention, ExpMemscale)
+			}
+			g.Experiment = val
+		case "op":
+			if val != "vput" && val != "fadd" {
+				return nil, fmt.Errorf("sweep: unknown op %q (want vput or fadd)", val)
+			}
+			g.Op = val
+		case "topos":
+			for _, t := range splitList(val) {
+				k, kerr := core.ParseKind(t)
+				if kerr != nil {
+					return nil, fmt.Errorf("sweep: %w", kerr)
+				}
+				// Canonical form, so labels and cache keys are
+				// case-insensitive in the spec.
+				g.Topos = append(g.Topos, k.String())
+			}
+		case "levels":
+			for _, l := range splitList(val) {
+				if _, ok := levelEvery[l]; !ok {
+					return nil, fmt.Errorf("sweep: unknown level %q (want none, 11 or 20)", l)
+				}
+				g.Levels = append(g.Levels, l)
+			}
+		case "nodes":
+			g.Nodes, err = parseIntList(val)
+		case "msgsize":
+			g.Sizes, err = parseIntList(val)
+		case "procs":
+			g.Procs, err = parseIntList(val)
+		case "seeds":
+			for _, s := range splitList(val) {
+				v, perr := strconv.ParseInt(s, 10, 64)
+				if perr != nil {
+					return nil, fmt.Errorf("sweep: bad seed %q", s)
+				}
+				g.Seeds = append(g.Seeds, v)
+			}
+		case "faults":
+			// Fault specs contain commas, so alternatives are |-separated.
+			for _, f := range strings.Split(val, "|") {
+				g.Faults = append(g.Faults, strings.TrimSpace(f))
+			}
+		case "ppn":
+			g.PPN, err = strconv.Atoi(val)
+		case "iters":
+			g.Iters, err = strconv.Atoi(val)
+		case "sample":
+			g.SampleEvery, err = strconv.Atoi(val)
+		case "stream":
+			g.StreamLimit, err = strconv.Atoi(val)
+		case "segs":
+			g.VecSegs, err = strconv.Atoi(val)
+		case "reps":
+			g.Reps, err = strconv.Atoi(val)
+		default:
+			return nil, fmt.Errorf("sweep: unknown grid key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad %s value %q: %v", key, val, err)
+		}
+	}
+	return g, nil
+}
+
+func splitList(val string) []string {
+	var out []string
+	for _, s := range strings.Split(val, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func parseIntList(val string) ([]int, error) {
+	var out []int
+	for _, s := range splitList(val) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// withDefaults fills unset axes with the paper's defaults.
+func (g Grid) withDefaults() Grid {
+	if g.Experiment == "" {
+		g.Experiment = ExpContention
+	}
+	if len(g.Topos) == 0 {
+		for _, k := range core.Kinds {
+			g.Topos = append(g.Topos, k.String())
+		}
+	}
+	if len(g.Levels) == 0 {
+		g.Levels = []string{"none", "11", "20"}
+	}
+	if len(g.Nodes) == 0 {
+		g.Nodes = []int{256}
+	}
+	if len(g.Sizes) == 0 {
+		g.Sizes = []int{256}
+	}
+	if len(g.Faults) == 0 {
+		g.Faults = []string{"none"}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if len(g.Procs) == 0 {
+		g.Procs = []int{768, 1536, 3072, 6144, 12288}
+	}
+	if g.Op == "" {
+		g.Op = "vput"
+	}
+	if g.PPN == 0 {
+		if g.Experiment == ExpMemscale {
+			g.PPN = 12
+		} else {
+			g.PPN = 4
+		}
+	}
+	if g.Iters == 0 {
+		g.Iters = 20
+	}
+	if g.SampleEvery == 0 {
+		g.SampleEvery = 8
+	}
+	if g.VecSegs == 0 {
+		g.VecSegs = 32
+	}
+	if g.Reps == 0 {
+		g.Reps = 1
+	}
+	return g
+}
+
+// Point is one fully resolved simulation run: the cross-product cell a
+// worker executes. All fields that influence the result participate in the
+// cache key (Index does not — it is only the position in expansion order).
+type Point struct {
+	Index int `json:"-"`
+
+	Experiment     string `json:"exp"`
+	Topo           string `json:"topo"`
+	Nodes          int    `json:"nodes,omitempty"`
+	PPN            int    `json:"ppn"`
+	Procs          int    `json:"procs,omitempty"`
+	Op             string `json:"op,omitempty"`
+	Level          string `json:"level,omitempty"`
+	ContenderEvery int    `json:"contender_every,omitempty"`
+	Iters          int    `json:"iters,omitempty"`
+	SampleEvery    int    `json:"sample,omitempty"`
+	StreamLimit    int    `json:"stream,omitempty"`
+	VecSegs        int    `json:"segs,omitempty"`
+	MsgSize        int    `json:"msgsize,omitempty"`
+	Faults         string `json:"faults,omitempty"`
+	Seed           int64  `json:"seed,omitempty"`
+	Rep            int    `json:"rep,omitempty"`
+	Metrics        bool   `json:"metrics,omitempty"`
+}
+
+// Key returns the point's content-addressed identity: the SHA-256 of the
+// versioned canonical JSON encoding. Two points with the same key denote the
+// same deterministic simulation and may share a cached result.
+func (p Point) Key() string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(err) // Point has no unmarshalable fields
+	}
+	sum := sha256.Sum256(append([]byte(keySalt+"\n"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// Label names the point's series in merged tables: the topology, suffixed
+// with the seed and repetition when they differ from the defaults.
+func (p Point) Label() string {
+	l := p.Topo
+	if p.Seed != 0 && p.Seed != 1 {
+		l += fmt.Sprintf("/s%d", p.Seed)
+	}
+	if p.Rep > 0 {
+		l += fmt.Sprintf("/r%d", p.Rep)
+	}
+	return l
+}
+
+// EffectiveSeed is the engine seed a point actually runs with: repetitions
+// perturb the declared seed by a large prime so rep r of seed s never
+// collides with another declared seed.
+func (p Point) EffectiveSeed() int64 {
+	if p.Rep == 0 {
+		return p.Seed
+	}
+	return p.Seed + int64(p.Rep)*1_000_003
+}
+
+// Expand resolves the grid into its ordered list of points, skipping cells
+// whose topology cannot be built at the cell's node count (hypercube off
+// powers of two — the same cells the paper skips). The order is the render
+// order of the merged output: for contention, level × message size × nodes
+// × fault × seed × rep with topologies innermost; for memscale, topology ×
+// process count.
+func (g Grid) Expand() ([]Point, error) {
+	g = g.withDefaults()
+	var points []Point
+	add := func(p Point) {
+		p.Index = len(points)
+		points = append(points, p)
+	}
+	switch g.Experiment {
+	case ExpMemscale:
+		for _, topo := range g.Topos {
+			kind, err := core.ParseKind(topo)
+			if err != nil {
+				return nil, err
+			}
+			for _, procs := range g.Procs {
+				if procs%g.PPN != 0 {
+					return nil, fmt.Errorf("sweep: %d processes not divisible by ppn %d", procs, g.PPN)
+				}
+				if _, err := core.New(kind, procs/g.PPN); err != nil {
+					continue
+				}
+				add(Point{
+					Experiment: ExpMemscale, Topo: topo, PPN: g.PPN,
+					Procs: procs, Metrics: g.Metrics,
+				})
+			}
+		}
+	case ExpContention:
+		for _, level := range g.Levels {
+			every, ok := levelEvery[level]
+			if !ok {
+				return nil, fmt.Errorf("sweep: unknown level %q", level)
+			}
+			for _, size := range g.Sizes {
+				for _, nodes := range g.Nodes {
+					for _, fault := range g.Faults {
+						for _, seed := range g.Seeds {
+							for rep := 0; rep < g.Reps; rep++ {
+								for _, topo := range g.Topos {
+									kind, err := core.ParseKind(topo)
+									if err != nil {
+										return nil, err
+									}
+									if _, err := core.New(kind, nodes); err != nil {
+										continue
+									}
+									f := fault
+									if f == "none" {
+										f = ""
+									}
+									add(Point{
+										Experiment: ExpContention, Topo: topo,
+										Nodes: nodes, PPN: g.PPN, Op: g.Op,
+										Level: level, ContenderEvery: every,
+										Iters: g.Iters, SampleEvery: g.SampleEvery,
+										StreamLimit: g.StreamLimit,
+										VecSegs:     g.VecSegs, MsgSize: size,
+										Faults: f, Seed: seed, Rep: rep,
+										Metrics: g.Metrics,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sweep: unknown experiment %q", g.Experiment)
+	}
+	return points, nil
+}
+
+// Reindex renumbers hand-built point lists into expansion order. Callers
+// that assemble points directly (cmd/vtreport's per-section kind lists)
+// must call it before Runner.Run so results land in slice order.
+func Reindex(points []Point) {
+	for i := range points {
+		points[i].Index = i
+	}
+}

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGridFillsFields(t *testing.T) {
+	g, err := ParseGrid("exp=contention; op=fadd; topos=Fcg,MFCG ,cfcg; levels=none,20; " +
+		"nodes=16,64; msgsize=128,1024; ppn=2; iters=5; sample=4; stream=8; segs=16; reps=2; " +
+		"seeds=1,7; faults=none|cht:1@t=1ms,link:0-1@t=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Experiment != ExpContention || g.Op != "fadd" {
+		t.Fatalf("exp/op = %q/%q", g.Experiment, g.Op)
+	}
+	// Topology names are canonicalized so labels and cache keys are
+	// case-insensitive in the spec.
+	if got := strings.Join(g.Topos, ","); got != "FCG,MFCG,CFCG" {
+		t.Fatalf("topos = %q", got)
+	}
+	if len(g.Levels) != 2 || len(g.Nodes) != 2 || len(g.Sizes) != 2 || len(g.Seeds) != 2 {
+		t.Fatalf("axes = %v %v %v %v", g.Levels, g.Nodes, g.Sizes, g.Seeds)
+	}
+	// Fault alternatives are |-separated because specs contain commas.
+	if len(g.Faults) != 2 || g.Faults[1] != "cht:1@t=1ms,link:0-1@t=2ms" {
+		t.Fatalf("faults = %q", g.Faults)
+	}
+	if g.PPN != 2 || g.Iters != 5 || g.SampleEvery != 4 || g.StreamLimit != 8 || g.VecSegs != 16 || g.Reps != 2 {
+		t.Fatalf("scalars = %+v", g)
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	for _, spec := range []string{
+		"exp=quantum",
+		"op=putget",
+		"topos=ring",
+		"levels=50",
+		"nodes=x",
+		"seeds=abc",
+		"banana=1",
+		"just-a-word",
+	} {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Errorf("ParseGrid(%q) accepted", spec)
+		}
+	}
+}
+
+func TestExpandContentionOrder(t *testing.T) {
+	g := Grid{
+		Experiment: ExpContention,
+		Topos:      []string{"FCG", "MFCG"},
+		Levels:     []string{"none", "20"},
+		Nodes:      []int{16},
+	}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		got = append(got, p.Level+"/"+p.Topo)
+	}
+	// Levels are the outer axis, topologies innermost: one merged table per
+	// level with its topologies side by side.
+	want := "none/FCG,none/MFCG,20/FCG,20/MFCG"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("order = %v, want %s", got, want)
+	}
+	if points[0].ContenderEvery != 0 || points[2].ContenderEvery != 5 {
+		t.Fatalf("contender-every = %d/%d", points[0].ContenderEvery, points[2].ContenderEvery)
+	}
+	if points[0].Faults != "" {
+		t.Fatalf("default fault spec = %q, want empty", points[0].Faults)
+	}
+}
+
+func TestExpandSkipsInfeasibleCells(t *testing.T) {
+	g := Grid{Topos: []string{"FCG", "Hypercube"}, Levels: []string{"none"}, Nodes: []int{33}}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Topo == "Hypercube" {
+			t.Fatal("hypercube at 33 nodes should be skipped (not a power of two)")
+		}
+	}
+	g.Nodes = []int{32}
+	points, err = g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("expected FCG+Hypercube at 32 nodes, got %d points", len(points))
+	}
+}
+
+func TestExpandMemscale(t *testing.T) {
+	g := Grid{Experiment: ExpMemscale, Procs: []int{24, 48}, PPN: 12, Topos: []string{"FCG", "MFCG"}}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 || points[1].Topo != "FCG" || points[1].Procs != 48 {
+		t.Fatalf("memscale expansion = %+v", points)
+	}
+	g.Procs = []int{25}
+	if _, err := g.Expand(); err == nil {
+		t.Fatal("procs not divisible by ppn should error")
+	}
+}
+
+func TestKeyIsContentAddressed(t *testing.T) {
+	base := Point{Experiment: ExpContention, Topo: "MFCG", Nodes: 64, PPN: 2, Op: "vput",
+		Level: "20", ContenderEvery: 5, Iters: 5, SampleEvery: 8, VecSegs: 32, MsgSize: 256}
+	if k := base.Key(); len(k) != 64 || k != base.Key() {
+		t.Fatalf("key not a stable sha256 hex: %q", k)
+	}
+	// The expansion index is position, not identity: the same cell of a
+	// differently shaped grid must reuse the same cached result.
+	moved := base
+	moved.Index = 17
+	if moved.Key() != base.Key() {
+		t.Fatal("Index changed the cache key")
+	}
+	// Every result-influencing field must change the key.
+	for name, mutate := range map[string]func(*Point){
+		"topo":    func(p *Point) { p.Topo = "FCG" },
+		"nodes":   func(p *Point) { p.Nodes = 128 },
+		"op":      func(p *Point) { p.Op = "fadd" },
+		"level":   func(p *Point) { p.Level = "11"; p.ContenderEvery = 9 },
+		"iters":   func(p *Point) { p.Iters = 6 },
+		"msgsize": func(p *Point) { p.MsgSize = 512 },
+		"faults":  func(p *Point) { p.Faults = "cht:1@t=1ms" },
+		"seed":    func(p *Point) { p.Seed = 2 },
+		"rep":     func(p *Point) { p.Rep = 1 },
+		"metrics": func(p *Point) { p.Metrics = true },
+	} {
+		p := base
+		mutate(&p)
+		if p.Key() == base.Key() {
+			t.Errorf("mutating %s did not change the cache key", name)
+		}
+	}
+}
+
+func TestLabelAndEffectiveSeed(t *testing.T) {
+	p := Point{Topo: "MFCG"}
+	if p.Label() != "MFCG" {
+		t.Fatalf("label = %q", p.Label())
+	}
+	p.Seed = 1 // the engine's own default: no suffix
+	if p.Label() != "MFCG" {
+		t.Fatalf("label with default seed = %q", p.Label())
+	}
+	p.Seed, p.Rep = 7, 2
+	if p.Label() != "MFCG/s7/r2" {
+		t.Fatalf("label = %q", p.Label())
+	}
+	if got := p.EffectiveSeed(); got != 7+2*1_000_003 {
+		t.Fatalf("effective seed = %d", got)
+	}
+}
+
+func TestReindex(t *testing.T) {
+	points := []Point{{Topo: "A", Index: 9}, {Topo: "B", Index: 9}}
+	Reindex(points)
+	if points[0].Index != 0 || points[1].Index != 1 {
+		t.Fatalf("reindexed = %+v", points)
+	}
+}
