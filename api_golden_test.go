@@ -1,0 +1,206 @@
+package armcivt_test
+
+// The golden-export test pins the package's public API surface. It renders
+// every exported declaration of package armcivt (signatures only, exported
+// struct fields only, sorted) and compares the result against the ```go
+// block between the api:begin/api:end markers in docs/API.md. Any breaking
+// change — removing or renaming an exported identifier, changing a
+// signature or an exported field — fails this test until the document is
+// regenerated, which makes API breaks an explicit, reviewable act:
+//
+//	go test -run TestAPIGolden -update-api .
+//
+// Additive changes also fail (the surface is pinned byte-for-byte); that is
+// deliberate, so docs/API.md can never fall behind the code.
+
+import (
+	"flag"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite the golden API block in docs/API.md")
+
+const (
+	apiDoc   = "docs/API.md"
+	apiBegin = "<!-- api:begin -->"
+	apiEnd   = "<!-- api:end -->"
+)
+
+func TestAPIGolden(t *testing.T) {
+	got := renderAPI(t)
+	raw, err := os.ReadFile(apiDoc)
+	if err != nil {
+		t.Fatalf("reading %s: %v", apiDoc, err)
+	}
+	doc := string(raw)
+	bi := strings.Index(doc, apiBegin)
+	ei := strings.Index(doc, apiEnd)
+	if bi < 0 || ei < 0 || ei < bi {
+		t.Fatalf("%s lacks %s / %s markers", apiDoc, apiBegin, apiEnd)
+	}
+	if *updateAPI {
+		next := doc[:bi] + apiBegin + "\n```go\n" + got + "```\n" + doc[ei:]
+		if err := os.WriteFile(apiDoc, []byte(next), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", apiDoc)
+		return
+	}
+	golden := doc[bi+len(apiBegin) : ei]
+	golden = strings.TrimPrefix(strings.TrimSpace(golden), "```go")
+	golden = strings.TrimSuffix(strings.TrimSpace(golden), "```")
+	golden = strings.TrimSpace(golden) + "\n"
+	if strings.TrimSpace(got)+"\n" != golden {
+		t.Errorf("exported API surface differs from the golden block in %s.\n"+
+			"If this break is intentional, regenerate with:\n\n"+
+			"\tgo test -run TestAPIGolden -update-api .\n\n"+
+			"and review the %s diff like any other breaking change.\n%s",
+			apiDoc, apiDoc, firstDiff(golden, strings.TrimSpace(got)+"\n"))
+	}
+}
+
+// renderAPI parses the root package (tests excluded, comments dropped) and
+// renders its exported surface: one formatted declaration per exported type,
+// const/var spec, function and method — bodies stripped, unexported struct
+// fields elided — sorted for stability across file reorderings.
+func renderAPI(t *testing.T) string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["armcivt"]
+	if !ok {
+		t.Fatal("package armcivt not found in .")
+	}
+	var names []string
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var decls []string
+	emit := func(d ast.Decl) {
+		var b strings.Builder
+		if err := format.Node(&b, fset, d); err != nil {
+			t.Fatalf("rendering decl: %v", err)
+		}
+		decls = append(decls, b.String())
+	}
+	for _, name := range names {
+		for _, d := range pkg.Files[name].Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+					continue
+				}
+				d.Body = nil
+				emit(d)
+			case *ast.GenDecl:
+				var specs []ast.Spec
+				for _, s := range d.Specs {
+					switch s := s.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							st.Fields.List = exportedFields(st.Fields.List)
+						}
+						specs = append(specs, s)
+					case *ast.ValueSpec:
+						if anyExported(s.Names) {
+							specs = append(specs, s)
+						}
+					}
+				}
+				if len(specs) == 0 {
+					continue
+				}
+				d.Specs = specs
+				emit(d)
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n\n") + "\n"
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func exportedFields(fields []*ast.Field) []*ast.Field {
+	var out []*ast.Field
+	for _, f := range fields {
+		if len(f.Names) == 0 { // embedded
+			typ := f.Type
+			if star, ok := typ.(*ast.StarExpr); ok {
+				typ = star.X
+			}
+			switch typ := typ.(type) {
+			case *ast.Ident:
+				if typ.IsExported() {
+					out = append(out, f)
+				}
+			case *ast.SelectorExpr:
+				out = append(out, f)
+			}
+			continue
+		}
+		if anyExported(f.Names) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return "first difference at golden line " + itoa(i+1) +
+				":\n\tgolden: " + wl[i] + "\n\tcode:   " + gl[i]
+		}
+	}
+	return "one surface is a prefix of the other (lengths " +
+		itoa(len(wl)) + " vs " + itoa(len(gl)) + " lines)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

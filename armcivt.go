@@ -83,6 +83,28 @@ type Handle = armci.Handle
 // Seg is one segment of a vectored operation.
 type Seg = armci.Seg
 
+// Stats holds a run's protocol counters (requests, forwards, credit waits,
+// retries, aggregation batches, ...). See armci.Stats for every field.
+type Stats = armci.Stats
+
+// AggregationConfig tunes small-op aggregation (see armci.AggregationConfig).
+type AggregationConfig = armci.AggregationConfig
+
+// AdaptiveConfig tunes adaptive credit management (see armci.AdaptiveConfig).
+type AdaptiveConfig = armci.AdaptiveConfig
+
+// TimeoutError reports a one-sided operation abandoned after exhausting its
+// retry budget (fault-injected runs only).
+type TimeoutError = armci.TimeoutError
+
+// NoRouteError reports a request dropped because every forwarding route to
+// its target was down (fault-injected runs only).
+type NoRouteError = armci.NoRouteError
+
+// DeadlockError is returned by Run when every simulated process is blocked
+// and no events remain: the job has wedged.
+type DeadlockError = sim.DeadlockError
+
 // Time is virtual time in nanoseconds.
 type Time = sim.Time
 
@@ -124,13 +146,38 @@ const (
 // Advice is the outcome of Recommend.
 type Advice = core.Advice
 
+// RecommendOptions parameterizes Recommend. Zero fields take the paper's
+// defaults, so the minimal call is
+// Recommend(RecommendOptions{Nodes: n, PPN: p, Workload: w}).
+type RecommendOptions struct {
+	// Nodes is the number of compute nodes (required).
+	Nodes int
+	// PPN is processes per node (required).
+	PPN int
+	// Workload classifies the job's communication (default Neighborly).
+	Workload Workload
+	// MemBudget is bytes of communication memory available per node;
+	// 0 means unlimited.
+	MemBudget int64
+	// BufsPerProc is the per-remote-process buffer count used to size each
+	// candidate topology's pools (default 4, the paper's setting).
+	BufsPerProc int
+	// BufSize is the request buffer size in bytes (default 16 KB).
+	BufSize int
+}
+
 // Recommend picks a virtual topology for a job following the paper's
 // conclusions: FCG only when memory allows and no hot-spots are expected,
 // MFCG as the general recommendation, CFCG/Hypercube under growing memory
-// pressure. memBudget is bytes of communication memory per node (0 =
-// unlimited); buffer parameters use the paper's defaults.
-func Recommend(nodes, ppn int, memBudget int64, w Workload) Advice {
-	return core.Recommend(nodes, ppn, memBudget, w, 4, 16<<10)
+// pressure.
+func Recommend(o RecommendOptions) Advice {
+	if o.BufsPerProc == 0 {
+		o.BufsPerProc = 4
+	}
+	if o.BufSize == 0 {
+		o.BufSize = 16 << 10
+	}
+	return core.Recommend(o.Nodes, o.PPN, o.MemBudget, o.Workload, o.BufsPerProc, o.BufSize)
 }
 
 // Options configures a simulated cluster. Zero fields take defaults
@@ -149,21 +196,33 @@ type Options struct {
 	BufSize int
 	// BufsPerProc is the number of buffers per remote process (default 4).
 	BufsPerProc int
-	// Seed perturbs nothing by default; simulations are deterministic.
-	// It reseeds the engine RNG for workloads that draw from it.
+	// Seed reseeds the engine RNG for workloads that draw from it;
+	// simulations are deterministic either way. The zero value keeps the
+	// engine's default seed unless SeedSet is true.
 	Seed int64
+	// SeedSet forces Seed to be applied even when it is 0, so an explicit
+	// zero seed is distinguishable from "unset" (matching the semantics of
+	// every Seed knob in this module).
+	SeedSet bool
+	// Aggregation configures small-op aggregation on the runtime's hot
+	// path (off unless Enabled; see armci.AggregationConfig).
+	Aggregation AggregationConfig
+	// AdaptiveCredits configures adaptive per-edge credit management (off
+	// unless Enabled; see armci.AdaptiveConfig).
+	AdaptiveCredits AdaptiveConfig
 }
 
 // Cluster is a simulated ARMCI job: a runtime plus its virtual-time engine.
 type Cluster struct {
-	eng *sim.Engine
-	rt  *armci.Runtime
+	eng    *sim.Engine
+	rt     *armci.Runtime
+	closed bool
 }
 
 // NewCluster builds a cluster from options.
 func NewCluster(opt Options) (*Cluster, error) {
 	eng := sim.New()
-	if opt.Seed != 0 {
+	if opt.SeedSet || opt.Seed != 0 {
 		eng.Seed(opt.Seed)
 	}
 	cfg := armci.DefaultConfig(opt.Nodes, opt.PPN)
@@ -182,6 +241,8 @@ func NewCluster(opt Options) (*Cluster, error) {
 	if opt.BufsPerProc != 0 {
 		cfg.BufsPerProc = opt.BufsPerProc
 	}
+	cfg.Agg = opt.Aggregation
+	cfg.Adaptive = opt.AdaptiveCredits
 	rt, err := armci.New(eng, cfg)
 	if err != nil {
 		return nil, err
@@ -212,13 +273,27 @@ func (c *Cluster) NewGroup(name string, ranks []int) *Group {
 }
 
 // Run executes body SPMD-style on every rank and drives the simulation to
-// completion. It returns a *sim.DeadlockError if the job wedges.
+// completion. It returns a *DeadlockError if the job wedges.
 func (c *Cluster) Run(body func(r *Rank)) error { return c.rt.Run(body) }
+
+// RunStats is Run plus the job's end-of-run counters, for callers that want
+// both without a second Stats() call.
+func (c *Cluster) RunStats(body func(r *Rank)) (Stats, error) {
+	err := c.rt.Run(body)
+	return c.rt.Stats(), err
+}
 
 // Close releases the simulation's remaining goroutines (helper-thread
 // daemons, blocked ranks). Call it when done with the cluster in programs
-// that create many of them; the cluster must not be running.
-func (c *Cluster) Close() { c.rt.Shutdown() }
+// that create many of them; the cluster must not be running. Close is
+// idempotent: extra calls are no-ops.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.rt.Shutdown()
+}
 
 // NRanks returns Nodes * PPN.
 func (c *Cluster) NRanks() int { return c.rt.NRanks() }
@@ -238,7 +313,7 @@ func (c *Cluster) MasterRSS(node int) int64 { return c.rt.MasterRSS(node) }
 func (c *Cluster) Runtime() *armci.Runtime { return c.rt }
 
 // Stats returns runtime counters (requests, forwards, credit waits, ...).
-func (c *Cluster) Stats() armci.Stats { return c.rt.Stats() }
+func (c *Cluster) Stats() Stats { return c.rt.Stats() }
 
 // Fabric returns the physical network model's configuration.
 func (c *Cluster) Fabric() fabric.Config { return c.rt.Network().Config() }

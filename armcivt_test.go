@@ -170,18 +170,73 @@ func TestClusterGroups(t *testing.T) {
 }
 
 func TestRecommendFacade(t *testing.T) {
-	a := armcivt.Recommend(1024, 12, 0, armcivt.Dynamic)
+	a := armcivt.Recommend(armcivt.RecommendOptions{Nodes: 1024, PPN: 12, Workload: armcivt.Dynamic})
 	if a.Kind != armcivt.MFCG {
 		t.Errorf("dynamic advice = %v, want MFCG", a.Kind)
 	}
 	if a.Reason == "" || a.BufferBytesPerNode <= 0 {
 		t.Errorf("advice incomplete: %+v", a)
 	}
-	if armcivt.Recommend(64, 4, 0, armcivt.Neighborly).Kind != armcivt.FCG {
+	if armcivt.Recommend(armcivt.RecommendOptions{Nodes: 64, PPN: 4, Workload: armcivt.Neighborly}).Kind != armcivt.FCG {
 		t.Error("neighborly advice not FCG")
 	}
-	if armcivt.Recommend(64, 4, 1<<20, armcivt.Bulk).Kind == armcivt.FCG {
+	if armcivt.Recommend(armcivt.RecommendOptions{Nodes: 64, PPN: 4, MemBudget: 1 << 20, Workload: armcivt.Bulk}).Kind == armcivt.FCG {
 		t.Error("tight budget still recommends FCG")
+	}
+	// Explicit buffer parameters shrink FCG's footprint below the budget.
+	tiny := armcivt.RecommendOptions{Nodes: 64, PPN: 4, MemBudget: 1 << 20, Workload: armcivt.Bulk, BufsPerProc: 1, BufSize: 512}
+	if armcivt.Recommend(tiny).Kind != armcivt.FCG {
+		t.Error("small buffers should let FCG fit the budget")
+	}
+}
+
+func TestRunStatsAndAggregationOption(t *testing.T) {
+	c, err := armcivt.NewCluster(armcivt.Options{
+		Nodes: 9, PPN: 2, Topology: armcivt.MFCG,
+		Aggregation: armcivt.AggregationConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Alloc("data", 4096)
+	st, err := c.RunStats(func(r *armcivt.Rank) {
+		hs := make([]*armcivt.Handle, 0, 8)
+		for k := 0; k < 8; k++ {
+			hs = append(hs, r.NbPut(0, "data", 8*r.Rank(), []byte{byte(k)}))
+		}
+		r.WaitAll(hs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops == 0 {
+		t.Error("RunStats returned empty stats")
+	}
+	if st.AggBatches == 0 {
+		t.Error("aggregation enabled via Options but no batches formed")
+	}
+}
+
+func TestSeedSetZeroSeed(t *testing.T) {
+	// An explicit zero seed (SeedSet) must be accepted and deterministic.
+	run := func(opt armcivt.Options) armcivt.Time {
+		c, err := armcivt.NewCluster(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Alloc("x", 64)
+		if err := c.Run(func(r *armcivt.Rank) { r.FetchAdd(0, "x", 0, 1) }); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now()
+	}
+	base := armcivt.Options{Nodes: 4, PPN: 2, Topology: armcivt.MFCG}
+	withZero := base
+	withZero.SeedSet = true
+	if run(base) != run(withZero) || run(withZero) != run(withZero) {
+		t.Error("explicit zero seed not deterministic")
 	}
 }
 

@@ -88,6 +88,104 @@ func BenchmarkFig7FetchAdd(b *testing.B) {
 	}
 }
 
+// aggContentionConfig is the paper-scale hot-spot cell the aggregation
+// benchmarks and the committed BENCH_aggregation.json record share: 256
+// nodes x 4 PPN, 20% contention, fetch-&-add pipelined 8 deep. The window
+// is identical with aggregation off and on, so the pair isolates the
+// protocol change (multi-op packets vs one packet per op).
+func aggContentionConfig(kind core.Kind, agg bool) figures.ContentionConfig {
+	return figures.ContentionConfig{
+		Kind: kind, Nodes: 256, PPN: 4, Iters: 5,
+		ContenderEvery: 5, Op: figures.OpFetchAdd,
+		SampleEvery: 32, StreamLimit: 8,
+		Window: 8, Aggregation: agg,
+	}
+}
+
+// BenchmarkAggregationHotSpot measures small-op aggregation at paper scale:
+// per-op virtual latency (vus/op) with aggregation off versus on. Only the
+// virtual metric is comparable here — the contender loop fills the measured
+// span with as many ops as the protocol allows, so the aggregated run
+// simulates far MORE work (and ns/op can rise with it); see
+// BenchmarkAggregationStorm for the fixed-work cell where wall-clock is the
+// comparison. The committed BENCH_aggregation.json pins one run of both
+// grids; regenerate it with
+//
+//	go test -run TestAggregationBenchRecord -update-bench-agg -timeout 30m .
+func BenchmarkAggregationHotSpot(b *testing.B) {
+	for _, kind := range []core.Kind{core.FCG, core.MFCG, core.CFCG} {
+		for _, agg := range []bool{false, true} {
+			name := fmt.Sprintf("%s/agg=%v", kind, agg)
+			b.Run(name, func(b *testing.B) {
+				var mean float64
+				for i := 0; i < b.N; i++ {
+					s, err := figures.Contention(aggContentionConfig(kind, agg))
+					if err != nil {
+						b.Fatal(err)
+					}
+					mean = stats.Summarize(s.Y).Mean
+				}
+				b.ReportMetric(mean, "vus/op")
+			})
+		}
+	}
+}
+
+// aggStormTime runs the fixed-work counterpart of the aggregation
+// benchmark: every rank outside node 0 issues a fixed number of
+// fetch-&-adds to rank 0 in non-blocking windows of 8, aggregation off or
+// on. Unlike the Fig 7 contender loop — which fills the measured span with
+// as many ops as the protocol allows, so a faster protocol simulates MORE
+// work — the total op count here is identical in both runs, making virtual
+// completion time AND the simulator's wall-clock directly comparable.
+func aggStormTime(tb testing.TB, kind core.Kind, agg bool) sim.Time {
+	tb.Helper()
+	const nodes, ppn, ops, window = 256, 4, 16, 8
+	eng := sim.New()
+	cfg := armci.DefaultConfig(nodes, ppn)
+	cfg.Topology = core.MustNew(kind, nodes)
+	cfg.Fabric.StreamLimit = 8
+	cfg.Agg.Enabled = agg
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt.Alloc("ctr", 8)
+	if err := rt.Run(func(r *armci.Rank) {
+		if r.Node() == 0 {
+			return
+		}
+		for k := 0; k < ops; k += window {
+			hs := make([]*armci.Handle, 0, window)
+			for j := 0; j < window; j++ {
+				hs = append(hs, r.NbFetchAdd(0, "ctr", 0, 1))
+			}
+			r.WaitAll(hs...)
+		}
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// BenchmarkAggregationStorm measures the fixed-work hot-spot storm: ns/op is
+// the simulator's real wall-clock for identical work off vs on (aggregation
+// sends ~8x fewer packets, so both wall-clock and the reported virtual
+// completion time must drop).
+func BenchmarkAggregationStorm(b *testing.B) {
+	for _, kind := range []core.Kind{core.FCG, core.MFCG, core.CFCG} {
+		for _, agg := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/agg=%v", kind, agg), func(b *testing.B) {
+				var vt sim.Time
+				for i := 0; i < b.N; i++ {
+					vt = aggStormTime(b, kind, agg)
+				}
+				b.ReportMetric(vt.Micros(), "vus/storm")
+			})
+		}
+	}
+}
+
 // BenchmarkFig8NASLU reproduces Figure 8: LU execution time per topology
 // (reduced grid, 64 processes).
 func BenchmarkFig8NASLU(b *testing.B) {

@@ -32,6 +32,7 @@
 //	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
 //	           [-j N] [-cache DIR] [-csv] [-metrics]
 //	           [-trace FILE [-trace-sched]] [-faults SPEC]
+//	           [-window N] [-agg] [-adaptive]
 package main
 
 import (
@@ -63,6 +64,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write a combined Chrome-trace JSON file (forces -j 1)")
 	traceSched := flag.Bool("trace-sched", false, "include scheduler run-slices in the trace (verbose)")
 	faultSpec := flag.String("faults", "", "fault schedule, e.g. link:3-7@t=1ms,cht:12@t=2ms (see docs/FAULTS.md)")
+	window := flag.Int("window", 0, "nonblocking pipeline window per process (0 = blocking, the paper's shape)")
+	agg := flag.Bool("agg", false, "enable small-op aggregation in the runtime")
+	adaptive := flag.Bool("adaptive", false, "enable adaptive per-edge credit management")
 	flag.Parse()
 
 	if *faultSpec != "" {
@@ -116,6 +120,9 @@ func main() {
 		SampleEvery: *sample,
 		Faults:      []string{faultsOrNone(*faultSpec)},
 		Metrics:     *metrics,
+		Window:      *window,
+		Aggs:        []string{onOff(*agg)},
+		Adapts:      []string{onOff(*adaptive)},
 	}
 	for _, kind := range kinds {
 		if _, err := core.New(kind, *nodes); err != nil {
@@ -207,6 +214,13 @@ func faultsOrNone(spec string) string {
 	return spec
 }
 
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 // executeWithSched mirrors sweep.Execute for the -trace-sched path: it
 // rebuilds the contention config with scheduler-slice tracing enabled.
 func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
@@ -219,6 +233,7 @@ func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
 		ContenderEvery: p.ContenderEvery, VecSegs: p.VecSegs,
 		VecSegLen: p.MsgSize, SampleEvery: p.SampleEvery,
 		StreamLimit: p.StreamLimit, Seed: p.EffectiveSeed(),
+		Window: p.Window, Aggregation: p.Agg == "on", AdaptiveCredits: p.Adapt == "on",
 		Trace: opts.Trace, TracePID: p.Index, TraceSched: true,
 	}
 	if p.Op == "fadd" {

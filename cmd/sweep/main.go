@@ -14,6 +14,9 @@
 //	sweep -preset fig6 -j 8           reproduce Figure 6 (vectored put)
 //	sweep -preset fig7 -j 8           reproduce Figure 7 (fetch-&-add)
 //	sweep -preset fig6-ci             the reduced grid CI runs per PR
+//	sweep -preset fig6-agg-ci -assert-agg
+//	                                  aggregation off/on paired grid; fails
+//	                                  if aggregation regressed latency
 //
 // Custom grids compose any axes, e.g. a topology × message-size × fault
 // sweep:
@@ -31,9 +34,9 @@
 //
 // Usage:
 //
-//	sweep [-preset fig5|fig6|fig7|fig6-ci] [-grid SPEC] [-j N]
+//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci] [-grid SPEC] [-j N]
 //	      [-cache DIR] [-bench FILE] [-csv] [-metrics] [-trace FILE]
-//	      [-progress] [-list]
+//	      [-progress] [-list] [-assert-agg]
 package main
 
 import (
@@ -56,10 +59,15 @@ var presets = map[string]string{
 	"fig6":    "exp=contention;op=vput;nodes=256;ppn=4;iters=20;sample=8;levels=none,11,20",
 	"fig7":    "exp=contention;op=fadd;nodes=256;ppn=4;iters=20;sample=8;levels=none,11,20",
 	"fig6-ci": "exp=contention;op=vput;topos=fcg,mfcg,cfcg;nodes=64;ppn=2;iters=5;sample=8;stream=8;levels=none,11,20",
+	// fig6-agg-ci pairs every cell with aggregation off and on: a pipelined
+	// (window=8) hot-spot grid of small vectored puts (64B segments keep the
+	// payload under the aggregation threshold). CI runs it with -assert-agg,
+	// which fails the build if any aggregated mean exceeds its baseline.
+	"fig6-agg-ci": "exp=contention;op=vput;topos=fcg,mfcg,cfcg;nodes=64;ppn=2;iters=5;sample=8;stream=8;levels=20;msgsize=64;window=8;agg=off,on",
 }
 
 func main() {
-	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, or fig6-ci")
+	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, or fig6-agg-ci")
 	gridSpec := flag.String("grid", "", "grid spec (see docs/SWEEP.md); overrides -preset")
 	j := flag.Int("j", runtime.NumCPU(), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", ".sweep-cache", "result cache directory ('' disables caching)")
@@ -69,6 +77,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write all runs as one Chrome-trace JSON file (forces -j 1, bypasses cache)")
 	progress := flag.Bool("progress", false, "report per-point progress and ETA on stderr")
 	list := flag.Bool("list", false, "print the expanded points and cache keys without running")
+	assertAgg := flag.Bool("assert-agg", false, "compare aggregation off/on pairs and fail if aggregation regressed latency (needs agg=off,on in the grid)")
 	flag.Parse()
 
 	spec := *gridSpec
@@ -79,7 +88,7 @@ func main() {
 		}
 		var ok bool
 		if spec, ok = presets[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, or fig6-ci)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, or fig6-agg-ci)\n", name)
 			os.Exit(2)
 		}
 	}
@@ -203,5 +212,21 @@ func main() {
 			}
 		}
 		os.Exit(1)
+	}
+	if *assertAgg {
+		cmps, err := sweep.CompareAgg(results)
+		tbl := &stats.Table{
+			Title:  "aggregation off/on comparison (mean us/op)",
+			Header: []string{"series", "agg off", "agg on", "speedup"},
+		}
+		for _, c := range cmps {
+			tbl.AddRow(c.Label, c.MeanOff, c.MeanOn, c.Speedup)
+		}
+		fmt.Println()
+		tbl.Write(os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

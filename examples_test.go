@@ -1,0 +1,90 @@
+package armcivt_test
+
+// Tier-1 smoke tests for the examples/ programs: each one must build and run
+// to completion against the public API, quickstart's output must match its
+// golden byte-for-byte (the simulator is deterministic, so any drift is a
+// behaviour change), and no example may import internal packages — the
+// examples are the contract that the root armcivt package alone is enough.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exampleRuns pins each example to a scaled-down invocation so the whole
+// suite stays in tier-1 time budgets.
+var exampleRuns = map[string][]string{
+	"quickstart":  nil,
+	"hotspot":     {"-nodes", "16", "-ppn", "2", "-ops", "10"},
+	"loadbalance": {"-nodes", "8", "-ppn", "2", "-tasks", "16"},
+	"stencil":     {"-sweeps", "2"},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile whole programs; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		args, ok := exampleRuns[name]
+		if !ok {
+			t.Errorf("example %q has no smoke-test invocation; add it to exampleRuns", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./examples/" + name}, args...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if name == "quickstart" {
+				golden, err := os.ReadFile("testdata/quickstart.golden")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(out) != string(golden) {
+					t.Errorf("quickstart output drifted from testdata/quickstart.golden:\ngot:\n%s\nwant:\n%s", out, golden)
+				}
+			}
+		})
+	}
+}
+
+// TestExamplesUseOnlyPublicAPI: examples must compile against the root
+// package alone; an internal import would demonstrate a hole in the v1
+// surface.
+func TestExamplesUseOnlyPublicAPI(t *testing.T) {
+	files, err := filepath.Glob("examples/*/*.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing examples: %v (%d files)", err, len(files))
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if strings.Contains(path, "/internal/") || strings.HasPrefix(path, "armcivt/internal") {
+				t.Errorf("%s imports %s; examples must use only the public armcivt API", file, path)
+			}
+		}
+	}
+}

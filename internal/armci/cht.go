@@ -12,6 +12,12 @@ import (
 func (ns *nodeState) enqueue(req *request) {
 	if req.prevNode >= 0 {
 		ns.pendingBySrc[req.prevNode]++
+		// Adaptive credit management triggers at the receiver: an in-edge
+		// whose every buffer is now occupied is saturated, so try to shift
+		// a buffer toward it from the coldest in-edge (credits.go).
+		if ns.rt.cfg.Adaptive.Enabled && ns.pendingBySrc[req.prevNode] >= ns.inCap[req.prevNode] {
+			ns.maybeShift(req.prevNode)
+		}
 	}
 	ns.inbox.Put(req)
 }
@@ -50,6 +56,10 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 			sim.Time(float64(moved)*rt.cfg.CHTPerByte)
 		if targetNode != ns.id {
 			svc += rt.cfg.CHTForwardOverhead
+		} else if req.kind == opBatch {
+			// Unpacking a batch costs far less per sub-op than a full
+			// dequeue-poll-dispatch cycle; that gap is the hot-node win.
+			svc += sim.Time(len(req.subs)-1) * rt.cfg.Agg.OpOverhead
 		}
 		start := p.Now()
 		p.Sleep(svc)
@@ -73,17 +83,33 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 			})
 			continue
 		}
-		if ns.rids != nil && req.rid != 0 {
-			if rec, ok := ns.rids[req.rid]; ok {
-				ns.handleDup(p, req, rec)
-				ns.finish(req, req.prevNode)
-				continue
+		if req.kind == opBatch {
+			// Unpack at the target: sub-ops apply back-to-back in rid
+			// (issue) order — atomically in virtual time, since the CHT
+			// is serial — with dedup per sub. The whole batch occupied
+			// one buffer, so one finish returns one credit.
+			for _, sub := range req.subs {
+				ns.deliver(p, sub)
 			}
-			ns.rids[req.rid] = &dupState{}
+			ns.finish(req, req.prevNode)
+			continue
 		}
-		ns.handle(p, req)
+		ns.deliver(p, req)
 		ns.finish(req, req.prevNode)
 	}
+}
+
+// deliver applies one request (or batch sub-operation) at its target node,
+// deduplicating retransmissions by request id first.
+func (ns *nodeState) deliver(p *sim.Proc, req *request) {
+	if ns.rids != nil && req.rid != 0 {
+		if rec, ok := ns.rids[req.rid]; ok {
+			ns.handleDup(p, req, rec)
+			return
+		}
+		ns.rids[req.rid] = &dupState{}
+	}
+	ns.handle(p, req)
 }
 
 // handleDup serves a retransmitted request whose original already reached
@@ -109,13 +135,17 @@ func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec *dupState) {
 // Handle.Err) and the buffer credit is returned as usual.
 func (ns *nodeState) fail(req *request, err error) {
 	rt := ns.rt
-	rt.stats.Failures++
-	h, chunk := req.h, req.chunk
-	deliver := func() { h.failChunk(chunk, err) }
-	if req.originNode == ns.id {
-		rt.eng.After(rt.cfg.LocalLatency, deliver)
-	} else {
-		rt.net.Send(ns.id, req.originNode, respBytes, deliver)
+	// A failed batch fails every sub-operation on its own handle (batches
+	// carry no handle themselves); each sub's origin gets its own notice.
+	for _, sub := range batchSubs(req) {
+		rt.stats.Failures++
+		h, chunk := sub.h, sub.chunk
+		deliver := func() { h.failChunk(chunk, err) }
+		if sub.originNode == ns.id {
+			rt.eng.After(rt.cfg.LocalLatency, deliver)
+		} else {
+			rt.net.Send(ns.id, sub.originNode, respBytes, deliver)
+		}
 	}
 	ns.finish(req, req.prevNode)
 }
@@ -146,6 +176,12 @@ func (ns *nodeState) serviceBytes(req *request, targetNode int) int {
 		return req.getBytes
 	case opGetV:
 		return segsBytes(req.segs)
+	case opBatch:
+		n := 0
+		for _, sub := range req.subs {
+			n += ns.serviceBytes(sub, targetNode)
+		}
+		return n
 	default:
 		return 8
 	}

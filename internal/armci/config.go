@@ -38,6 +38,10 @@ const (
 	segDescBytes = 16 // per-segment descriptor in vector requests
 	ackBytes     = 32 // credit-return message
 	respBytes    = 64 // response header (payload added for get/rmw)
+	// batchOpBytes is the per-sub-operation descriptor inside a multi-op
+	// batch packet: aggregation collapses each sub-op's 64-byte request
+	// header down to this.
+	batchOpBytes = 16
 )
 
 // Config parameterizes a Runtime. The zero value of any field is replaced by
@@ -143,6 +147,19 @@ type Config struct {
 	// its capacity.
 	CreditTimeout sim.Time
 
+	// Agg configures small-op aggregation on the CHT hot path: same-target
+	// small operations coalesce into one multi-op request packet that
+	// consumes a single buffer credit and a single NIC injection. The zero
+	// value (disabled) leaves every protocol path bit-identical to the
+	// unaggregated runtime. See AggregationConfig.
+	Agg AggregationConfig
+	// Adaptive configures receiver-side adaptive credit management: a node
+	// whose in-edge buffer pools are unevenly loaded shifts buffers from
+	// cold in-edges to saturated ones. The node's total buffer count never
+	// changes, so the Figure 5 memory scaling is unaffected. The zero value
+	// (disabled) changes nothing. See AdaptiveConfig.
+	Adaptive AdaptiveConfig
+
 	// Metrics, when non-nil, enables the observability layer: the runtime
 	// records credit-pool wait times, CHT inbox depths and per-node CHT
 	// activity during the run (and instruments the fabric with the same
@@ -157,6 +174,91 @@ type Config struct {
 	// several runs share one trace file (one run per pid).
 	TracePID int
 }
+
+// AggregationConfig parameterizes the small-op aggregation engine.
+//
+// Aggregation reshapes hot-spot traffic before it reaches shared buffers:
+// small Put/PutV/Acc/AccV/FetchAdd requests bound for the same target node
+// coalesce into one multi-op batch packet. Batches form at two boundaries:
+//
+//   - Credit boundary: sends parked on an egress waiting for a buffer
+//     credit merge when a credit frees, so a contended edge moves its
+//     backlog in far fewer packets (one credit, one injection, one CHT
+//     service per batch instead of per op). Uncontended edges transmit
+//     immediately and never aggregate, so the uncontended latency floor is
+//     unchanged.
+//   - Size boundary: a batch never exceeds MaxOps sub-operations or one
+//     request buffer (BufSize) on the wire — the same M-bounded buffer
+//     rule that caps forwarding depth (D <= M) caps re-aggregation at
+//     intermediate hops, so a forwarded batch always fits the next edge's
+//     buffers without re-splitting.
+//
+// Origin-side nonblocking operations additionally aggregate per rank before
+// injection, flushed on the size boundary and on every Wait, Fence, Barrier
+// or same-target non-batchable operation (so per-target issue order is
+// preserved). Blocking operations wait immediately and therefore only ever
+// aggregate at the credit boundary.
+//
+// The CHT unpacks a batch at its target and applies the sub-operations
+// back-to-back in rid order — atomically in virtual time, since the helper
+// thread is serial — so at-most-once dedup (per-sub request ids) and LDF
+// forwarding semantics are exactly those of unaggregated traffic.
+type AggregationConfig struct {
+	// Enabled turns aggregation on. Off (the default) is bit-identical to
+	// the pre-aggregation protocol.
+	Enabled bool
+	// Threshold is the largest payload (bytes) an operation may carry and
+	// still be batchable (default 4096). Larger operations always travel
+	// as their own request packets.
+	Threshold int
+	// MaxOps caps the sub-operations per batch packet (default 16).
+	MaxOps int
+	// OpOverhead is the CHT's extra service cost per additional sub-op in
+	// a batch, in virtual time (default 150 ns): unpacking and dispatch
+	// are much cheaper than a full per-request poll cycle, which is where
+	// the hot-node win comes from.
+	OpOverhead sim.Time
+}
+
+// AdaptiveConfig parameterizes adaptive per-edge credit management.
+//
+// Every node dedicates PPN * BufsPerProc request buffers to each in-edge of
+// the virtual topology. Under a hot spot, the in-edges carrying contended
+// traffic saturate while the rest sit idle. With Adaptive.Enabled, the
+// receiving node detects a saturated in-edge (its pending count reaches the
+// edge's current capacity) and shifts one buffer from the in-edge with the
+// most free buffers: a revoke message shrinks the donor sender's credit
+// pool and a grant message grows the hot sender's. The node's total buffer
+// count is invariant, so the FCG/MFCG/CFCG memory scaling of Figure 5 is
+// unchanged, and every edge keeps at least Floor buffers, preserving the
+// LDF deadlock-freedom argument (buffer classes still drain independently).
+type AdaptiveConfig struct {
+	// Enabled turns adaptive credit shifting on.
+	Enabled bool
+	// MinFree is how many free buffers a donor in-edge must have beyond
+	// the one it gives up (default 2), the hysteresis that keeps two busy
+	// edges from thrashing buffers back and forth.
+	MinFree int
+	// Floor is the minimum capacity any in-edge may be shrunk to
+	// (default: half the configured pool, at least 1).
+	Floor int
+	// Ceiling caps a hot in-edge's capacity (default: twice the
+	// configured pool), bounding how lopsided a node's pools can get.
+	Ceiling int
+	// Cooldown is the minimum virtual time between shifts touching the
+	// same in-edge (default 10 us), rate-limiting the control traffic.
+	Cooldown sim.Time
+}
+
+// Aggregation and adaptive-credit defaults, applied when the respective
+// Enabled flag is set.
+const (
+	DefaultAggThreshold  = 4096
+	DefaultAggMaxOps     = 16
+	DefaultAggOpOverhead = 150 * sim.Nanosecond
+	DefaultAdaptMinFree  = 2
+	DefaultAdaptCooldown = 10 * sim.Microsecond
+)
 
 // Resilience defaults, applied when Config.Faults is set.
 const (
@@ -239,6 +341,17 @@ func (c Config) Validate() error {
 	if c.RetryBackoff != 0 && c.RetryBackoff < 1 {
 		return fmt.Errorf("armci: RetryBackoff must be >= 1, got %g", c.RetryBackoff)
 	}
+	if c.Agg.Threshold < 0 || c.Agg.MaxOps < 0 || c.Agg.OpOverhead < 0 {
+		return fmt.Errorf("armci: Agg knobs must not be negative (Threshold=%d, MaxOps=%d, OpOverhead=%v)",
+			c.Agg.Threshold, c.Agg.MaxOps, c.Agg.OpOverhead)
+	}
+	if c.Adaptive.MinFree < 0 || c.Adaptive.Floor < 0 || c.Adaptive.Ceiling < 0 || c.Adaptive.Cooldown < 0 {
+		return fmt.Errorf("armci: Adaptive knobs must not be negative (MinFree=%d, Floor=%d, Ceiling=%d, Cooldown=%v)",
+			c.Adaptive.MinFree, c.Adaptive.Floor, c.Adaptive.Ceiling, c.Adaptive.Cooldown)
+	}
+	if c.Adaptive.Enabled && c.Adaptive.Floor != 0 && c.Adaptive.Ceiling != 0 && c.Adaptive.Floor > c.Adaptive.Ceiling {
+		return fmt.Errorf("armci: Adaptive.Floor %d exceeds Ceiling %d", c.Adaptive.Floor, c.Adaptive.Ceiling)
+	}
 	if c.Topology != nil && c.Topology.Nodes() != c.Nodes {
 		return fmt.Errorf("armci: topology covers %d nodes, runtime has %d", c.Topology.Nodes(), c.Nodes)
 	}
@@ -309,6 +422,32 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.RetryBackoff == 0 {
 			c.RetryBackoff = DefaultRetryBackoff
+		}
+	}
+	if c.Agg.Enabled {
+		if c.Agg.Threshold == 0 {
+			c.Agg.Threshold = DefaultAggThreshold
+		}
+		if c.Agg.MaxOps == 0 {
+			c.Agg.MaxOps = DefaultAggMaxOps
+		}
+		if c.Agg.OpOverhead == 0 {
+			c.Agg.OpOverhead = DefaultAggOpOverhead
+		}
+	}
+	if c.Adaptive.Enabled {
+		pool := c.PPN * c.BufsPerProc
+		if c.Adaptive.MinFree == 0 {
+			c.Adaptive.MinFree = DefaultAdaptMinFree
+		}
+		if c.Adaptive.Floor == 0 {
+			c.Adaptive.Floor = max(1, pool/2)
+		}
+		if c.Adaptive.Ceiling == 0 {
+			c.Adaptive.Ceiling = 2 * pool
+		}
+		if c.Adaptive.Cooldown == 0 {
+			c.Adaptive.Cooldown = DefaultAdaptCooldown
 		}
 	}
 	return c, nil

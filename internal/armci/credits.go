@@ -1,0 +1,81 @@
+package armci
+
+import "fmt"
+
+// Adaptive per-edge credit management (Config.Adaptive): every node owns a
+// fixed budget of request buffers — poolCap per in-edge of the virtual
+// topology — and, when enabled, re-partitions that budget at runtime. A
+// saturated in-edge (every buffer occupied the moment another request
+// arrives) steals one buffer from the in-edge with the most free buffers,
+// by sending the donor a revoke and the hot sender a grant over the fabric.
+// The invariant sum(inCap) == degree * poolCap holds at the receiver by
+// construction, so the Figure 5 memory model is untouched; Floor >= 1 keeps
+// every edge draining, preserving the LDF deadlock-freedom argument.
+
+// maybeShift runs on the receiving node when the hot in-edge saturates. All
+// decisions read only this node's state and iterate in-neighbors in sorted
+// order, so runs are deterministic.
+func (ns *nodeState) maybeShift(hot int) {
+	rt := ns.rt
+	ac := rt.cfg.Adaptive
+	now := rt.eng.Now()
+	if t, ok := ns.lastShift[hot]; ok && now-t < ac.Cooldown {
+		return
+	}
+	if ns.inCap[hot] >= ac.Ceiling {
+		return
+	}
+	donor, bestFree := -1, 0
+	for _, peer := range ns.inNbrs {
+		if peer == hot || ns.inCap[peer] <= ac.Floor {
+			continue
+		}
+		if t, ok := ns.lastShift[peer]; ok && now-t < ac.Cooldown {
+			continue
+		}
+		// The donor keeps MinFree free buffers after giving one up.
+		free := ns.inCap[peer] - ns.pendingBySrc[peer]
+		if free >= ac.MinFree+1 && free > bestFree {
+			donor, bestFree = peer, free
+		}
+	}
+	if donor < 0 {
+		return
+	}
+	ns.inCap[donor]--
+	ns.inCap[hot]++
+	ns.lastShift[donor] = now
+	ns.lastShift[hot] = now
+	rt.stats.CreditShifts++
+	// Control messages ride the fabric like credit acks: the donor sender
+	// shrinks its pool (or swallows the next returning credit), the hot
+	// sender grows its pool and drains any parked sends.
+	rt.net.Send(ns.id, donor, ackBytes, func() { rt.egressTo(donor, ns.id).revoke() })
+	rt.net.Send(ns.id, hot, ackBytes, func() { rt.egressTo(hot, ns.id).grant() })
+	if o := rt.obs; o != nil && o.tr != nil {
+		o.tr.Instant(fmt.Sprintf("credit shift %d->%d at node %d", donor, hot, ns.id),
+			"credit", o.pid, ns.id, now, map[string]any{
+				"donor_cap": ns.inCap[donor], "hot_cap": ns.inCap[hot],
+			})
+	}
+}
+
+// grant grows this edge's credit pool by one (the peer re-dedicated a buffer
+// to us) and drains any sends parked for a credit.
+func (eg *egress) grant() {
+	eg.capacity++
+	eg.credits++
+	eg.drain()
+}
+
+// revoke shrinks this edge's credit pool by one. With no credit on hand the
+// reduction is deferred as debt and the next returning credit is swallowed,
+// so capacity is never driven negative by in-flight traffic.
+func (eg *egress) revoke() {
+	eg.capacity--
+	if eg.credits > 0 {
+		eg.credits--
+	} else {
+		eg.revokeDebt++
+	}
+}

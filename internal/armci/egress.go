@@ -27,10 +27,16 @@ type egress struct {
 	rt       *Runtime
 	from, to int
 	credits  int
+	// capacity is the pool size credits regenerate toward: PPN * BufsPerProc
+	// at start, adjusted by adaptive grant/revoke messages (credits.go).
+	capacity int
 	pending  []*pendingSend
 	// peakInUse is the most buffers ever simultaneously occupied at the
 	// peer over this edge; tracked only when observability is enabled.
 	peakInUse int
+	// revokeDebt counts adaptive capacity reductions not yet matched by a
+	// returning credit; release() pays it down before growing the pool.
+	revokeDebt int
 
 	// Credit-loss recovery (active only with fault injection and a
 	// CreditTimeout): when sends sit parked for a full interval with no
@@ -55,7 +61,7 @@ type pendingSend struct {
 }
 
 func newEgress(rt *Runtime, from, to, credits int) *egress {
-	return &egress{rt: rt, from: from, to: to, credits: credits}
+	return &egress{rt: rt, from: from, to: to, credits: credits, capacity: credits}
 }
 
 // submitRank transmits an origin request, blocking the rank's process until
@@ -96,36 +102,104 @@ func (eg *egress) submitForward(req *request, onSend func()) {
 }
 
 // release returns one buffer credit and drains the pending FIFO. A credit
-// already regenerated against this edge's debt is swallowed instead: the
-// ack was late, not lost, and the pool must not exceed its capacity.
+// owed to an adaptive revoke or already regenerated against this edge's
+// debt is swallowed instead: the pool must not exceed its capacity.
 func (eg *egress) release() {
-	if eg.regenDebt > 0 {
+	switch {
+	case eg.revokeDebt > 0:
+		eg.revokeDebt--
+	case eg.regenDebt > 0:
 		eg.regenDebt--
-	} else {
+	default:
 		eg.credits++
 	}
 	eg.drain()
 }
 
-// drain transmits parked sends while credits last.
+// drain transmits parked sends while credits last. With aggregation on,
+// each freed credit first coalesces the head's same-target batchable run
+// into a single packet (gather), so a contended edge moves its backlog in
+// batches rather than one operation per credit.
 func (eg *egress) drain() {
 	for len(eg.pending) > 0 && eg.credits > 0 {
 		ps := eg.pending[0]
 		eg.pending[0] = nil
 		eg.pending = eg.pending[1:]
-		eg.transmit(ps.req)
-		waited := eg.rt.eng.Now() - ps.enq
-		eg.rt.stats.CreditWaited += waited
-		if o := eg.rt.obs; o != nil {
-			o.creditWait.Observe(waited.Micros())
+		group := eg.gather(ps)
+		req := ps.req
+		if len(group) > 1 {
+			var subs []*request
+			for _, g := range group {
+				subs = appendSubs(subs, g.req)
+			}
+			req = buildBatch(subs)
 		}
-		if ps.onSend != nil {
-			ps.onSend()
-		}
-		if ps.sent != nil {
-			ps.sent.Fire()
+		eg.transmit(req)
+		now := eg.rt.eng.Now()
+		for _, g := range group {
+			waited := now - g.enq
+			eg.rt.stats.CreditWaited += waited
+			if o := eg.rt.obs; o != nil {
+				o.creditWait.Observe(waited.Micros())
+			}
+			if g.onSend != nil {
+				g.onSend()
+			}
+			if g.sent != nil {
+				g.sent.Fire()
+			}
 		}
 	}
+}
+
+// gather collects head plus any later parked sends that can ride in the
+// same batch packet: batchable, bound for the same final target node, and
+// within the MaxOps/BufSize bounds — the same M-bounded buffer rule that
+// caps forwarding depth caps the merged packet, so it always fits one
+// request buffer downstream. The first same-target send that does not fit
+// stops the scan (per-target FIFO order is preserved); sends for other
+// targets are skipped and stay parked in order.
+func (eg *egress) gather(head *pendingSend) []*pendingSend {
+	cfg := &eg.rt.cfg
+	group := []*pendingSend{head}
+	if !cfg.Agg.Enabled || len(eg.pending) == 0 || !coalescable(cfg, head.req) {
+		return group
+	}
+	tn := head.req.target / cfg.PPN
+	ops := subCount(head.req)
+	wire := headerBytes + subWireOf(head.req)
+	var take []int
+	for i, ps := range eg.pending {
+		if ps.req.target/cfg.PPN != tn {
+			continue
+		}
+		if !coalescable(cfg, ps.req) ||
+			ops+subCount(ps.req) > cfg.Agg.MaxOps ||
+			wire+subWireOf(ps.req) > cfg.BufSize {
+			break
+		}
+		take = append(take, i)
+		group = append(group, ps)
+		ops += subCount(ps.req)
+		wire += subWireOf(ps.req)
+	}
+	if len(take) == 0 {
+		return group
+	}
+	rest := eg.pending[:0]
+	j := 0
+	for i, ps := range eg.pending {
+		if j < len(take) && take[j] == i {
+			j++
+			continue
+		}
+		rest = append(rest, ps)
+	}
+	for i := len(rest); i < len(eg.pending); i++ {
+		eg.pending[i] = nil // drop merged tail entries from the backing array
+	}
+	eg.pending = rest
+	return group
 }
 
 // maybeArmRegen arms the credit-loss detector: with fault injection on, a
@@ -179,6 +253,13 @@ func (eg *egress) transmit(req *request) {
 	}
 	eg.credits--
 	eg.transmits++
+	if req.kind == opBatch {
+		eg.rt.stats.AggBatches++
+		eg.rt.stats.AggBatchedOps += uint64(len(req.subs))
+		if o := eg.rt.obs; o != nil {
+			o.noteBatch(req)
+		}
+	}
 	if eg.rt.obs != nil {
 		if used := eg.inUse(); used > eg.peakInUse {
 			eg.peakInUse = used
@@ -191,4 +272,4 @@ func (eg *egress) transmit(req *request) {
 }
 
 // inUse reports credits currently consumed (buffers occupied at the peer).
-func (eg *egress) inUse() int { return eg.rt.cfg.PPN*eg.rt.cfg.BufsPerProc - eg.credits }
+func (eg *egress) inUse() int { return eg.capacity - eg.credits }

@@ -25,6 +25,8 @@ type obsState struct {
 	// Runtime histograms, resolved once.
 	creditWait *obs.Histogram // us a send waited for a buffer credit
 	inboxDepth *obs.Histogram // CHT inbox depth observed at each enqueue
+	aggOps     *obs.Histogram // sub-operations per injected batch packet
+	aggBytes   *obs.Histogram // wire bytes per injected batch packet
 }
 
 // newObsState wires the side-car: fabric shares the registry, every CHT
@@ -42,6 +44,8 @@ func newObsState(rt *Runtime) *obsState {
 	if o.reg != nil {
 		o.creditWait = o.reg.Histogram("armci_credit_wait_us", obs.TimeBuckets)
 		o.inboxDepth = o.reg.Histogram("armci_cht_inbox_depth", obs.CountBuckets)
+		o.aggOps = o.reg.Histogram("armci_agg_batch_ops", obs.CountBuckets)
+		o.aggBytes = o.reg.Histogram("armci_agg_batch_bytes", obs.CountBuckets)
 		rt.net.Instrument(o.reg)
 		for _, ns := range rt.nodes {
 			ns.inbox.OnDepth(func(d int) { o.inboxDepth.Observe(float64(d)) })
@@ -66,9 +70,19 @@ func (o *obsState) noteService(node int, req *request, forwarded bool, start, sv
 	} else {
 		o.chtServed[node]++
 	}
-	o.tr.Complete(name, "cht", o.pid, node, start, svc, map[string]any{
+	args := map[string]any{
 		"origin": req.origin, "target": req.target, "wire_bytes": req.wire,
-	})
+	}
+	if req.kind == opBatch {
+		args["ops"] = len(req.subs)
+	}
+	o.tr.Complete(name, "cht", o.pid, node, start, svc, args)
+}
+
+// noteBatch records one injected batch packet's shape.
+func (o *obsState) noteBatch(req *request) {
+	o.aggOps.Observe(float64(len(req.subs)))
+	o.aggBytes.Observe(float64(req.wire))
 }
 
 // HotNode returns the node with the busiest CHT (the hot-spot victim in the
@@ -117,6 +131,12 @@ func (rt *Runtime) FillMetrics() {
 	reg.Counter("armci_dup_drops_total").Add(float64(s.DupDrops))
 	reg.Counter("armci_forward_no_route_total").Add(float64(s.NoRoutes))
 	rt.faultInj.FillMetrics()
+
+	// Aggregation and adaptive-credit counters (zero unless enabled; schema
+	// in docs/OBSERVABILITY.md).
+	reg.Counter("armci_agg_batches_total").Add(float64(s.AggBatches))
+	reg.Counter("armci_agg_batched_ops_total").Add(float64(s.AggBatchedOps))
+	reg.Counter("armci_credit_shifts_total").Add(float64(s.CreditShifts))
 
 	// Node classes: hot = busiest CHT, other = mean/sum over the rest.
 	hot := rt.HotNode()

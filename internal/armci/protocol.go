@@ -22,6 +22,10 @@ const (
 	opGetV
 	opSwap
 	opAccV
+	// opBatch is an aggregated multi-op packet: several small same-target
+	// requests traveling as one wire message under one buffer credit. The
+	// CHT unpacks it at the target and applies the sub-ops back-to-back.
+	opBatch
 )
 
 func (k opKind) String() string {
@@ -46,6 +50,8 @@ func (k opKind) String() string {
 		return "swap"
 	case opAccV:
 		return "accv"
+	case opBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -78,6 +84,10 @@ type request struct {
 	wire       int     // message size on the fabric
 	prevNode   int     // upstream node owed a buffer credit (-1: none)
 	h          *Handle // origin-side completion handle
+	// subs carries the aggregated sub-operations of an opBatch packet, in
+	// issue (rid) order; nil for every other kind. Each sub keeps its own
+	// handle/rid/chunk, so completion, dedup and retry act per sub-op.
+	subs []*request
 
 	// Resilience fields, populated only when Config.RequestTimeout > 0.
 	chunk   int      // index into the handle's chunkDone bitset

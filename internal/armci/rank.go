@@ -22,6 +22,10 @@ type Rank struct {
 	outstanding []*Handle
 	heldMutexes map[int]bool
 
+	// agg buffers batchable nonblocking requests per target node when
+	// Config.Agg is enabled; see agg.go for the flush boundaries.
+	agg map[int][]*request
+
 	// collective-layer state (see collectives.go)
 	collSent map[int]int64
 	collRecv map[int]int64
@@ -71,8 +75,12 @@ func (r *Rank) track(h *Handle) *Handle {
 	return h
 }
 
-// Wait blocks until h completes.
-func (r *Rank) Wait(h *Handle) { h.done.Wait(r.proc) }
+// Wait blocks until h completes. With aggregation enabled it first flushes
+// the rank's aggregation buffers — h may be riding in one.
+func (r *Rank) Wait(h *Handle) {
+	r.flushAllAgg()
+	h.done.Wait(r.proc)
+}
 
 // WaitAll completes every given handle.
 func (r *Rank) WaitAll(hs ...*Handle) {
@@ -96,6 +104,9 @@ func (r *Rank) Fence() {
 func (r *Rank) send(req *request) {
 	rt := r.rt
 	targetNode := req.target / rt.cfg.PPN
+	// Anything still aggregating for this target must go first, or a
+	// buffered earlier write could be applied after this request.
+	r.flushAgg(targetNode)
 	rt.armTimeout(req, targetNode)
 	first := rt.nextHop(r.node, targetNode)
 	rt.egressTo(r.node, first).submitRank(r.proc, req)
@@ -130,10 +141,7 @@ func (r *Rank) NbPut(dst int, alloc string, off int, data []byte) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), 0)
-	for i, req := range reqs {
-		req.h, req.chunk = h, i
-		r.send(req)
-	}
+	r.submit(reqs, h)
 	return r.track(h)
 }
 
@@ -215,10 +223,7 @@ func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float
 		return newHandle(rt.eng, 0, 0)
 	}
 	h := newHandle(rt.eng, len(reqs), 0)
-	for i, req := range reqs {
-		req.h, req.chunk = h, i
-		r.send(req)
-	}
+	r.submit(reqs, h)
 	return r.track(h)
 }
 
@@ -262,10 +267,7 @@ func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), 0)
-	for i, req := range reqs {
-		req.h, req.chunk = h, i
-		r.send(req)
-	}
+	r.submit(reqs, h)
 	return r.track(h)
 }
 
@@ -345,9 +347,11 @@ func (r *Rank) NbGetS(src int, alloc string, off, blockLen, stride, count int) *
 
 // ---------- Atomics ----------
 
-// FetchAdd atomically adds delta to the int64 at dst's allocation offset off
-// and returns the previous value (ARMCI_Rmw fetch-and-add).
-func (r *Rank) FetchAdd(dst int, alloc string, off int, delta int64) int64 {
+// NbFetchAdd starts an atomic fetch-and-add of delta to the int64 at dst's
+// allocation offset off; the completed handle's Old() is the previous value.
+// Nonblocking atomics pipeline (and, with aggregation, batch) the hot-spot
+// counter traffic of Figure 7.
+func (r *Rank) NbFetchAdd(dst int, alloc string, off int, delta int64) *Handle {
 	rt := r.rt
 	rt.stats.Ops++
 	a := rt.alloc(alloc)
@@ -358,15 +362,23 @@ func (r *Rank) FetchAdd(dst int, alloc string, off int, delta int64) int64 {
 		mem := a.mem[dst]
 		old := GetInt64(mem, off)
 		PutInt64(mem, off, old+delta)
-		return old
+		h := newHandle(rt.eng, 0, 0)
+		h.old = old
+		return h
 	}
 	req := &request{
 		kind: opRmw, origin: r.rank, originNode: r.node, target: dst,
 		alloc: alloc, off: off, delta: delta, wire: headerBytes + 8,
 	}
 	h := newHandle(rt.eng, 1, 0)
-	req.h = h
-	r.send(req)
+	r.submit([]*request{req}, h)
+	return r.track(h)
+}
+
+// FetchAdd atomically adds delta to the int64 at dst's allocation offset off
+// and returns the previous value (ARMCI_Rmw fetch-and-add).
+func (r *Rank) FetchAdd(dst int, alloc string, off int, delta int64) int64 {
+	h := r.NbFetchAdd(dst, alloc, off, delta)
 	r.Wait(h)
 	return h.Old()
 }
@@ -426,6 +438,7 @@ func (r *Rank) lockOp(m int, kind opKind) {
 // Barrier synchronizes all ranks. The cost model is a dissemination barrier:
 // ceil(log2(N)) rounds of BarrierStep each after the last rank arrives.
 func (r *Rank) Barrier() {
+	r.flushAllAgg()
 	rt := r.rt
 	b := &rt.barrier
 	b.arrived++

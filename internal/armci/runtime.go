@@ -2,6 +2,7 @@ package armci
 
 import (
 	"fmt"
+	"sort"
 
 	"armcivt/internal/core"
 	"armcivt/internal/fabric"
@@ -55,6 +56,12 @@ type Stats struct {
 	Reroutes     uint64 // forwards detoured around a stalled CHT
 	DupDrops     uint64 // duplicate requests deduplicated at the target
 	NoRoutes     uint64 // forwards with no egress edge for the next hop
+
+	// Aggregation and adaptive-credit counters (zero unless Config.Agg or
+	// Config.Adaptive is enabled).
+	AggBatches    uint64 // multi-op batch packets injected (counted per hop)
+	AggBatchedOps uint64 // sub-operations those packets carried
+	CreditShifts  uint64 // buffers shifted between in-edges by adaptive credits
 }
 
 type nodeState struct {
@@ -72,6 +79,14 @@ type nodeState struct {
 	// rids deduplicates retransmitted requests at the target (allocated
 	// only when request timeouts are enabled).
 	rids map[uint64]*dupState
+
+	// Adaptive credit state (allocated only with Config.Adaptive.Enabled):
+	// the node's current buffer capacity per in-edge (sum is invariant),
+	// its in-neighbors in sorted order for deterministic donor scans, and
+	// the last shift instant per in-edge for cooldown.
+	inNbrs    []int
+	inCap     map[int]int
+	lastShift map[int]sim.Time
 }
 
 // dupState is what the target remembers about a request id: whether it has
@@ -136,6 +151,16 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		}
 		for _, peer := range rt.topo.Neighbors(n) {
 			ns.egress[peer] = newEgress(rt, n, peer, poolCap)
+		}
+		if cfg.Adaptive.Enabled {
+			nbrs := append([]int(nil), rt.topo.Neighbors(n)...)
+			sort.Ints(nbrs)
+			ns.inNbrs = nbrs
+			ns.inCap = make(map[int]int, len(nbrs))
+			for _, peer := range nbrs {
+				ns.inCap[peer] = poolCap
+			}
+			ns.lastShift = map[int]sim.Time{}
 		}
 		rt.nodes[n] = ns
 	}
@@ -246,7 +271,12 @@ func (rt *Runtime) Start(body func(r *Rank)) {
 	}
 	for _, r := range rt.ranks {
 		r := r
-		r.proc = rt.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) { body(r) })
+		r.proc = rt.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+			body(r)
+			// Aggregated operations still buffered when the body returns
+			// would otherwise never be injected.
+			r.flushAllAgg()
+		})
 	}
 }
 

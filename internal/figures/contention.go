@@ -57,6 +57,22 @@ type ContentionConfig struct {
 	// same config and seed produce identical results; sweeps vary Seed to
 	// get independent repetitions.
 	Seed int64
+	// Window pipelines each process's operations: Window nonblocking
+	// operations in flight before a WaitAll, repeated until Iters are
+	// issued. 0 or 1 keeps the classic blocking loop (bit-identical to
+	// all earlier releases). A window is the workload that exposes
+	// aggregation — the paper's "many small requests each burning one
+	// credit and one NIC injection" — and is applied identically whether
+	// Aggregation is on or off, so the two runs differ only in protocol.
+	Window int
+	// Aggregation enables small-op aggregation in the runtime under test
+	// (armci.Config.Agg with defaults): same-target small operations
+	// coalesce into multi-op packets at credit and flush boundaries. The
+	// workload shape is unchanged — only the protocol under it.
+	Aggregation bool
+	// AdaptiveCredits enables adaptive per-edge credit management
+	// (armci.Config.Adaptive with defaults).
+	AdaptiveCredits bool
 
 	// Metrics, when non-nil, collects the run's observability counters,
 	// gauges and histograms (see docs/OBSERVABILITY.md). Use a fresh
@@ -121,6 +137,8 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	if c.StreamLimit > 0 {
 		cfg.Fabric.StreamLimit = c.StreamLimit
 	}
+	cfg.Agg.Enabled = c.Aggregation
+	cfg.Adaptive.Enabled = c.AdaptiveCredits
 	cfg.Metrics = c.Metrics
 	cfg.Trace = c.Trace
 	cfg.TracePID = c.TracePID
@@ -189,10 +207,14 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	series := &stats.Series{Label: c.Kind.String()}
 	times := make(map[int]float64)
 
-	doOp := func(r *armci.Rank) {
+	window := c.Window
+	if window < 1 {
+		window = 1
+	}
+	nbOp := func(r *armci.Rank) *armci.Handle {
 		switch c.Op {
 		case OpFetchAdd:
-			r.FetchAdd(0, "hot", 0, 1)
+			return r.NbFetchAdd(0, "hot", 0, 1)
 		default:
 			base := 8 + r.Rank()*slot
 			segs := make([]armci.Seg, c.VecSegs)
@@ -200,14 +222,39 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 				segs[i] = armci.Seg{Off: base + i*c.VecSegLen*2, Len: c.VecSegLen}
 			}
 			data := make([]byte, c.VecSegs*c.VecSegLen)
-			r.PutV(0, "hot", segs, data)
+			return r.NbPutV(0, "hot", segs, data)
+		}
+	}
+	// doOps issues count operations: blocking one-by-one with no window,
+	// otherwise pipelined in nonblocking windows completed by WaitAll.
+	doOps := func(r *armci.Rank, count int) {
+		if window <= 1 {
+			for k := 0; k < count; k++ {
+				switch c.Op {
+				case OpFetchAdd:
+					r.FetchAdd(0, "hot", 0, 1)
+				default:
+					r.Wait(nbOp(r))
+				}
+			}
+			return
+		}
+		hs := make([]*armci.Handle, 0, window)
+		for k := 0; k < count; k += window {
+			w := window
+			if count-k < w {
+				w = count - k
+			}
+			hs = hs[:0]
+			for j := 0; j < w; j++ {
+				hs = append(hs, nbOp(r))
+			}
+			r.WaitAll(hs...)
 		}
 	}
 	measure := func(r *armci.Rank) {
 		t0 := r.Now()
-		for k := 0; k < c.Iters; k++ {
-			doOp(r)
-		}
+		doOps(r, c.Iters)
 		times[r.Rank()] = (r.Now() - t0).Micros() / float64(c.Iters)
 		next(r.Rank())
 	}
@@ -234,7 +281,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 				ev = nil
 				continue
 			}
-			doOp(r)
+			doOps(r, window)
 		}
 	}
 	if err := rt.Run(body); err != nil {

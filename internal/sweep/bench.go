@@ -86,7 +86,9 @@ func groupKey(p Point) string {
 	case ExpMemscale:
 		return ExpMemscale
 	default:
-		return fmt.Sprintf("%s|%s|%s|%d|%d|%s", p.Experiment, p.Op, p.Level, p.MsgSize, p.Nodes, p.Faults)
+		// The protocol toggles (Agg/Adapt) are deliberately absent: an
+		// off/on pair shares one table, distinguished by series label.
+		return fmt.Sprintf("%s|%s|%s|%d|%d|%d|%s", p.Experiment, p.Op, p.Level, p.MsgSize, p.Nodes, p.Window, p.Faults)
 	}
 }
 
@@ -105,6 +107,9 @@ func groupTitle(p Point, multiNodes, multiSizes bool) string {
 	}
 	if multiNodes {
 		title += fmt.Sprintf(", %d nodes", p.Nodes)
+	}
+	if p.Window > 1 {
+		title += fmt.Sprintf(", window %d", p.Window)
 	}
 	if p.Faults != "" {
 		title += fmt.Sprintf(", faults %q", p.Faults)
@@ -201,6 +206,66 @@ func SummaryTable(title string, series []*stats.Series) *stats.Table {
 		t.AddRow(s.Label, sm.Mean, sm.P50, sm.P99, sm.Max)
 	}
 	return t
+}
+
+// AggComparison is one matched aggregation-off/on pair of contention
+// results: the same topology, level, size, node count, window, faults, seed
+// and repetition, differing only in Point.Agg.
+type AggComparison struct {
+	Label   string  // series identity of the pair (the off point's label)
+	MeanOff float64 // mean us/op with aggregation off
+	MeanOn  float64 // mean us/op with aggregation on
+	Speedup float64 // MeanOff / MeanOn (>1 means aggregation won)
+}
+
+// CompareAgg matches series-valued results that differ only in the Agg
+// toggle and compares mean per-op virtual-time latency. It returns one
+// comparison per matched pair plus an error if no pair matched or if any
+// aggregated mean exceeds its baseline by more than 1% — the regression
+// gate CI runs on the aggregation grid.
+func CompareAgg(results []Result) ([]AggComparison, error) {
+	off := map[string]Result{}
+	pairKey := func(p Point) string {
+		p.Index = 0
+		p.Agg = ""
+		return p.Key()
+	}
+	for _, r := range results {
+		if r.Err != "" || r.Point.Experiment != ExpContention || r.Point.Agg == "on" {
+			continue
+		}
+		off[pairKey(r.Point)] = r
+	}
+	var out []AggComparison
+	var failed []string
+	for _, r := range results {
+		if r.Err != "" || r.Point.Agg != "on" {
+			continue
+		}
+		base, ok := off[pairKey(r.Point)]
+		if !ok {
+			continue
+		}
+		cmp := AggComparison{
+			Label:   base.Label,
+			MeanOff: stats.Summarize(base.Y).Mean,
+			MeanOn:  stats.Summarize(r.Y).Mean,
+		}
+		if cmp.MeanOn > 0 {
+			cmp.Speedup = cmp.MeanOff / cmp.MeanOn
+		}
+		out = append(out, cmp)
+		if cmp.MeanOn > cmp.MeanOff*1.01 {
+			failed = append(failed, fmt.Sprintf("%s: %.2f us/op aggregated vs %.2f baseline", base.Label, cmp.MeanOn, cmp.MeanOff))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no aggregation off/on pairs to compare (need agg=off,on in the grid)")
+	}
+	if len(failed) > 0 {
+		return out, fmt.Errorf("sweep: aggregation regressed %d of %d pairs:\n\t%s", len(failed), len(out), strings.Join(failed, "\n\t"))
+	}
+	return out, nil
 }
 
 // Fingerprint returns a stable digest of merged tables, the quantity the

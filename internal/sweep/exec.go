@@ -64,16 +64,19 @@ func Execute(p Point, opts ExecOptions) Result {
 		res.Value = v
 	case ExpContention:
 		cfg := figures.ContentionConfig{
-			Kind:           kind,
-			Nodes:          p.Nodes,
-			PPN:            p.PPN,
-			Iters:          p.Iters,
-			ContenderEvery: p.ContenderEvery,
-			VecSegs:        p.VecSegs,
-			VecSegLen:      p.MsgSize,
-			SampleEvery:    p.SampleEvery,
-			StreamLimit:    p.StreamLimit,
-			Seed:           p.EffectiveSeed(),
+			Kind:            kind,
+			Nodes:           p.Nodes,
+			PPN:             p.PPN,
+			Iters:           p.Iters,
+			ContenderEvery:  p.ContenderEvery,
+			VecSegs:         p.VecSegs,
+			VecSegLen:       p.MsgSize,
+			SampleEvery:     p.SampleEvery,
+			StreamLimit:     p.StreamLimit,
+			Seed:            p.EffectiveSeed(),
+			Window:          p.Window,
+			Aggregation:     p.Agg == "on",
+			AdaptiveCredits: p.Adapt == "on",
 		}
 		if p.Op == "fadd" {
 			cfg.Op = figures.OpFetchAdd

@@ -73,12 +73,20 @@ type Grid struct {
 	Seeds  []int64  // engine RNG seeds; default 1 (the engine's own default)
 	Procs  []int    // process counts (memscale); default paper's five
 
+	// Aggs and Adapts toggle the runtime protocol under the workload:
+	// small-op aggregation and adaptive credit management. Values are
+	// "off" (default) and "on"; listing both makes the protocol an axis,
+	// so agg=off,on runs every cell twice for a paired comparison.
+	Aggs   []string
+	Adapts []string
+
 	Op          string // contention op: vput (default) or fadd
 	PPN         int    // processes per node; default 4 (memscale 12)
 	Iters       int    // iterations per measured process; default 20
 	SampleEvery int    // measure every k-th rank; default 8
 	StreamLimit int    // NIC stream-limit override; 0 = fabric default
 	VecSegs     int    // vectored-put segment count; default 32
+	Window      int    // nonblocking pipeline window per process; 0 = blocking
 	Reps        int    // repetitions per point; rep r perturbs the seed
 	Metrics     bool   // collect a per-point observability snapshot
 }
@@ -158,6 +166,12 @@ func ParseGrid(spec string) (*Grid, error) {
 			g.StreamLimit, err = strconv.Atoi(val)
 		case "segs":
 			g.VecSegs, err = strconv.Atoi(val)
+		case "window":
+			g.Window, err = strconv.Atoi(val)
+		case "agg":
+			g.Aggs, err = parseOnOffList(key, val)
+		case "adapt":
+			g.Adapts, err = parseOnOffList(key, val)
 		case "reps":
 			g.Reps, err = strconv.Atoi(val)
 		default:
@@ -178,6 +192,17 @@ func splitList(val string) []string {
 		}
 	}
 	return out
+}
+
+func parseOnOffList(key, val string) ([]string, error) {
+	var out []string
+	for _, s := range splitList(val) {
+		if s != "off" && s != "on" {
+			return nil, fmt.Errorf("%s value %q (want off or on)", key, s)
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 func parseIntList(val string) ([]int, error) {
@@ -216,6 +241,12 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Seeds) == 0 {
 		g.Seeds = []int64{1}
+	}
+	if len(g.Aggs) == 0 {
+		g.Aggs = []string{"off"}
+	}
+	if len(g.Adapts) == 0 {
+		g.Adapts = []string{"off"}
 	}
 	if len(g.Procs) == 0 {
 		g.Procs = []int{768, 1536, 3072, 6144, 12288}
@@ -268,6 +299,14 @@ type Point struct {
 	Seed           int64  `json:"seed,omitempty"`
 	Rep            int    `json:"rep,omitempty"`
 	Metrics        bool   `json:"metrics,omitempty"`
+	// Window is the nonblocking pipeline depth per process (0 = blocking).
+	// Agg and Adapt carry the protocol toggles as "on" or "" (off): the
+	// empty off value is omitted from the JSON encoding, so every
+	// pre-aggregation cache key — and therefore every cached result —
+	// remains valid.
+	Window int    `json:"window,omitempty"`
+	Agg    string `json:"agg,omitempty"`
+	Adapt  string `json:"adapt,omitempty"`
 }
 
 // Key returns the point's content-addressed identity: the SHA-256 of the
@@ -283,9 +322,16 @@ func (p Point) Key() string {
 }
 
 // Label names the point's series in merged tables: the topology, suffixed
-// with the seed and repetition when they differ from the defaults.
+// with the protocol toggles, seed and repetition when they differ from the
+// defaults.
 func (p Point) Label() string {
 	l := p.Topo
+	if p.Agg == "on" {
+		l += "+agg"
+	}
+	if p.Adapt == "on" {
+		l += "+adapt"
+	}
 	if p.Seed != 0 && p.Seed != 1 {
 		l += fmt.Sprintf("/s%d", p.Seed)
 	}
@@ -349,28 +395,43 @@ func (g Grid) Expand() ([]Point, error) {
 					for _, fault := range g.Faults {
 						for _, seed := range g.Seeds {
 							for rep := 0; rep < g.Reps; rep++ {
-								for _, topo := range g.Topos {
-									kind, err := core.ParseKind(topo)
-									if err != nil {
-										return nil, err
+								for _, agg := range g.Aggs {
+									for _, adapt := range g.Adapts {
+										for _, topo := range g.Topos {
+											kind, err := core.ParseKind(topo)
+											if err != nil {
+												return nil, err
+											}
+											if _, err := core.New(kind, nodes); err != nil {
+												continue
+											}
+											f := fault
+											if f == "none" {
+												f = ""
+											}
+											// "off" canonicalizes to the empty
+											// string so pre-aggregation cache
+											// keys stay valid.
+											a, ad := agg, adapt
+											if a == "off" {
+												a = ""
+											}
+											if ad == "off" {
+												ad = ""
+											}
+											add(Point{
+												Experiment: ExpContention, Topo: topo,
+												Nodes: nodes, PPN: g.PPN, Op: g.Op,
+												Level: level, ContenderEvery: every,
+												Iters: g.Iters, SampleEvery: g.SampleEvery,
+												StreamLimit: g.StreamLimit,
+												VecSegs:     g.VecSegs, MsgSize: size,
+												Faults: f, Seed: seed, Rep: rep,
+												Metrics: g.Metrics,
+												Window:  g.Window, Agg: a, Adapt: ad,
+											})
+										}
 									}
-									if _, err := core.New(kind, nodes); err != nil {
-										continue
-									}
-									f := fault
-									if f == "none" {
-										f = ""
-									}
-									add(Point{
-										Experiment: ExpContention, Topo: topo,
-										Nodes: nodes, PPN: g.PPN, Op: g.Op,
-										Level: level, ContenderEvery: every,
-										Iters: g.Iters, SampleEvery: g.SampleEvery,
-										StreamLimit: g.StreamLimit,
-										VecSegs:     g.VecSegs, MsgSize: size,
-										Faults: f, Seed: seed, Rep: rep,
-										Metrics: g.Metrics,
-									})
 								}
 							}
 						}

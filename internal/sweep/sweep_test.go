@@ -176,3 +176,73 @@ func TestReindex(t *testing.T) {
 		t.Fatalf("reindexed = %+v", points)
 	}
 }
+
+func TestAggAxisExpansionAndCacheKeys(t *testing.T) {
+	g, err := ParseGrid("exp=contention;topos=fcg;nodes=16;levels=20;window=8;agg=off,on;adapt=off,on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4 (agg x adapt)", len(points))
+	}
+	// The off/off point must carry empty toggles so its cache key equals the
+	// pre-aggregation encoding of the same cell minus the new fields only
+	// when those fields are zero-valued.
+	off := points[0]
+	if off.Agg != "" || off.Adapt != "" {
+		t.Fatalf("off point toggles = %q/%q, want empty", off.Agg, off.Adapt)
+	}
+	legacy := off
+	legacy.Window, legacy.Agg, legacy.Adapt = 0, "", ""
+	if off.Key() == legacy.Key() {
+		t.Fatal("window=8 did not change the cache key")
+	}
+	on := points[3]
+	if on.Agg != "on" || on.Adapt != "on" {
+		t.Fatalf("on point toggles = %q/%q", on.Agg, on.Adapt)
+	}
+	if on.Key() == off.Key() {
+		t.Fatal("agg toggle did not change the cache key")
+	}
+	if got := on.Label(); got != "FCG+agg+adapt" {
+		t.Fatalf("label = %q", got)
+	}
+	// Zero-valued new fields leave the encoding — and therefore every
+	// pre-existing cache key — untouched.
+	if k1, k2 := (Point{Experiment: ExpContention, Topo: "FCG", Nodes: 16, PPN: 4}).Key(),
+		(Point{Experiment: ExpContention, Topo: "FCG", Nodes: 16, PPN: 4, Window: 0, Agg: "", Adapt: ""}).Key(); k1 != k2 {
+		t.Fatal("zero-valued toggles changed the cache key")
+	}
+}
+
+func TestParseGridAggErrors(t *testing.T) {
+	for _, spec := range []string{"agg=maybe", "adapt=1", "window=x"} {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Errorf("ParseGrid(%q) accepted", spec)
+		}
+	}
+}
+
+func TestCompareAgg(t *testing.T) {
+	mk := func(agg string, y float64) Result {
+		p := Point{Experiment: ExpContention, Topo: "FCG", Nodes: 16, PPN: 4, Level: "20", Window: 8, Agg: agg}
+		return Result{Point: p, Label: p.Label(), Y: []float64{y}}
+	}
+	cmps, err := CompareAgg([]Result{mk("", 100), mk("on", 50)})
+	if err != nil {
+		t.Fatalf("winning pair reported error: %v", err)
+	}
+	if len(cmps) != 1 || cmps[0].Speedup != 2 {
+		t.Fatalf("cmps = %+v", cmps)
+	}
+	if _, err := CompareAgg([]Result{mk("", 100), mk("on", 102)}); err == nil {
+		t.Fatal("regressed pair not reported")
+	}
+	if _, err := CompareAgg([]Result{mk("", 100)}); err == nil {
+		t.Fatal("unpaired results not reported")
+	}
+}
