@@ -24,14 +24,17 @@
 // With -faults SPEC, every run executes under the given fault schedule
 // (grammar in docs/FAULTS.md, e.g. "link:3-7@t=1ms,cht:12@t=2ms"): the
 // runtime enables request timeouts/retries and a deadlock watchdog, and the
-// retry/reroute counters appear in the -metrics snapshot.
+// retry/reroute counters appear in the -metrics snapshot. -heal additionally
+// arms heartbeat membership and online topology self-healing, which matters
+// only when the schedule contains node: crash-stop faults — without them the
+// flag is a documented no-op and the output is bit-identical.
 //
 // Usage:
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
 //	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
 //	           [-j N] [-cache DIR] [-csv] [-metrics]
-//	           [-trace FILE [-trace-sched]] [-faults SPEC]
+//	           [-trace FILE [-trace-sched]] [-faults SPEC] [-heal]
 //	           [-window N] [-agg] [-adaptive]
 package main
 
@@ -67,6 +70,7 @@ func main() {
 	window := flag.Int("window", 0, "nonblocking pipeline window per process (0 = blocking, the paper's shape)")
 	agg := flag.Bool("agg", false, "enable small-op aggregation in the runtime")
 	adaptive := flag.Bool("adaptive", false, "enable adaptive per-edge credit management")
+	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
 	flag.Parse()
 
 	if *faultSpec != "" {
@@ -123,6 +127,7 @@ func main() {
 		Window:      *window,
 		Aggs:        []string{onOff(*agg)},
 		Adapts:      []string{onOff(*adaptive)},
+		Heals:       []string{onOff(*heal)},
 	}
 	for _, kind := range kinds {
 		if _, err := core.New(kind, *nodes); err != nil {
@@ -234,6 +239,7 @@ func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
 		VecSegLen: p.MsgSize, SampleEvery: p.SampleEvery,
 		StreamLimit: p.StreamLimit, Seed: p.EffectiveSeed(),
 		Window: p.Window, Aggregation: p.Agg == "on", AdaptiveCredits: p.Adapt == "on",
+		Heal:  p.Heal == "on",
 		Trace: opts.Trace, TracePID: p.Index, TraceSched: true,
 	}
 	if p.Op == "fadd" {

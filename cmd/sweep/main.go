@@ -17,6 +17,9 @@
 //	sweep -preset fig6-agg-ci -assert-agg
 //	                                  aggregation off/on paired grid; fails
 //	                                  if aggregation regressed latency
+//	sweep -preset chaos -j 8          crash/recover chaos grid, healing
+//	                                  off vs on, three schedules per cell
+//	sweep -preset chaos-ci            the reduced chaos grid CI smokes
 //
 // Custom grids compose any axes, e.g. a topology × message-size × fault
 // sweep:
@@ -34,7 +37,8 @@
 //
 // Usage:
 //
-//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci] [-grid SPEC] [-j N]
+//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci|chaos|chaos-ci]
+//	      [-grid SPEC] [-j N]
 //	      [-cache DIR] [-bench FILE] [-csv] [-metrics] [-trace FILE]
 //	      [-progress] [-list] [-assert-agg]
 package main
@@ -64,10 +68,17 @@ var presets = map[string]string{
 	// payload under the aggregation threshold). CI runs it with -assert-agg,
 	// which fails the build if any aggregated mean exceeds its baseline.
 	"fig6-agg-ci": "exp=contention;op=vput;topos=fcg,mfcg,cfcg;nodes=64;ppn=2;iters=5;sample=8;stream=8;levels=20;msgsize=64;window=8;agg=off,on",
+	// chaos runs randomized crash/recover schedules against every topology
+	// with healing off and on: the off arm demonstrates lost paths on the
+	// multi-hop topologies, the on arm asserts the self-healing invariants
+	// (figures.Chaos fails the point if any is violated). chaos-ci is the
+	// per-PR smoke: one schedule per topology at the acceptance scale.
+	"chaos":    "exp=chaos;nodes=64;ppn=2;iters=20;crashes=1,2,3;heal=off,on;seeds=1,2,3",
+	"chaos-ci": "exp=chaos;nodes=64;ppn=2;iters=10;crashes=3;heal=off,on;seeds=1",
 }
 
 func main() {
-	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, or fig6-agg-ci")
+	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, or chaos-ci")
 	gridSpec := flag.String("grid", "", "grid spec (see docs/SWEEP.md); overrides -preset")
 	j := flag.Int("j", runtime.NumCPU(), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", ".sweep-cache", "result cache directory ('' disables caching)")
@@ -88,7 +99,7 @@ func main() {
 		}
 		var ok bool
 		if spec, ok = presets[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, or fig6-agg-ci)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, or chaos-ci)\n", name)
 			os.Exit(2)
 		}
 	}

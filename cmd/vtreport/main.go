@@ -16,11 +16,14 @@
 // into one Chrome-trace JSON file, one trace process per run (see
 // docs/OBSERVABILITY.md; forces -j 1). With -faults SPEC, the contention
 // runs execute under the given fault schedule (grammar in docs/FAULTS.md),
-// exercising the timeout/retry/reroute machinery.
+// exercising the timeout/retry/reroute machinery; -heal arms heartbeat
+// membership and topology self-healing for those runs (a bit-identical
+// no-op unless the schedule contains node: crash-stop faults).
 //
 // Usage:
 //
-//	vtreport [-quick|-full] [-j N] [-metrics] [-trace FILE] [-faults SPEC] > report.md
+//	vtreport [-quick|-full] [-j N] [-metrics] [-trace FILE] [-faults SPEC]
+//	         [-heal] > report.md
 package main
 
 import (
@@ -102,6 +105,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "append observability snapshots to the contention sections")
 	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file (forces -j 1)")
 	faultSpec := flag.String("faults", "", "fault schedule for the contention runs (see docs/FAULTS.md)")
+	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
 	flag.Parse()
 	s := quickScale()
 	mode := "quick"
@@ -168,6 +172,7 @@ func main() {
 					SampleEvery:    s.contention.SampleEvery,
 					StreamLimit:    s.contention.StreamLimit,
 					Faults:         *faultSpec,
+					Heal:           healToggle(*heal),
 					Metrics:        *metrics,
 				})
 			}
@@ -229,6 +234,15 @@ func main() {
 }
 
 func section(w io.Writer, title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+
+// healToggle renders the -heal flag as the Point's canonical toggle value:
+// "on" or, for off, the empty string that keeps pre-existing cache keys.
+func healToggle(b bool) string {
+	if b {
+		return "on"
+	}
+	return ""
+}
 
 func check(err error) {
 	if err != nil {

@@ -129,6 +129,10 @@ func (r *Rank) flushAgg(targetNode int) {
 		return
 	}
 	rt := r.rt
+	if err := rt.deadRouteErr(r.node, targetNode); err != nil {
+		rt.abortChunks(err, subs...)
+		return
+	}
 	for _, sub := range subs {
 		rt.armTimeout(sub, targetNode)
 	}

@@ -11,6 +11,9 @@ import (
 // poll-cost model.
 func (ns *nodeState) enqueue(req *request) {
 	if req.prevNode >= 0 {
+		// Every arriving request is proof of life from its upstream peer
+		// (no-op unless healing is armed).
+		ns.heard(req.prevNode)
 		ns.pendingBySrc[req.prevNode]++
 		// Adaptive credit management triggers at the receiver: an in-edge
 		// whose every buffer is now occupied is saturated, so try to shift
@@ -38,6 +41,13 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 	rt := ns.rt
 	for {
 		req := ns.inbox.Get(p)
+		// A crashed node's CHT serves nothing: whatever reaches the inbox
+		// while the node is down dies with it (no response, no forward, no
+		// credit return). The daemon itself keeps draining so traffic after
+		// a recovery is served again.
+		if fi := rt.faultInj; fi != nil && fi.NodeDown(ns.id) {
+			continue
+		}
 		// An injected CHT stall freezes the helper thread between requests:
 		// the inbox keeps filling (buffers are the flow control, not the
 		// thread) until the fault repairs. Permanent stalls park the daemon
@@ -68,6 +78,14 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 		}
 
 		if targetNode != ns.id {
+			// A target this node's membership view has confirmed dead gets
+			// failed back to its origin immediately — forwarding it would
+			// strand a credit on an edge no ack will ever return over.
+			if rt.healArmed && ns.mv.isDead(targetNode) {
+				rt.stats.NodeAborts++
+				ns.fail(req, &NodeFailedError{Node: targetNode})
+				continue
+			}
 			next := rt.nextHop(ns.id, targetNode)
 			eg, err := rt.egressFor(ns.id, next)
 			if err != nil {
@@ -140,11 +158,15 @@ func (ns *nodeState) fail(req *request, err error) {
 	for _, sub := range batchSubs(req) {
 		rt.stats.Failures++
 		h, chunk := sub.h, sub.chunk
+		origin := sub.originNode
 		deliver := func() { h.failChunk(chunk, err) }
-		if sub.originNode == ns.id {
+		if origin == ns.id {
 			rt.eng.After(rt.cfg.LocalLatency, deliver)
 		} else {
-			rt.net.Send(ns.id, sub.originNode, respBytes, deliver)
+			rt.net.Send(ns.id, origin, respBytes, func() {
+				rt.nodes[origin].heard(ns.id)
+				deliver()
+			})
 		}
 	}
 	ns.finish(req, req.prevNode)
@@ -317,5 +339,11 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 		rt.eng.After(rt.cfg.LocalLatency, deliver)
 		return
 	}
-	rt.net.Send(ns.id, req.originNode, size, deliver)
+	origin := req.originNode
+	rt.net.Send(ns.id, origin, size, func() {
+		// Responses count as proof of life too, when origin and target
+		// happen to be neighbors (no-op otherwise).
+		rt.nodes[origin].heard(ns.id)
+		deliver()
+	})
 }

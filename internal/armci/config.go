@@ -147,6 +147,13 @@ type Config struct {
 	// its capacity.
 	CreditTimeout sim.Time
 
+	// Heal configures heartbeat membership and online topology self-healing
+	// for crash-stop node faults (node: entries in a fault spec). The
+	// machinery only arms when Heal.Enabled is set AND the fault schedule
+	// contains node faults, so every other run — including link/CHT-faulted
+	// ones — stays bit-identical. See HealConfig and docs/FAULTS.md.
+	Heal HealConfig
+
 	// Agg configures small-op aggregation on the CHT hot path: same-target
 	// small operations coalesce into one multi-op request packet that
 	// consumes a single buffer credit and a single NIC injection. The zero
@@ -250,6 +257,46 @@ type AdaptiveConfig struct {
 	Cooldown sim.Time
 }
 
+// HealConfig parameterizes crash-stop failure detection and recovery.
+//
+// Detection is a heartbeat membership service: every node's monitor sends a
+// small creditless heartbeat to each virtual-topology neighbor every
+// HeartbeatInterval, and tracks the last instant it heard from each
+// neighbor — heartbeats plus every piggybacked protocol message (request
+// arrivals, credit acks, adaptive grant/revoke control traffic) count. A
+// neighbor silent for SuspicionTimeout is suspected; silent for twice that,
+// it is confirmed dead. Hearing from a confirmed-dead neighbor again means
+// it recovered: the survivor reinstates it with a fresh credit pool.
+//
+// On confirmation each survivor heals locally, with no extra protocol
+// round: sends parked on the dead edge are replayed through a
+// deterministically elected replacement forwarder (core.ReplacementHop —
+// an admissible LDF hop, so D <= M still holds), ops with no live route
+// fail their handles with *NodeFailedError, and the dead edge's
+// outstanding credits are written off against regeneration debt so late
+// acks can never overflow the pool. Retransmissions of in-flight chunks
+// recompute their route per attempt and heal automatically.
+type HealConfig struct {
+	// Enabled arms the membership monitor and self-healing when the fault
+	// schedule contains node: faults. Off (the default) changes nothing.
+	Enabled bool
+	// HeartbeatInterval is the monitor's probe period (default 100 us).
+	HeartbeatInterval sim.Time
+	// SuspicionTimeout is how long a neighbor may stay silent before it is
+	// suspected (default 300 us); confirmation takes twice this. Worst-case
+	// detection latency is therefore 2*SuspicionTimeout plus one heartbeat
+	// round.
+	SuspicionTimeout sim.Time
+}
+
+// Heal defaults, applied when Heal.Enabled is set.
+const (
+	DefaultHeartbeatInterval = 100 * sim.Microsecond
+	DefaultSuspicionTimeout  = 300 * sim.Microsecond
+	// heartbeatBytes is the wire size of one membership probe.
+	heartbeatBytes = 16
+)
+
 // Aggregation and adaptive-credit defaults, applied when the respective
 // Enabled flag is set.
 const (
@@ -321,6 +368,8 @@ func (c Config) Validate() error {
 		{"BarrierStep", c.BarrierStep},
 		{"RequestTimeout", c.RequestTimeout},
 		{"CreditTimeout", c.CreditTimeout},
+		{"Heal.HeartbeatInterval", c.Heal.HeartbeatInterval},
+		{"Heal.SuspicionTimeout", c.Heal.SuspicionTimeout},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("armci: %s must not be negative, got %v", f.name, f.v)
@@ -433,6 +482,14 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.Agg.OpOverhead == 0 {
 			c.Agg.OpOverhead = DefaultAggOpOverhead
+		}
+	}
+	if c.Heal.Enabled {
+		if c.Heal.HeartbeatInterval == 0 {
+			c.Heal.HeartbeatInterval = DefaultHeartbeatInterval
+		}
+		if c.Heal.SuspicionTimeout == 0 {
+			c.Heal.SuspicionTimeout = DefaultSuspicionTimeout
 		}
 	}
 	if c.Adaptive.Enabled {

@@ -103,17 +103,39 @@ func (eg *egress) submitForward(req *request, onSend func()) {
 
 // release returns one buffer credit and drains the pending FIFO. A credit
 // owed to an adaptive revoke or already regenerated against this edge's
-// debt is swallowed instead: the pool must not exceed its capacity.
+// debt is swallowed instead: the pool must not exceed its capacity. With
+// healing armed, an ack that would overflow an already-full pool is stale —
+// sent before a crash/heal cycle reset or wrote off this edge — and is
+// swallowed too.
 func (eg *egress) release() {
 	switch {
 	case eg.revokeDebt > 0:
 		eg.revokeDebt--
 	case eg.regenDebt > 0:
 		eg.regenDebt--
+	case eg.rt.healArmed && eg.credits >= eg.capacity:
+		eg.rt.stats.StaleAcks++
 	default:
 		eg.credits++
 	}
 	eg.drain()
+}
+
+// reset restores the edge to its initial state: a full fresh credit pool,
+// no debts, no parked sends, regen backoff cleared. Used when this node
+// reboots after its own crash and when the peer rejoins (its buffers were
+// reallocated from scratch). Capacity is kept — adaptive grants and revokes
+// describe the receiver's pool partition, which memory, not the crash,
+// owns.
+func (eg *egress) reset() {
+	eg.credits = eg.capacity
+	eg.revokeDebt = 0
+	eg.regenDebt = 0
+	for i := range eg.pending {
+		eg.pending[i] = nil
+	}
+	eg.pending = eg.pending[:0]
+	eg.regenInterval = 0
 }
 
 // drain transmits parked sends while credits last. With aggregation on,

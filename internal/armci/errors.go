@@ -18,6 +18,19 @@ func (e *NoRouteError) Error() string {
 	return fmt.Sprintf("armci: no edge %d->%d in the virtual topology", e.From, e.To)
 }
 
+// NodeFailedError reports an operation aborted because a node crash-stopped:
+// either the origin's own node died with the op in flight, or the target
+// node is confirmed dead by the membership service. Handles carrying it
+// complete normally — Handle.Err surfaces the failure — so survivors keep
+// making progress.
+type NodeFailedError struct {
+	Node int
+}
+
+func (e *NodeFailedError) Error() string {
+	return fmt.Sprintf("armci: node %d crashed", e.Node)
+}
+
 // TimeoutError reports a request chunk that exhausted MaxRetries without
 // completing — the origin-side verdict that the target (or every route to
 // it) stayed unreachable for the whole retry schedule.

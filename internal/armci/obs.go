@@ -27,6 +27,7 @@ type obsState struct {
 	inboxDepth *obs.Histogram // CHT inbox depth observed at each enqueue
 	aggOps     *obs.Histogram // sub-operations per injected batch packet
 	aggBytes   *obs.Histogram // wire bytes per injected batch packet
+	detectLat  *obs.Histogram // us from node crash to survivor confirmation
 }
 
 // newObsState wires the side-car: fabric shares the registry, every CHT
@@ -46,6 +47,9 @@ func newObsState(rt *Runtime) *obsState {
 		o.inboxDepth = o.reg.Histogram("armci_cht_inbox_depth", obs.CountBuckets)
 		o.aggOps = o.reg.Histogram("armci_agg_batch_ops", obs.CountBuckets)
 		o.aggBytes = o.reg.Histogram("armci_agg_batch_bytes", obs.CountBuckets)
+		if rt.healArmed {
+			o.detectLat = o.reg.Histogram("armci_membership_detect_latency_us", obs.TimeBuckets)
+		}
 		rt.net.Instrument(o.reg)
 		for _, ns := range rt.nodes {
 			ns.inbox.OnDepth(func(d int) { o.inboxDepth.Observe(float64(d)) })
@@ -131,6 +135,21 @@ func (rt *Runtime) FillMetrics() {
 	reg.Counter("armci_dup_drops_total").Add(float64(s.DupDrops))
 	reg.Counter("armci_forward_no_route_total").Add(float64(s.NoRoutes))
 	rt.faultInj.FillMetrics()
+
+	// Membership and healing counters, exported only when healing is armed
+	// so unarmed runs keep their metric set unchanged (schema in
+	// docs/FAULTS.md).
+	if rt.healArmed {
+		reg.Gauge("armci_membership_suspected_total").Set(float64(s.Suspicions))
+		reg.Gauge("armci_membership_confirmed_total").Set(float64(s.Confirms))
+		reg.Gauge("armci_membership_recovered_total").Set(float64(s.Rejoins))
+		reg.Gauge("armci_membership_max_detect_latency_us").Set(s.MaxDetectLatency.Micros())
+		reg.Counter("armci_heal_replays_total").Add(float64(s.HealReplays))
+		reg.Counter("armci_heal_route_fails_total").Add(float64(s.HealFails))
+		reg.Counter("armci_heal_credit_writeoffs_total").Add(float64(s.CreditWriteOffs))
+		reg.Counter("armci_heal_stale_acks_total").Add(float64(s.StaleAcks))
+		reg.Counter("armci_node_aborts_total").Add(float64(s.NodeAborts))
+	}
 
 	// Aggregation and adaptive-credit counters (zero unless enabled; schema
 	// in docs/OBSERVABILITY.md).

@@ -165,6 +165,14 @@ func (h *Handle) failChunk(i int, err error) {
 	h.completeChunk()
 }
 
+// failAll fails every chunk not yet complete with err, for crash-stop
+// aborts; chunks that already completed or failed are untouched.
+func (h *Handle) failAll(err error) {
+	for i := range h.chunkDone {
+		h.failChunk(i, err)
+	}
+}
+
 // chunkComplete reports whether chunk i has already completed or failed.
 func (h *Handle) chunkComplete(i int) bool {
 	return i >= 0 && i < len(h.chunkDone) && h.chunkDone[i]

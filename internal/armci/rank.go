@@ -104,6 +104,13 @@ func (r *Rank) Fence() {
 func (r *Rank) send(req *request) {
 	rt := r.rt
 	targetNode := req.target / rt.cfg.PPN
+	// Crash-stop fast path: a crashed origin cannot inject, and a target
+	// this node's membership view has confirmed dead is not worth the full
+	// retry schedule. Both fail the chunk with *NodeFailedError.
+	if err := rt.deadRouteErr(r.node, targetNode); err != nil {
+		rt.abortChunks(err, req)
+		return
+	}
 	// Anything still aggregating for this target must go first, or a
 	// buffered earlier write could be applied after this request.
 	r.flushAgg(targetNode)
@@ -419,6 +426,15 @@ func (r *Rank) lockOp(m int, kind opKind) {
 	}
 	h := newHandle(rt.eng, 1, 0)
 	req.h = h
+	// Crash-stop fast path, as in send. A mutex whose owner node crashed
+	// while a rank held it stays wedged for other contenders — lock state is
+	// volatile and dies with the owner (a documented limitation) — but a
+	// lock op issued toward a confirmed-dead owner fails fast here.
+	if err := rt.deadRouteErr(r.node, ownerNode); err != nil {
+		rt.abortChunks(err, req)
+		r.Wait(h)
+		return
+	}
 	if ownerNode == r.node {
 		// Same-node mutex traffic still goes through the owner CHT (the
 		// authority for the mutex) but over shared memory: no credits.

@@ -35,6 +35,16 @@ func (rt *Runtime) scheduleTimeout(req *request, targetNode int, timeout sim.Tim
 		}
 		rt.stats.Timeouts++
 		elapsed := rt.eng.Now() - req.issued
+		// A target the origin's membership view has confirmed dead (or an
+		// origin node that has itself crashed) cannot complete the chunk;
+		// fail fast instead of burning the remaining retries.
+		if err := rt.deadRouteErr(req.originNode, targetNode); err != nil {
+			rt.stats.Failures++
+			rt.stats.NodeAborts++
+			rt.noteRetry("node-fail", req, elapsed)
+			h.failChunk(req.chunk, err)
+			return
+		}
 		if req.attempt >= rt.cfg.MaxRetries {
 			rt.stats.Failures++
 			err := &TimeoutError{

@@ -36,6 +36,15 @@ type Runtime struct {
 	faultInj *faults.Injector
 	// ridSeq issues runtime-unique request ids for timeout dedup.
 	ridSeq uint64
+
+	// healArmed is true when Config.Heal.Enabled is set AND the fault
+	// schedule contains node: faults — the only condition under which the
+	// membership monitors and self-healing run (see membership.go).
+	healArmed bool
+	// liveRanks counts rank processes still executing their body; the
+	// membership monitors stop re-arming when it reaches zero so the event
+	// queue can drain (the same termination rule sim.Watchdog uses).
+	liveRanks int
 }
 
 // Stats aggregates runtime-level counters used by tests and reports.
@@ -62,6 +71,18 @@ type Stats struct {
 	AggBatches    uint64 // multi-op batch packets injected (counted per hop)
 	AggBatchedOps uint64 // sub-operations those packets carried
 	CreditShifts  uint64 // buffers shifted between in-edges by adaptive credits
+
+	// Membership and healing counters (all zero unless Config.Heal armed a
+	// run whose fault schedule contains node: faults; see membership.go).
+	Suspicions       uint64   // neighbor transitions alive -> suspected
+	Confirms         uint64   // neighbor transitions suspected -> confirmed dead
+	Rejoins          uint64   // confirmed-dead neighbors heard from again
+	HealReplays      uint64   // parked sends replayed via a replacement forwarder
+	HealFails        uint64   // parked sends failed for want of a live route
+	CreditWriteOffs  uint64   // credits written off against confirmed-dead edges
+	StaleAcks        uint64   // credit acks swallowed after a crash/heal cycle
+	NodeAborts       uint64   // chunks aborted at a crashed origin or toward a dead target
+	MaxDetectLatency sim.Time // worst crash -> confirmation latency observed
 }
 
 type nodeState struct {
@@ -77,8 +98,14 @@ type nodeState struct {
 	pendingBySrc map[int]int
 	chtProc      *sim.Proc
 	// rids deduplicates retransmitted requests at the target (allocated
-	// only when request timeouts are enabled).
+	// only when request timeouts are enabled). Entries survive the node's
+	// own crash/recovery: a rebooted node keeping its dedup table is the
+	// stable-storage simplification that preserves at-most-once apply for
+	// requests retried across the outage.
 	rids map[uint64]*dupState
+	// mv is this node's membership view of its virtual-topology neighbors
+	// (nil unless healing is armed); see membership.go.
+	mv *memberView
 
 	// Adaptive credit state (allocated only with Config.Adaptive.Enabled):
 	// the node's current buffer capacity per in-edge (sum is invariant),
@@ -169,6 +196,18 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 	for r := range rt.ranks {
 		rt.ranks[r] = &Rank{rt: rt, rank: r, node: r / cfg.PPN}
 		rt.world[r] = r
+	}
+	// Crash-stop semantics arm whenever the schedule contains node faults;
+	// membership + healing additionally require Heal.Enabled, so runs
+	// without node faults (and heal-off ablations) are bit-identical.
+	if cfg.Faults.HasNodeFaults() {
+		rt.healArmed = cfg.Heal.Enabled
+		if rt.healArmed {
+			for _, ns := range rt.nodes {
+				ns.mv = newMemberView(rt.topo.Neighbors(ns.id))
+			}
+		}
+		cfg.Faults.OnNodeChange(rt.onNodeChange)
 	}
 	rt.collInit()
 	if cfg.Metrics != nil || cfg.Trace != nil {
@@ -269,6 +308,7 @@ func (rt *Runtime) Start(body func(r *Rank)) {
 		ns := ns
 		ns.chtProc = rt.eng.SpawnDaemon(fmt.Sprintf("cht%d", ns.id), ns.chtLoop)
 	}
+	rt.liveRanks = len(rt.ranks)
 	for _, r := range rt.ranks {
 		r := r
 		r.proc = rt.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
@@ -276,7 +316,14 @@ func (rt *Runtime) Start(body func(r *Rank)) {
 			// Aggregated operations still buffered when the body returns
 			// would otherwise never be injected.
 			r.flushAllAgg()
+			rt.liveRanks--
 		})
+	}
+	if rt.healArmed {
+		for _, ns := range rt.nodes {
+			ns := ns
+			rt.eng.After(rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
+		}
 	}
 }
 
@@ -321,15 +368,25 @@ func (rt *Runtime) nextHop(src, dst int) int {
 		return rt.cfg.RouteOverride(src, dst)
 	}
 	next := rt.topo.NextHop(src, dst)
-	if fi := rt.faultInj; fi != nil && next != dst && next != src && fi.CHTStalled(next) {
+	if next != dst && next != src && rt.hopAvoided(src, next) {
 		for _, alt := range core.AdmissibleHops(rt.topo, src, dst) {
-			if alt != next && !fi.CHTStalled(alt) {
+			if alt != next && !rt.hopAvoided(src, alt) {
 				rt.stats.Reroutes++
 				return alt
 			}
 		}
 	}
 	return next
+}
+
+// hopAvoided reports whether src should not forward through node: its CHT is
+// stalled by an injected fault, or src's membership view has confirmed it
+// dead. Fault-free runs always answer false, keeping routing bit-identical.
+func (rt *Runtime) hopAvoided(src, node int) bool {
+	if fi := rt.faultInj; fi != nil && fi.CHTStalled(node) {
+		return true
+	}
+	return rt.healArmed && rt.nodes[src].mv.isDead(node)
 }
 
 // egressTo returns node's egress over the direct edge to peer.
@@ -354,9 +411,48 @@ func (rt *Runtime) egressFor(node, peer int) (*egress, error) {
 }
 
 // returnCredit sends an ack from node back to peer releasing one buffer
-// credit for the peer->node edge.
+// credit for the peer->node edge. The ack doubles as a membership heartbeat
+// at the receiver (heard is a no-op unless healing is armed).
 func (rt *Runtime) returnCredit(node, peer int) {
 	rt.net.Send(node, peer, ackBytes, func() {
+		rt.nodes[peer].heard(node)
 		rt.egressTo(peer, node).release()
 	})
+}
+
+// CheckCreditInvariants verifies the buffer-accounting invariants the
+// protocol maintains through faults, healing, aggregation and adaptive
+// shifting: every egress holds 0 <= credits <= capacity with non-negative
+// debts, and every adaptive node's in-edge capacities sum to degree *
+// (PPN * BufsPerProc) with each at least 1 (the LDF liveness floor). The
+// chaos harness and property tests call it after every run.
+func (rt *Runtime) CheckCreditInvariants() error {
+	poolCap := rt.cfg.PPN * rt.cfg.BufsPerProc
+	for _, ns := range rt.nodes {
+		for peer, eg := range ns.egress {
+			if eg.credits < 0 || eg.credits > eg.capacity {
+				return fmt.Errorf("armci: egress %d->%d credits %d outside [0,%d]",
+					ns.id, peer, eg.credits, eg.capacity)
+			}
+			if eg.revokeDebt < 0 || eg.regenDebt < 0 {
+				return fmt.Errorf("armci: egress %d->%d negative debt (revoke=%d, regen=%d)",
+					ns.id, peer, eg.revokeDebt, eg.regenDebt)
+			}
+		}
+		if ns.inCap != nil {
+			total := 0
+			for peer, c := range ns.inCap {
+				if c < 1 {
+					return fmt.Errorf("armci: node %d in-edge %d capacity %d below floor 1",
+						ns.id, peer, c)
+				}
+				total += c
+			}
+			if want := len(ns.inNbrs) * poolCap; total != want {
+				return fmt.Errorf("armci: node %d in-edge capacities sum to %d, want %d",
+					ns.id, total, want)
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,26 @@
+package core
+
+// ReplacementHop elects a next hop from src toward dst that avoids every
+// node the predicate down reports failed. It walks the admissible hops
+// (AdmissibleHops order: lowest correctable dimension first), so every
+// survivor that shares a view of the failed set elects the same
+// replacement — a deterministic election with no extra protocol round.
+// The destination itself is returned (reporting ok) when it is a live
+// admissible hop; ok is false when dst is down or every admissible
+// forwarder toward it has failed.
+//
+// Because each admissible hop corrects one whole dimension of the LDF
+// route, a replacement never lengthens the path: the D <= M
+// deadlock-freedom bound of the paper's virtual topologies is preserved
+// through healing.
+func ReplacementHop(t Topology, src, dst int, down func(node int) bool) (int, bool) {
+	if down(dst) {
+		return -1, false
+	}
+	for _, hop := range AdmissibleHops(t, src, dst) {
+		if !down(hop) {
+			return hop, true
+		}
+	}
+	return -1, false
+}

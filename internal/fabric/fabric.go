@@ -139,6 +139,7 @@ type Stats struct {
 	LinkStalls   uint64   // messages that parked at a hard-failed link
 	Reroutes     uint64   // routes steered onto the long ring arc around a failure
 	Dropped      uint64   // messages dropped after LinkStallLimit at a failed link
+	NodeDrops    uint64   // messages dropped because their source or destination node crashed
 }
 
 // Network is a simulated torus interconnect for n nodes.
@@ -382,6 +383,16 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 	nw.stats.Messages++
 	nw.stats.Bytes += uint64(size)
 	if src == dst {
+		if nw.cfg.Faults != nil {
+			nw.eng.After(nw.cfg.SoftwareOverhead, func() {
+				if nw.cfg.Faults.NodeDown(src) {
+					nw.stats.NodeDrops++
+					return
+				}
+				deliver()
+			})
+			return
+		}
 		nw.eng.After(nw.cfg.SoftwareOverhead, deliver)
 		return
 	}
@@ -394,6 +405,12 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 	nw.eng.After(nw.cfg.SoftwareOverhead, func() {
 		var path []int
 		if nw.cfg.Faults != nil {
+			// A crashed source NIC injects nothing: anything its software
+			// stack had queued dies with the node.
+			if nw.cfg.Faults.NodeDown(src) {
+				nw.stats.NodeDrops++
+				return
+			}
 			path = nw.routeFaultAware(src, dst)
 		} else {
 			path = nw.route(src, dst)
@@ -429,6 +446,13 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 			nw.walk(path, i+1, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
 			return
 		}
+		// A crashed destination NIC ejects nothing: the message has
+		// traversed the torus (SeaStar routers forward in hardware) but
+		// dies at the dead node's ejection port.
+		if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
+			nw.stats.NodeDrops++
+			return
+		}
 		// Ejection with the stream-overload model: the port slows down
 		// when more distinct sources than StreamLimit are queued, the
 		// BEER-throttling behaviour hot-spot nodes exhibit on the XT5.
@@ -448,6 +472,12 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 				delete(srcs, src)
 			} else {
 				srcs[src]--
+			}
+			// The node can crash mid-ejection; the partially ejected
+			// message is lost with it.
+			if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
+				nw.stats.NodeDrops++
+				return
 			}
 			deliver()
 		})
@@ -553,6 +583,7 @@ func (nw *Network) FillMetrics() {
 	reg.Counter("fabric_link_stalls_total").Add(float64(nw.stats.LinkStalls))
 	reg.Counter("fabric_reroutes_total").Add(float64(nw.stats.Reroutes))
 	reg.Counter("fabric_dropped_msgs_total").Add(float64(nw.stats.Dropped))
+	reg.Counter("fabric_node_drops_total").Add(float64(nw.stats.NodeDrops))
 
 	elapsed := nw.eng.Now()
 	util := func(busy sim.Time) float64 {

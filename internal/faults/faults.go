@@ -9,7 +9,12 @@
 //     transient-flap link models);
 //   - package armci asks CHTStalled when choosing a next hop and parks a
 //     stalled helper thread on AwaitRepair (failed-intermediate model that
-//     its timeout/retry/reroute machinery recovers from).
+//     its timeout/retry/reroute machinery recovers from);
+//   - both layers ask NodeDown for crash-stop node failures (node: entries):
+//     the fabric drops traffic injected by or ejecting at a dead node, and
+//     armci kills the node's CHT, in-flight ops and credit state atomically,
+//     with heartbeat membership and topology self-healing recovering the
+//     survivors (see docs/FAULTS.md).
 //
 // Everything is driven by virtual-time events, so faulted runs are exactly
 // as repeatable as healthy ones. See docs/FAULTS.md for the fault model,
@@ -42,6 +47,10 @@ const (
 	// CHTStall freezes a node's Communication Helper Thread: requests keep
 	// arriving and buffering but nothing is served until repair.
 	CHTStall
+	// NodeCrash is a crash-stop node failure: the node's CHT, NIC queues and
+	// in-flight operations die atomically at the activation time. A finite
+	// for= window models crash-recover; 0 is a permanent crash.
+	NodeCrash
 )
 
 func (k Kind) String() string {
@@ -54,6 +63,8 @@ func (k Kind) String() string {
 		return "link_flap"
 	case CHTStall:
 		return "cht_stall"
+	case NodeCrash:
+		return "node_crash"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -66,8 +77,8 @@ const maxFlapToggles = 4096
 // Fault is one concrete scheduled fault.
 type Fault struct {
 	Kind Kind
-	// A, B are the link endpoints (torus node positions); CHT faults use A
-	// and leave B = -1.
+	// A, B are the link endpoints (torus node positions); CHT and node
+	// faults use A and leave B = -1.
 	A, B int
 	// At is when the fault activates.
 	At sim.Time
@@ -107,6 +118,8 @@ type Spec struct {
 //	degrade:1-2@t=0s@bw=0.25    link 1-2 drops to 25% bandwidth at t=0
 //	flap:0-1@t=1ms@period=100us@for=2ms
 //	cht:12@t=2ms@for=5ms        node 12's CHT stalls for 5ms
+//	node:5@t=1ms                node 5 crash-stops at t=1ms, permanently
+//	node:5@t=1ms@for=4ms        ... and recovers 4ms later
 //	rand:8@seed=42@for=10ms     8 seeded random faults within 10ms
 //
 // Durations use Go syntax (time.ParseDuration). Clause keys: t (activation
@@ -142,7 +155,7 @@ func (s *Spec) parseEntry(entry string) error {
 	parts := strings.Split(entry, "@")
 	kindStr, targetStr, ok := strings.Cut(parts[0], ":")
 	if !ok {
-		return fmt.Errorf("faults: entry %q: want kind:target", entry)
+		return fmt.Errorf("faults: entry %q: token %q: want kind:target", entry, parts[0])
 	}
 	clauses := map[string]string{}
 	for _, c := range parts[1:] {
@@ -183,7 +196,7 @@ func (s *Spec) parseEntry(entry string) error {
 	if kindStr == "rand" {
 		count, err := strconv.Atoi(targetStr)
 		if err != nil || count < 1 {
-			return fmt.Errorf("faults: entry %q: rand wants a positive count", entry)
+			return fmt.Errorf("faults: entry %q: target %q: rand wants a positive count", entry, targetStr)
 		}
 		seedStr, ok := clauses["seed"]
 		if !ok {
@@ -218,20 +231,22 @@ func (s *Spec) parseEntry(entry string) error {
 		f.Kind = LinkFlap
 	case "cht":
 		f.Kind = CHTStall
+	case "node":
+		f.Kind = NodeCrash
 	default:
-		return fmt.Errorf("faults: entry %q: unknown kind %q (want link, degrade, flap, cht or rand)", entry, kindStr)
+		return fmt.Errorf("faults: entry %q: unknown kind %q (want link, degrade, flap, cht, node or rand)", entry, kindStr)
 	}
 
-	if f.Kind == CHTStall {
+	if f.Kind == CHTStall || f.Kind == NodeCrash {
 		n, err := strconv.Atoi(targetStr)
 		if err != nil || n < 0 {
-			return fmt.Errorf("faults: entry %q: cht wants a node id", entry)
+			return fmt.Errorf("faults: entry %q: target %q: %s wants a node id", entry, targetStr, kindStr)
 		}
 		f.A = n
 	} else {
 		aStr, bStr, ok := strings.Cut(targetStr, "-")
 		if !ok {
-			return fmt.Errorf("faults: entry %q: link target wants A-B", entry)
+			return fmt.Errorf("faults: entry %q: target %q: link target wants A-B", entry, targetStr)
 		}
 		a, errA := strconv.Atoi(aStr)
 		b, errB := strconv.Atoi(bStr)
@@ -313,6 +328,8 @@ func (f Fault) String() string {
 		fmt.Fprintf(&b, "flap:%d-%d", f.A, f.B)
 	case CHTStall:
 		fmt.Fprintf(&b, "cht:%d", f.A)
+	case NodeCrash:
+		fmt.Fprintf(&b, "node:%d", f.A)
 	}
 	fmt.Fprintf(&b, "@t=%s", time.Duration(f.At))
 	if f.For > 0 {
@@ -345,6 +362,36 @@ func (s *Spec) Expand(nodes int) []Fault {
 // activating within [0, horizon) (0 selects DefaultRandHorizon). Most are
 // transient; roughly a quarter are permanent. The property tests drive LDF
 // resilience with these schedules.
+// RandomNodeFaults draws count crash-stop node faults deterministically from
+// seed: distinct victims in [0, nodes), crashing within the first half of
+// [0, horizon) so survivors have time to detect and heal before the run
+// ends. Roughly half recover within the horizon; the rest stay down. The
+// chaos harness (figures.Chaos) drives its randomized schedules with these.
+func RandomNodeFaults(seed int64, nodes, count int, horizon sim.Time) []Fault {
+	if horizon <= 0 {
+		horizon = DefaultRandHorizon
+	}
+	if count > nodes/2 {
+		count = nodes / 2 // keep a majority of survivors
+	}
+	rng := rand.New(rand.NewSource(seed))
+	victims := rng.Perm(nodes)[:count]
+	out := make([]Fault, 0, count)
+	for _, v := range victims {
+		f := Fault{
+			Kind: NodeCrash,
+			A:    v,
+			B:    -1,
+			At:   sim.Time(int64(horizon)/10 + rng.Int63n(int64(horizon)/2+1)),
+		}
+		if rng.Intn(2) == 0 {
+			f.For = sim.Time(int64(horizon)/5 + rng.Int63n(int64(horizon)/4+1))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 func RandomFaults(seed int64, nodes, count int, horizon sim.Time) []Fault {
 	if horizon <= 0 {
 		horizon = DefaultRandHorizon

@@ -22,6 +22,9 @@ func TestParseSpec(t *testing.T) {
 		{"flap:0-1@t=1ms@period=100us@for=2ms",
 			Fault{Kind: LinkFlap, A: 0, B: 1, At: sim.Millisecond, For: 2 * sim.Millisecond, Period: 100 * sim.Microsecond}},
 		{"flap:0-1", Fault{Kind: LinkFlap, A: 0, B: 1, For: 2 * sim.Millisecond, Period: 100 * sim.Microsecond}},
+		{"node:5@t=1ms", Fault{Kind: NodeCrash, A: 5, B: -1, At: sim.Millisecond}},
+		{"node:5@t=1ms@for=4ms", Fault{Kind: NodeCrash, A: 5, B: -1, At: sim.Millisecond, For: 4 * sim.Millisecond}},
+		{"node:0", Fault{Kind: NodeCrash, A: 0, B: -1}},
 	}
 	for _, c := range cases {
 		spec, err := ParseSpec(c.in)
@@ -66,6 +69,10 @@ func TestParseSpecErrors(t *testing.T) {
 		"bogus:1-2",
 		"cht:x",
 		"cht:-4",
+		"node:x",
+		"node:-2",
+		"node:1@bw=0.5",              // unknown clause for node
+		"node:1-2",                   // node wants a single id, not a link pair
 		"cht:1@t=1ms@t=2ms",          // duplicate clause
 		"cht:1@wat=2ms",              // unknown clause
 		"cht:1@t=",                   // empty value
@@ -86,13 +93,48 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+// TestParseSpecErrorsNameToken pins that grammar errors identify the
+// offending token, not just the whole spec string.
+func TestParseSpecErrorsNameToken(t *testing.T) {
+	cases := []struct {
+		in    string
+		token string // must appear quoted in the error
+	}{
+		{"link", `"link"`},                  // missing-colon token
+		{"bogus:1-2", `"bogus"`},            // unknown kind
+		{"cht:x", `"x"`},                    // bad cht target
+		{"node:1-2", `"1-2"`},               // bad node target
+		{"link:3", `"3"`},                   // malformed link target
+		{"link:3-x", `"3-x"`},               // bad link endpoint
+		{"rand:zero@seed=1", `"zero"`},      // bad rand count
+		{"cht:1@wat=2ms", `"wat"`},          // unknown clause
+		{"link:1-2@@t=1ms", `""`},           // empty clause
+		{"cht:1@t=1ms@t=2ms", `"t"`},        // duplicate clause
+		{"degrade:1-2@bw=1.5", `"1.5"`},     // out-of-range factor
+		{"link:1-2@t=1x", "clause t"},       // bad duration names its clause
+		{"link:1-2@for=-1ms", "clause for"}, // negative duration names its clause
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.token) {
+			t.Errorf("ParseSpec(%q) error %q does not name token %s", c.in, err, c.token)
+		}
+	}
+}
+
 func TestSpecStringRoundTrip(t *testing.T) {
 	for _, in := range []string{
 		"link:3-7@t=1ms@for=5ms",
 		"degrade:1-2@t=0s@for=5ms@bw=0.25",
 		"flap:0-1@t=1ms@period=50us@for=2ms",
 		"cht:12@t=2ms",
-		"link:0-1@t=250us,cht:3,rand:4@seed=-7@for=10ms",
+		"node:5@t=1ms@for=4ms",
+		"node:0",
+		"link:0-1@t=250us,cht:3,node:2@t=1ms,rand:4@seed=-7@for=10ms",
 	} {
 		spec := MustParseSpec(in)
 		again, err := ParseSpec(spec.String())
@@ -222,6 +264,86 @@ func TestInjectorPermanentStallParksForever(t *testing.T) {
 	eng.Shutdown()
 }
 
+func TestRandomNodeFaultsDeterministic(t *testing.T) {
+	a := RandomNodeFaults(7, 16, 4, 10*sim.Millisecond)
+	b := RandomNodeFaults(7, 16, 4, 10*sim.Millisecond)
+	if len(a) != 4 {
+		t.Fatalf("got %d faults, want 4", len(a))
+	}
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		f := a[i]
+		if f.Kind != NodeCrash || f.B != -1 {
+			t.Errorf("fault %d is not a node crash: %+v", i, f)
+		}
+		if f.A < 0 || f.A >= 16 {
+			t.Errorf("fault %d victim %d out of range", i, f.A)
+		}
+		if seen[f.A] {
+			t.Errorf("victim %d crashed twice", f.A)
+		}
+		seen[f.A] = true
+		if f.At <= 0 || f.At >= 10*sim.Millisecond {
+			t.Errorf("fault %d activation %v outside horizon", i, f.At)
+		}
+	}
+	// The victim count is capped at half the nodes.
+	if got := len(RandomNodeFaults(7, 8, 100, 0)); got != 4 {
+		t.Errorf("victim cap: got %d faults for 8 nodes, want 4", got)
+	}
+}
+
+func TestInjectorNodeCrashLifecycle(t *testing.T) {
+	eng := sim.New()
+	in := NewInjector(eng, 9, MustParseSpec("node:4@t=1ms@for=2ms,node:7@t=2ms"))
+	if !in.HasNodeFaults() {
+		t.Fatal("HasNodeFaults = false with two node: entries")
+	}
+	type change struct {
+		node int
+		down bool
+		at   sim.Time
+	}
+	var changes []change
+	in.OnNodeChange(func(n int, down bool) {
+		changes = append(changes, change{n, down, eng.Now()})
+	})
+	var midDown, midUp bool
+	eng.At(1500*sim.Microsecond, func() { midDown = in.NodeDown(4) })
+	eng.At(3500*sim.Microsecond, func() { midUp = !in.NodeDown(4) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !midDown || !midUp {
+		t.Errorf("NodeDown(4): mid-crash %v (want true), post-recover up %v (want true)", midDown, midUp)
+	}
+	if in.NodeDown(7) != true {
+		t.Error("node 7's permanent crash not active at end of run")
+	}
+	want := []change{
+		{4, true, sim.Millisecond},
+		{7, true, 2 * sim.Millisecond},
+		{4, false, 3 * sim.Millisecond},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("OnNodeChange fired %d times, want %d: %+v", len(changes), len(want), changes)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Errorf("change %d = %+v, want %+v", i, changes[i], want[i])
+		}
+	}
+	if at, ok := in.CrashedAt(4); !ok || at != sim.Millisecond {
+		t.Errorf("CrashedAt(4) = %v, %v; want 1ms, true", at, ok)
+	}
+	if _, ok := in.CrashedAt(3); ok {
+		t.Error("CrashedAt(3) reported a crash for a healthy node")
+	}
+}
+
 func TestInjectorMetricsAndTrace(t *testing.T) {
 	eng := sim.New()
 	reg := obs.NewRegistry()
@@ -263,6 +385,13 @@ func TestNilInjectorIsHealthy(t *testing.T) {
 	if in.LinkDown(0, 1) || in.CHTStalled(0) || in.LinkFactor(0, 1) != 1 || in.Active() != 0 {
 		t.Error("nil injector must report a healthy machine")
 	}
+	if in.NodeDown(0) || in.HasNodeFaults() {
+		t.Error("nil injector must report no node crashes")
+	}
+	if _, ok := in.CrashedAt(0); ok {
+		t.Error("nil injector reported a crash time")
+	}
+	in.OnNodeChange(func(int, bool) {})
 	in.FillMetrics()
 	in.Instrument(nil, nil, 0)
 	if in.Faults() != nil {

@@ -17,6 +17,11 @@ func FuzzFaultSpec(f *testing.F) {
 	f.Add("flap:0-1@t=1ms@period=100us@for=2ms")
 	f.Add("rand:8@seed=42@for=10ms")
 	f.Add("cht:0,cht:1,cht:0@t=1ms@for=1ms")
+	f.Add("node:3@t=1ms")
+	f.Add("node:3@t=1ms@for=2ms,cht:1")
+	f.Add("node:0,node:1@t=500us,node:0@t=1ms@for=1ms")
+	f.Add("node:1-2")
+	f.Add("node:-1")
 	f.Add("link:1-2@bw=0.5")
 	f.Add(",,,")
 	f.Add("rand:-1@seed=0")

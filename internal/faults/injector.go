@@ -31,6 +31,12 @@ type Injector struct {
 	// parked CHT waits on, recreated on each 0->1 transition.
 	chtDown map[int]int
 	repair  map[int]*sim.Event
+	// nodeDown counts active crash-stop failures per node; crashedAt records
+	// the most recent crash instant (metrics: detection latency is measured
+	// against it). onNode observers fire on every 0<->1 transition.
+	nodeDown  map[int]int
+	crashedAt map[int]sim.Time
+	onNode    []func(node int, down bool)
 
 	injected           map[Kind]int
 	activations        uint64
@@ -53,6 +59,8 @@ func NewInjector(eng *sim.Engine, nodes int, spec *Spec) *Injector {
 		linkFactor: map[[2]int]float64{},
 		chtDown:    map[int]int{},
 		repair:     map[int]*sim.Event{},
+		nodeDown:   map[int]int{},
+		crashedAt:  map[int]sim.Time{},
 		injected:   map[Kind]int{},
 	}
 	for _, f := range in.faults {
@@ -115,6 +123,11 @@ func (in *Injector) schedule(f Fault) {
 		if f.For > 0 {
 			in.eng.At(f.At+f.For, func() { in.setCHT(f, -1) })
 		}
+	case NodeCrash:
+		in.eng.At(f.At, func() { in.setNode(f, +1) })
+		if f.For > 0 {
+			in.eng.At(f.At+f.For, func() { in.setNode(f, -1) })
+		}
 	}
 }
 
@@ -156,6 +169,24 @@ func (in *Injector) setCHT(f Fault, delta int) {
 	}
 }
 
+func (in *Injector) setNode(f Fault, delta int) {
+	n := f.A
+	was := in.nodeDown[n]
+	in.nodeDown[n] = was + delta
+	if delta > 0 && was == 0 {
+		in.crashedAt[n] = in.eng.Now()
+		in.note(true, fmt.Sprintf("node_crash %d", n))
+		for _, fn := range in.onNode {
+			fn(n, true)
+		}
+	} else if delta < 0 && was+delta == 0 {
+		in.note(false, fmt.Sprintf("node_crash %d recovered", n))
+		for _, fn := range in.onNode {
+			fn(n, false)
+		}
+	}
+}
+
 // note records an activation (on) or repair transition.
 func (in *Injector) note(on bool, label string) {
 	if on {
@@ -190,6 +221,48 @@ func (in *Injector) LinkFactor(a, b int) float64 {
 		return f
 	}
 	return 1
+}
+
+// NodeDown reports whether node is currently crash-stopped.
+func (in *Injector) NodeDown(node int) bool {
+	if in == nil {
+		return false
+	}
+	return in.nodeDown[node] > 0
+}
+
+// HasNodeFaults reports whether the expanded schedule contains any
+// crash-stop node fault. The armci runtime arms its membership and healing
+// machinery only when this is true, keeping node-fault-free runs
+// bit-identical to the healthy path.
+func (in *Injector) HasNodeFaults() bool {
+	if in == nil {
+		return false
+	}
+	return in.injected[NodeCrash] > 0
+}
+
+// CrashedAt returns the virtual time node most recently crashed, and
+// whether it has crashed at all. Metrics use it to measure detection
+// latency against ground truth; protocol code must not (survivors learn of
+// failures only through the membership service).
+func (in *Injector) CrashedAt(node int) (sim.Time, bool) {
+	if in == nil {
+		return 0, false
+	}
+	t, ok := in.crashedAt[node]
+	return t, ok
+}
+
+// OnNodeChange registers fn to run, in engine context, on every node
+// crash (down=true) and recovery (down=false) transition. The armci
+// runtime uses it to kill a node's local state atomically with the crash;
+// survivor-side behaviour must come from membership detection instead.
+func (in *Injector) OnNodeChange(fn func(node int, down bool)) {
+	if in == nil {
+		return
+	}
+	in.onNode = append(in.onNode, fn)
 }
 
 // CHTStalled reports whether node's helper thread is currently frozen.

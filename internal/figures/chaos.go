@@ -1,0 +1,266 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/core"
+	"armcivt/internal/faults"
+	"armcivt/internal/obs"
+	"armcivt/internal/sim"
+)
+
+// The chaos harness: a randomized crash/recover schedule under a randomized
+// survivor-to-survivor workload, with end-to-end correctness asserted inside
+// the run rather than eyeballed outside it. Each surviving rank owns one
+// float64 ledger slot (slot o at every rank), accumulates +1 into its own
+// slot at random survivor targets, and counts completions and failures. After
+// the run the harness checks, per origin:
+//
+//	completed <= applied <= completed + failed
+//
+// The lower bound catches lost operations (an op reported complete that
+// never applied); the upper bound catches double-applies (the at-most-once
+// rid dedup failing under crash/retry churn). On top of that it checks the
+// credit invariants, the membership detection-latency bound, and — via the
+// sim watchdog — that the run never wedges. Chaos is the acceptance gate of
+// the node-fault work: the sweep's "chaos" experiment runs it across
+// topologies, crash counts and seeds, and CI runs a small fixed-seed grid.
+
+// chaosHorizon is the virtual-time window the random schedule draws crash
+// times from (crashes land in its first ~60%, recoveries inside it), sized
+// so a default workload is still issuing operations on both sides of every
+// crash.
+const chaosHorizon = 2 * sim.Millisecond
+
+// ChaosConfig sizes one chaos run.
+type ChaosConfig struct {
+	Kind  core.Kind
+	Nodes int // default 64
+	PPN   int // default 2
+	// OpsPerRank is how many accumulate operations every surviving rank
+	// issues (default 20), spread over the crash window by per-rank random
+	// pacing.
+	OpsPerRank int
+	// Crashes is how many nodes crash-stop (default 3; the schedule
+	// generator caps it at Nodes/2 so survivors stay a majority). Roughly
+	// half the victims recover within the horizon.
+	Crashes int
+	// Seed drives the engine RNG, the fault schedule and the per-rank
+	// workload shapes; same seed, same run, bit for bit.
+	Seed int64
+	// Heal arms heartbeat membership and online self-healing. With it off
+	// the same schedule demonstrably loses paths on multi-hop topologies:
+	// operations routed through a dead forwarder exhaust their retries.
+	Heal bool
+
+	// Metrics/Trace/TracePID attach observability exactly as in
+	// ContentionConfig.
+	Metrics  *obs.Registry
+	Trace    *obs.Tracer
+	TracePID int
+}
+
+// ChaosResult summarizes one chaos run after its internal invariants passed.
+type ChaosResult struct {
+	Issued    int // operations issued by surviving ranks
+	Completed int // operations whose handles completed successfully
+	Failed    int // operations whose handles failed (timeout or node death)
+	// Partitioned counts the subset of Failed whose origin-target pair had
+	// no live admissible route when the failure surfaced: every forwarder
+	// that could correct a dimension toward the target was down. Healing
+	// cannot route around a partition — replacements must stay admissible
+	// to keep the LDF D <= M bound — so these failures are expected even
+	// with healing on; with it on, they should be the ONLY failures.
+	Partitioned int
+	Victims     []int // nodes the schedule crashed, in schedule order
+	Elapsed     sim.Time
+	Stats       armci.Stats
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 64
+	}
+	if c.PPN == 0 {
+		c.PPN = 2
+	}
+	if c.OpsPerRank == 0 {
+		c.OpsPerRank = 20
+	}
+	if c.Crashes == 0 {
+		c.Crashes = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Chaos runs one randomized crash/recover schedule and verifies the
+// end-to-end invariants documented on the package section above. A non-nil
+// error means either the simulation failed (e.g. the watchdog tripped on a
+// wedge) or an invariant was violated; both are defects, never expected
+// outcomes.
+func Chaos(c ChaosConfig) (*ChaosResult, error) {
+	c = c.withDefaults()
+	eng := simEngine()
+	eng.Seed(c.Seed)
+	topo, err := core.New(c.Kind, c.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	schedule := faults.RandomNodeFaults(c.Seed, c.Nodes, c.Crashes, chaosHorizon)
+	victimSet := map[int]bool{}
+	var victims []int
+	for _, f := range schedule {
+		if !victimSet[f.A] {
+			victimSet[f.A] = true
+			victims = append(victims, f.A)
+		}
+	}
+
+	cfg := armci.DefaultConfig(c.Nodes, c.PPN)
+	cfg.Topology = topo
+	inj := faults.NewInjector(eng, c.Nodes, &faults.Spec{Faults: schedule})
+	cfg.Faults = inj
+	cfg.Heal.Enabled = c.Heal
+	// Fast retry constants scaled to the horizon. The doubling retries from
+	// 200us put attempts at +200us/600us/1.4ms/3ms after issue — the last
+	// two comfortably past worst-case detection (2*SuspicionTimeout +
+	// 2*HeartbeatInterval = 800us with the defaults), so a healed route is
+	// always found before retries exhaust and any failure with healing on
+	// is a real lost path, not impatience. The total span (6.2ms) also stays
+	// under the watchdog's patience window: a doomed operation fails — and
+	// resumes its rank — before quiescent retry churn reads as a wedge.
+	cfg.RequestTimeout = 200 * sim.Microsecond
+	cfg.MaxRetries = 4
+	cfg.CreditTimeout = 400 * sim.Microsecond
+	cfg.Metrics = c.Metrics
+	cfg.Trace = c.Trace
+	cfg.TracePID = c.TracePID
+	if c.Trace != nil {
+		heal := "heal off"
+		if c.Heal {
+			heal = "heal on"
+		}
+		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("chaos %v %d nodes, %d crashes, %s", c.Kind, c.Nodes, c.Crashes, heal))
+	}
+	// A chaotic schedule that wedges the protocol must become an error, not
+	// a hang: the watchdog converts a stuck event queue into a
+	// *sim.WatchdogError carrying a blocked-process report.
+	sim.NewWatchdog(eng, 0, 0).Start()
+
+	rt, err := armci.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+
+	n := rt.NRanks()
+	rt.Alloc("chaos", 8*n)
+
+	// Survivor ranks and their targets: only ranks on never-crashed nodes
+	// issue and receive, so the ledger is immune to victim-side resets and
+	// every assertion below is exact.
+	var survivors []int
+	for rank := 0; rank < n; rank++ {
+		if !victimSet[rank/c.PPN] {
+			survivors = append(survivors, rank)
+		}
+	}
+	issued := make([]int, n)
+	completed := make([]int, n)
+	failed := make([]int, n)
+	partitioned := 0
+
+	body := func(r *armci.Rank) {
+		if victimSet[r.Node()] {
+			// Victim ranks idle past the detection window so the membership
+			// monitors (which run while any rank is live) outlast the last
+			// crash, its confirmation and any recovery.
+			r.Sleep(2 * chaosHorizon)
+			return
+		}
+		rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(r.Rank())))
+		r.Sleep(sim.Time(rng.Int63n(int64(50 * sim.Microsecond))))
+		for i := 0; i < c.OpsPerRank; i++ {
+			target := survivors[rng.Intn(len(survivors))]
+			issued[r.Rank()]++
+			h := r.NbAcc(target, "chaos", 8*r.Rank(), 1.0, []float64{1})
+			r.Wait(h)
+			if h.Err() != nil {
+				failed[r.Rank()]++
+				// Classify against ground truth at failure time: no live
+				// admissible route means a partition, the one failure mode
+				// healing is not allowed to paper over.
+				if _, ok := core.ReplacementHop(topo, r.Node(), target/c.PPN, inj.NodeDown); !ok {
+					partitioned++
+				}
+			} else {
+				completed[r.Rank()]++
+			}
+			r.Sleep(sim.Time(int64(20*sim.Microsecond) + rng.Int63n(int64(60*sim.Microsecond))))
+		}
+	}
+	if err := rt.Run(body); err != nil {
+		return nil, err
+	}
+	rt.FillMetrics()
+
+	res := &ChaosResult{Victims: victims, Partitioned: partitioned, Elapsed: eng.Now(), Stats: rt.Stats()}
+
+	// Invariant 1: per-origin ledger conservation. applied(o) sums slot o
+	// over every rank's memory; each +1 is exact in float64 at these counts.
+	for _, o := range survivors {
+		var applied float64
+		for t := 0; t < n; t++ {
+			applied += armci.GetFloat64(rt.Memory(t, "chaos"), 8*o)
+		}
+		if applied < float64(completed[o]) {
+			return nil, fmt.Errorf("chaos %v seed %d: rank %d lost operations: %d completed but only %g applied",
+				c.Kind, c.Seed, o, completed[o], applied)
+		}
+		if applied > float64(completed[o]+failed[o]) {
+			return nil, fmt.Errorf("chaos %v seed %d: rank %d double-applied: %g applied exceeds %d issued",
+				c.Kind, c.Seed, o, applied, completed[o]+failed[o])
+		}
+		if issued[o] != completed[o]+failed[o] {
+			return nil, fmt.Errorf("chaos %v seed %d: rank %d accounting broken: %d issued != %d completed + %d failed",
+				c.Kind, c.Seed, o, issued[o], completed[o], failed[o])
+		}
+		res.Issued += issued[o]
+		res.Completed += completed[o]
+		res.Failed += failed[o]
+	}
+	// Invariant 2: victim ranks issued nothing, so their slots stay zero.
+	for _, v := range victims {
+		for p := 0; p < c.PPN; p++ {
+			o := v*c.PPN + p
+			for t := 0; t < n; t++ {
+				if got := armci.GetFloat64(rt.Memory(t, "chaos"), 8*o); got != 0 {
+					return nil, fmt.Errorf("chaos %v seed %d: idle victim rank %d's slot is %g at rank %d", c.Kind, c.Seed, o, got, t)
+				}
+			}
+		}
+	}
+	// Invariant 3: credits stayed within bounds on every edge (and, when
+	// adaptive credits are on, every receiver's partition still sums to its
+	// budget with floor >= 1).
+	if err := rt.CheckCreditInvariants(); err != nil {
+		return nil, fmt.Errorf("chaos %v seed %d: %w", c.Kind, c.Seed, err)
+	}
+	// Invariant 4: bounded detection. Every confirmation must land within
+	// two suspicion timeouts plus two heartbeat ticks of quantization slack.
+	if c.Heal && res.Stats.Confirms > 0 {
+		heal := rt.Config().Heal
+		bound := 2*heal.SuspicionTimeout + 2*heal.HeartbeatInterval
+		if res.Stats.MaxDetectLatency > bound {
+			return nil, fmt.Errorf("chaos %v seed %d: detection latency %v exceeds bound %v",
+				c.Kind, c.Seed, res.Stats.MaxDetectLatency, bound)
+		}
+	}
+	return res, nil
+}

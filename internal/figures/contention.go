@@ -91,11 +91,17 @@ type ContentionConfig struct {
 	TraceSched bool
 
 	// Faults, when non-nil, injects the fault schedule into the run (see
-	// docs/FAULTS.md): links fail, degrade or flap, CHTs stall, the armci
-	// layer turns on request timeouts/retries and credit regeneration, and
-	// a deadlock watchdog aborts a wedged run with a *sim.WatchdogError.
-	// Nil keeps the run bit-identical to the fault-free pipeline.
+	// docs/FAULTS.md): links fail, degrade or flap, CHTs stall, nodes
+	// crash-stop, the armci layer turns on request timeouts/retries and
+	// credit regeneration, and a deadlock watchdog aborts a wedged run with
+	// a *sim.WatchdogError. Nil keeps the run bit-identical to the
+	// fault-free pipeline.
 	Faults *faults.Spec
+	// Heal enables heartbeat membership and online topology self-healing
+	// (armci.Config.Heal with defaults). It only takes effect when Faults
+	// contains node: entries; otherwise the run is bit-identical with the
+	// flag on or off.
+	Heal bool
 }
 
 func (c ContentionConfig) withDefaults() ContentionConfig {
@@ -139,6 +145,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	}
 	cfg.Agg.Enabled = c.Aggregation
 	cfg.Adaptive.Enabled = c.AdaptiveCredits
+	cfg.Heal.Enabled = c.Heal
 	cfg.Metrics = c.Metrics
 	cfg.Trace = c.Trace
 	cfg.TracePID = c.TracePID

@@ -75,6 +75,34 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 	frt.FillMetrics()
 	frt.Shutdown()
 
+	// A heal-armed crash-stop run adds the membership and self-healing
+	// names (schema in docs/FAULTS.md): node 5 crashes mid-run, survivors'
+	// heartbeat monitors confirm the failure (registering the detection
+	// latency histogram) while the rest keep forwarding traffic.
+	heng := sim.New()
+	hcfg := armci.DefaultConfig(16, 1)
+	hcfg.Topology = core.MustNew(core.MFCG, 16)
+	hcfg.Metrics = reg
+	hcfg.Trace = obs.NewTracer()
+	hcfg.Faults = faults.NewInjector(heng, 16, faults.MustParseSpec("node:5@t=100us"))
+	hcfg.Heal.Enabled = true
+	hrt := armci.MustNew(heng, hcfg)
+	hrt.Alloc("h", 1024)
+	if err := hrt.Run(func(r *armci.Rank) {
+		if r.Rank() == 5 {
+			r.Sleep(2 * sim.Millisecond) // parked when its node crash-stops
+			return
+		}
+		for i := 0; i < 4; i++ {
+			r.Put(0, "h", 0, make([]byte, 64))
+			r.Sleep(500 * sim.Microsecond) // outlive the confirm threshold
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hrt.FillMetrics()
+	hrt.Shutdown()
+
 	// The core analysis gauges, exactly as cmd/topoviz publishes them.
 	tl := obs.L("topo", core.MFCG.String())
 	reg.Gauge("core_diameter_hops", tl).Set(float64(core.Diameter(topo)))
@@ -123,6 +151,8 @@ func TestWorkloadCoversDocumentedTables(t *testing.T) {
 		"armci_retries_total", "armci_dup_drops_total",
 		"faults_injected_total", "faults_activations_total",
 		"fabric_link_stalls_total",
+		"armci_membership_confirmed_total", "armci_membership_detect_latency_us",
+		"armci_heal_replays_total", "fabric_node_drops_total",
 	} {
 		if !have[want] {
 			t.Errorf("documented metric %q not emitted by the all-layers workload", want)

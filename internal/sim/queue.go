@@ -72,6 +72,20 @@ func (q *Queue[T]) Get(p *Proc) T {
 	return x
 }
 
+// Clear drops every buffered item and returns how many were dropped.
+// Waiting getters stay parked (a cleared queue is empty, not closed) — the
+// crash-stop fault model uses this to kill a dead node's inbox atomically.
+func (q *Queue[T]) Clear() int {
+	n := q.Len()
+	var zero T
+	for i := q.head; i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	return n
+}
+
 // TryGet dequeues without blocking, reporting whether an item was available.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T

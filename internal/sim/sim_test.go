@@ -238,6 +238,43 @@ func TestQueueMaxLenHighWater(t *testing.T) {
 	}
 }
 
+func TestQueueClear(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e, "q")
+	if q.Clear() != 0 {
+		t.Error("Clear on empty queue dropped items")
+	}
+	for i := 0; i < 5; i++ {
+		q.Put(i)
+	}
+	q.TryGet() // advance head so Clear must handle a nonzero offset
+	if got := q.Clear(); got != 4 {
+		t.Errorf("Clear dropped %d items, want 4", got)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after Clear", q.Len())
+	}
+	// The queue must remain usable: puts after a clear arrive in order.
+	q.Put(7)
+	q.Put(8)
+	if v, ok := q.TryGet(); !ok || v != 7 {
+		t.Errorf("TryGet after Clear = %d,%v want 7,true", v, ok)
+	}
+	q.TryGet() // drain the 8
+	// A parked getter stays parked across Clear and is served by a later Put.
+	var got int
+	e.Spawn("getter", func(p *Proc) { got = q.Get(p) })
+	e.GoAt(5, "clear-then-put", func(p *Proc) {
+		q.Clear()
+		p.Sleep(1)
+		q.Put(42)
+	})
+	mustRun(t, e)
+	if got != 42 {
+		t.Errorf("parked getter got %d, want 42", got)
+	}
+}
+
 func TestQueueCompaction(t *testing.T) {
 	e := New()
 	q := NewQueue[int](e, "q")

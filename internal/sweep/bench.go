@@ -85,6 +85,10 @@ func groupKey(p Point) string {
 	switch p.Experiment {
 	case ExpMemscale:
 		return ExpMemscale
+	case ExpChaos:
+		// Crash count is the x-axis; heal on/off pairs share the table,
+		// distinguished by the +heal series label.
+		return fmt.Sprintf("%s|%d|%d", ExpChaos, p.Nodes, p.Iters)
 	default:
 		// The protocol toggles (Agg/Adapt) are deliberately absent: an
 		// off/on pair shares one table, distinguished by series label.
@@ -96,6 +100,9 @@ func groupKey(p Point) string {
 func groupTitle(p Point, multiNodes, multiSizes bool) string {
 	if p.Experiment == ExpMemscale {
 		return "memscale: master-process memory (MBytes) vs processes"
+	}
+	if p.Experiment == ExpChaos {
+		return fmt.Sprintf("chaos: failed survivor ops vs crashes, %d nodes, %d ops/rank", p.Nodes, p.Iters)
 	}
 	opName := "vectored put"
 	if p.Op == "fadd" {
@@ -158,19 +165,26 @@ func Groups(results []Result) []Group {
 			if r.Point.Experiment == ExpMemscale {
 				g.XLabel = "processes"
 			}
+			if r.Point.Experiment == ExpChaos {
+				g.XLabel = "crashes"
+			}
 			groups[key] = g
 			byLab[key] = map[string]*stats.Series{}
 			order = append(order, key)
 		}
 		switch r.Point.Experiment {
-		case ExpMemscale:
+		case ExpMemscale, ExpChaos:
 			s, ok := byLab[key][r.Label]
 			if !ok {
 				s = &stats.Series{Label: r.Label}
 				byLab[key][r.Label] = s
 				g.Series = append(g.Series, s)
 			}
-			s.Add(float64(r.Point.Procs), r.Value)
+			x := float64(r.Point.Procs)
+			if r.Point.Experiment == ExpChaos {
+				x = float64(r.Point.Crashes)
+			}
+			s.Add(x, r.Value)
 		default:
 			g.Series = append(g.Series, r.Series())
 		}

@@ -55,6 +55,42 @@ func Execute(p Point, opts ExecOptions) Result {
 		return res
 	}
 	switch p.Experiment {
+	case ExpChaos:
+		cc := figures.ChaosConfig{
+			Kind:       kind,
+			Nodes:      p.Nodes,
+			PPN:        p.PPN,
+			OpsPerRank: p.Iters,
+			Crashes:    p.Crashes,
+			Seed:       p.EffectiveSeed(),
+			Heal:       p.Heal == "on",
+		}
+		var reg *obs.Registry
+		if p.Metrics {
+			reg = obs.NewRegistry()
+			cc.Metrics = reg
+		}
+		if opts.Trace != nil {
+			cc.Trace = opts.Trace
+			cc.TracePID = p.Index
+		}
+		cres, err := figures.Chaos(cc)
+		if err != nil {
+			var werr *sim.WatchdogError
+			if errors.As(err, &werr) {
+				res.Err = werr.Report.String()
+			} else {
+				res.Err = err.Error()
+			}
+			return res
+		}
+		// The scalar of a chaos point is its failed-operation count: zero
+		// (barring partitions) with healing on, the lost-path count with it
+		// off — the pair the merged table compares.
+		res.Value = float64(cres.Failed)
+		if reg != nil {
+			res.Snapshot = reg.Snapshot(fmt.Sprintf("metrics: chaos %s, %d crashes, heal %s", p.Topo, p.Crashes, onOff(p.Heal)))
+		}
 	case ExpMemscale:
 		v, err := figures.Fig5Point(p.Procs, p.PPN, kind)
 		if err != nil {
@@ -77,6 +113,7 @@ func Execute(p Point, opts ExecOptions) Result {
 			Window:          p.Window,
 			Aggregation:     p.Agg == "on",
 			AdaptiveCredits: p.Adapt == "on",
+			Heal:            p.Heal == "on",
 		}
 		if p.Op == "fadd" {
 			cfg.Op = figures.OpFetchAdd
@@ -116,4 +153,12 @@ func Execute(p Point, opts ExecOptions) Result {
 		res.Err = fmt.Sprintf("sweep: unknown experiment %q", p.Experiment)
 	}
 	return res
+}
+
+// onOff renders a Point toggle ("" or "on") for captions.
+func onOff(v string) string {
+	if v == "on" {
+		return "on"
+	}
+	return "off"
 }

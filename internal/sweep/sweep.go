@@ -31,6 +31,7 @@ import (
 const (
 	ExpContention = "contention" // Figs 6-7 hot-spot microbenchmark
 	ExpMemscale   = "memscale"   // Fig 5 memory scaling
+	ExpChaos      = "chaos"      // randomized crash/recover invariant harness
 )
 
 // keySalt versions the cache-key derivation. Bump it whenever the meaning of
@@ -80,6 +81,15 @@ type Grid struct {
 	Aggs   []string
 	Adapts []string
 
+	// Crashes and Heals drive the chaos experiment: how many nodes
+	// crash-stop per run and whether membership + self-healing is armed.
+	// heal=on,off runs each schedule in both arms for a paired comparison
+	// (healing on: only partitions fail; off: dead forwarders lose paths).
+	// Heals also applies to contention grids, where arming healing without
+	// node faults is a documented no-op (bit-identical results).
+	Crashes []int    // crash counts; default 3
+	Heals   []string // "off"/"on"; default on for chaos, off otherwise
+
 	Op          string // contention op: vput (default) or fadd
 	PPN         int    // processes per node; default 4 (memscale 12)
 	Iters       int    // iterations per measured process; default 20
@@ -111,8 +121,8 @@ func ParseGrid(spec string) (*Grid, error) {
 		var err error
 		switch key {
 		case "exp":
-			if val != ExpContention && val != ExpMemscale {
-				return nil, fmt.Errorf("sweep: unknown experiment %q (want %s or %s)", val, ExpContention, ExpMemscale)
+			if val != ExpContention && val != ExpMemscale && val != ExpChaos {
+				return nil, fmt.Errorf("sweep: unknown experiment %q (want %s, %s or %s)", val, ExpContention, ExpMemscale, ExpChaos)
 			}
 			g.Experiment = val
 		case "op":
@@ -172,6 +182,10 @@ func ParseGrid(spec string) (*Grid, error) {
 			g.Aggs, err = parseOnOffList(key, val)
 		case "adapt":
 			g.Adapts, err = parseOnOffList(key, val)
+		case "crashes":
+			g.Crashes, err = parseIntList(val)
+		case "heal":
+			g.Heals, err = parseOnOffList(key, val)
 		case "reps":
 			g.Reps, err = strconv.Atoi(val)
 		default:
@@ -231,7 +245,13 @@ func (g Grid) withDefaults() Grid {
 		g.Levels = []string{"none", "11", "20"}
 	}
 	if len(g.Nodes) == 0 {
-		g.Nodes = []int{256}
+		if g.Experiment == ExpChaos {
+			// The chaos harness's acceptance scale; paper-scale contention
+			// grids would spend most of their time on heartbeats.
+			g.Nodes = []int{64}
+		} else {
+			g.Nodes = []int{256}
+		}
 	}
 	if len(g.Sizes) == 0 {
 		g.Sizes = []int{256}
@@ -248,6 +268,18 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Adapts) == 0 {
 		g.Adapts = []string{"off"}
 	}
+	if len(g.Crashes) == 0 {
+		g.Crashes = []int{3}
+	}
+	if len(g.Heals) == 0 {
+		if g.Experiment == ExpChaos {
+			g.Heals = []string{"on"}
+		} else {
+			// For contention grids healing is opt-in: the default keeps
+			// every pre-existing point (and cache key) untouched.
+			g.Heals = []string{"off"}
+		}
+	}
 	if len(g.Procs) == 0 {
 		g.Procs = []int{768, 1536, 3072, 6144, 12288}
 	}
@@ -255,9 +287,12 @@ func (g Grid) withDefaults() Grid {
 		g.Op = "vput"
 	}
 	if g.PPN == 0 {
-		if g.Experiment == ExpMemscale {
+		switch g.Experiment {
+		case ExpMemscale:
 			g.PPN = 12
-		} else {
+		case ExpChaos:
+			g.PPN = 2
+		default:
 			g.PPN = 4
 		}
 	}
@@ -307,6 +342,10 @@ type Point struct {
 	Window int    `json:"window,omitempty"`
 	Agg    string `json:"agg,omitempty"`
 	Adapt  string `json:"adapt,omitempty"`
+	// Crashes and Heal define a chaos point ("" off / "on", same omitempty
+	// cache-key rule as Agg/Adapt).
+	Crashes int    `json:"crashes,omitempty"`
+	Heal    string `json:"heal,omitempty"`
 }
 
 // Key returns the point's content-addressed identity: the SHA-256 of the
@@ -331,6 +370,9 @@ func (p Point) Label() string {
 	}
 	if p.Adapt == "on" {
 		l += "+adapt"
+	}
+	if p.Heal == "on" {
+		l += "+heal"
 	}
 	if p.Seed != 0 && p.Seed != 1 {
 		l += fmt.Sprintf("/s%d", p.Seed)
@@ -365,6 +407,36 @@ func (g Grid) Expand() ([]Point, error) {
 		points = append(points, p)
 	}
 	switch g.Experiment {
+	case ExpChaos:
+		for _, nodes := range g.Nodes {
+			for _, crashes := range g.Crashes {
+				for _, seed := range g.Seeds {
+					for rep := 0; rep < g.Reps; rep++ {
+						for _, heal := range g.Heals {
+							for _, topo := range g.Topos {
+								kind, err := core.ParseKind(topo)
+								if err != nil {
+									return nil, err
+								}
+								if _, err := core.New(kind, nodes); err != nil {
+									continue
+								}
+								h := heal
+								if h == "off" {
+									h = ""
+								}
+								add(Point{
+									Experiment: ExpChaos, Topo: topo,
+									Nodes: nodes, PPN: g.PPN, Iters: g.Iters,
+									Crashes: crashes, Heal: h,
+									Seed: seed, Rep: rep, Metrics: g.Metrics,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
 	case ExpMemscale:
 		for _, topo := range g.Topos {
 			kind, err := core.ParseKind(topo)
@@ -397,39 +469,45 @@ func (g Grid) Expand() ([]Point, error) {
 							for rep := 0; rep < g.Reps; rep++ {
 								for _, agg := range g.Aggs {
 									for _, adapt := range g.Adapts {
-										for _, topo := range g.Topos {
-											kind, err := core.ParseKind(topo)
-											if err != nil {
-												return nil, err
+										for _, heal := range g.Heals {
+											for _, topo := range g.Topos {
+												kind, err := core.ParseKind(topo)
+												if err != nil {
+													return nil, err
+												}
+												if _, err := core.New(kind, nodes); err != nil {
+													continue
+												}
+												f := fault
+												if f == "none" {
+													f = ""
+												}
+												// "off" canonicalizes to the empty
+												// string so pre-aggregation cache
+												// keys stay valid.
+												a, ad, h := agg, adapt, heal
+												if a == "off" {
+													a = ""
+												}
+												if ad == "off" {
+													ad = ""
+												}
+												if h == "off" {
+													h = ""
+												}
+												add(Point{
+													Experiment: ExpContention, Topo: topo,
+													Nodes: nodes, PPN: g.PPN, Op: g.Op,
+													Level: level, ContenderEvery: every,
+													Iters: g.Iters, SampleEvery: g.SampleEvery,
+													StreamLimit: g.StreamLimit,
+													VecSegs:     g.VecSegs, MsgSize: size,
+													Faults: f, Seed: seed, Rep: rep,
+													Metrics: g.Metrics,
+													Window:  g.Window, Agg: a, Adapt: ad,
+													Heal: h,
+												})
 											}
-											if _, err := core.New(kind, nodes); err != nil {
-												continue
-											}
-											f := fault
-											if f == "none" {
-												f = ""
-											}
-											// "off" canonicalizes to the empty
-											// string so pre-aggregation cache
-											// keys stay valid.
-											a, ad := agg, adapt
-											if a == "off" {
-												a = ""
-											}
-											if ad == "off" {
-												ad = ""
-											}
-											add(Point{
-												Experiment: ExpContention, Topo: topo,
-												Nodes: nodes, PPN: g.PPN, Op: g.Op,
-												Level: level, ContenderEvery: every,
-												Iters: g.Iters, SampleEvery: g.SampleEvery,
-												StreamLimit: g.StreamLimit,
-												VecSegs:     g.VecSegs, MsgSize: size,
-												Faults: f, Seed: seed, Rep: rep,
-												Metrics: g.Metrics,
-												Window:  g.Window, Agg: a, Adapt: ad,
-											})
 										}
 									}
 								}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -244,5 +245,122 @@ func TestCompareAgg(t *testing.T) {
 	}
 	if _, err := CompareAgg([]Result{mk("", 100)}); err == nil {
 		t.Fatal("unpaired results not reported")
+	}
+}
+
+func TestChaosExpansionAndCacheKeys(t *testing.T) {
+	g, err := ParseGrid("exp=chaos;topos=mfcg;nodes=64;crashes=2,4;heal=off,on;seeds=1;iters=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4 (crashes x heal)", len(points))
+	}
+	// Order is crashes-outer, heal-inner, so paired off/on cells are adjacent.
+	off, on := points[0], points[1]
+	if off.Crashes != 2 || off.Heal != "" {
+		t.Fatalf("off point = crashes %d heal %q, want 2/empty", off.Crashes, off.Heal)
+	}
+	if on.Crashes != 2 || on.Heal != "on" {
+		t.Fatalf("on point = crashes %d heal %q, want 2/on", on.Crashes, on.Heal)
+	}
+	if points[2].Crashes != 4 {
+		t.Fatalf("third point crashes = %d, want 4", points[2].Crashes)
+	}
+	if on.Key() == off.Key() {
+		t.Fatal("heal toggle did not change the cache key")
+	}
+	if got := on.Label(); got != "MFCG+heal" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := off.Label(); got != "MFCG" {
+		t.Fatalf("off label = %q", got)
+	}
+	// Zero-valued chaos fields leave every pre-existing contention cache key
+	// untouched — the same back-compat rule the aggregation fields follow.
+	if k1, k2 := (Point{Experiment: ExpContention, Topo: "FCG", Nodes: 16, PPN: 4}).Key(),
+		(Point{Experiment: ExpContention, Topo: "FCG", Nodes: 16, PPN: 4, Crashes: 0, Heal: ""}).Key(); k1 != k2 {
+		t.Fatal("zero-valued chaos fields changed the cache key")
+	}
+}
+
+func TestChaosDefaults(t *testing.T) {
+	g, err := ParseGrid("exp=chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.withDefaults()
+	if got := d.Nodes; len(got) != 1 || got[0] != 64 {
+		t.Fatalf("default nodes = %v, want [64]", got)
+	}
+	if d.PPN != 2 {
+		t.Fatalf("default ppn = %d, want 2", d.PPN)
+	}
+	if got := d.Crashes; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("default crashes = %v, want [3]", got)
+	}
+	if got := d.Heals; len(got) != 1 || got[0] != "on" {
+		t.Fatalf("default heals = %v, want [on]", got)
+	}
+}
+
+func TestParseGridChaosErrors(t *testing.T) {
+	for _, spec := range []string{"heal=maybe", "crashes=x", "exp=chaos;crashes=1,zz"} {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Errorf("ParseGrid(%q) accepted", spec)
+		}
+	}
+}
+
+func TestExecuteChaosPoint(t *testing.T) {
+	p := Point{
+		Experiment: ExpChaos, Topo: "MFCG",
+		Nodes: 16, PPN: 2, Iters: 5, Crashes: 1, Heal: "on", Seed: 1,
+	}
+	res := Execute(p, ExecOptions{})
+	if res.Err != "" {
+		t.Fatalf("chaos point failed: %s", res.Err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("healed single-crash run failed %v survivor ops, want 0", res.Value)
+	}
+	if res.Label != "MFCG+heal" {
+		t.Fatalf("label = %q", res.Label)
+	}
+}
+
+// TestContentionHealToggleGolden pins the -heal contract cmd/contention and
+// cmd/vtreport rely on: arming healing on a fault-free contention point
+// changes the series label and the cache key, but the simulation output is
+// bit-identical — membership and self-healing only engage under node:
+// crash-stop faults.
+func TestContentionHealToggleGolden(t *testing.T) {
+	base := Point{
+		Experiment: ExpContention, Topo: "MFCG",
+		Nodes: 16, PPN: 2, Iters: 3, SampleEvery: 2,
+	}
+	healed := base
+	healed.Heal = "on"
+	r0 := Execute(base, ExecOptions{})
+	r1 := Execute(healed, ExecOptions{})
+	if r0.Err != "" || r1.Err != "" {
+		t.Fatalf("runs failed: %q / %q", r0.Err, r1.Err)
+	}
+	if len(r0.Y) == 0 {
+		t.Fatal("baseline produced no samples")
+	}
+	if !reflect.DeepEqual(r0.X, r1.X) || !reflect.DeepEqual(r0.Y, r1.Y) {
+		t.Fatalf("fault-free -heal run diverged from baseline:\n  off X=%v Y=%v\n  on  X=%v Y=%v",
+			r0.X, r0.Y, r1.X, r1.Y)
+	}
+	if healed.Key() == base.Key() {
+		t.Fatal("heal toggle did not change the cache key")
+	}
+	if r1.Label != "MFCG+heal" {
+		t.Fatalf("healed label = %q", r1.Label)
 	}
 }
