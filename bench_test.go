@@ -194,7 +194,7 @@ func BenchmarkFig8NASLU(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			var vsec float64
 			for i := 0; i < b.N; i++ {
-				ss, err := figures.Fig8([]int{64}, 4, cfg)
+				ss, err := figures.Fig8([]int{64}, 4, 1, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -216,7 +216,7 @@ func BenchmarkFig9aDFT(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			var vsec float64
 			for i := 0; i < b.N; i++ {
-				ss, err := figures.Fig9a([]int{256}, 2, cfg)
+				ss, err := figures.Fig9a([]int{256}, 2, 1, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -239,7 +239,7 @@ func BenchmarkFig9bCCSD(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			var vsec float64
 			for i := 0; i < b.N; i++ {
-				ss, err := figures.Fig9b([]int{64}, 2, cfg)
+				ss, err := figures.Fig9b([]int{64}, 2, 1, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

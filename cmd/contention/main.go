@@ -71,6 +71,7 @@ func main() {
 	agg := flag.Bool("agg", false, "enable small-op aggregation in the runtime")
 	adaptive := flag.Bool("adaptive", false, "enable adaptive per-edge credit management")
 	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 
 	if *faultSpec != "" {
@@ -146,7 +147,7 @@ func main() {
 	if *traceFile != "" {
 		tracer = obs.NewTracer()
 	}
-	runner := &sweep.Runner{Workers: *jobs, CacheDir: *cacheDir, Trace: tracer}
+	runner := &sweep.Runner{Workers: *jobs, CacheDir: *cacheDir, Trace: tracer, Shards: *shards}
 	if tracer != nil && *traceSched {
 		// The generic executor doesn't know about scheduler slices; run
 		// those through a thin wrapper that switches the flag on.

@@ -41,6 +41,7 @@ func main() {
 	ppn := flag.Int("ppn", 12, "processes per node")
 	procsFlag := flag.String("procs", "768,1536,3072,6144,12288", "comma-separated process counts")
 	jobs := flag.Int("j", 1, "worker-pool size for the (topology x processes) grid")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	runner := &sweep.Runner{Workers: *jobs}
+	runner := &sweep.Runner{Workers: *jobs, Shards: *shards}
 	results, _ := runner.Run(points)
 
 	// One series per topology kind in canonical order — kinds whose every

@@ -26,6 +26,7 @@ func main() {
 	iters := flag.Int("iters", 12, "SSOR iterations")
 	cellFlop := flag.Int64("cellflop", 400, "per-cell compute cost (ns)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 
 	var procs []int
@@ -38,7 +39,7 @@ func main() {
 		procs = append(procs, v)
 	}
 	cfg := lu.Config{NX: *nx, NY: *nx, Iters: *iters, CellFlop: sim.Time(*cellFlop)}
-	series, err := figures.Fig8(procs, *ppn, cfg)
+	series, err := figures.Fig8(procs, *ppn, *shards, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ func main() {
 	coresFlag := flag.String("cores", "", "comma-separated core counts (defaults per model)")
 	ppn := flag.Int("ppn", 12, "processes per node")
 	csv := flag.Bool("csv", false, "emit CSV")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 
 	defaults := map[string]string{"dft": "768,1536,3072,6144", "ccsd": "768,1536,3072"}
@@ -49,11 +50,11 @@ func main() {
 	switch *model {
 	case "dft":
 		cfg := dft.Config{N: 192, BlockSize: 8, SCFIters: 3, TaskFlop: 100 * sim.Microsecond, HotBlocks: 4, CounterBatch: 4}
-		series, err = figures.Fig9a(cores, *ppn, cfg)
+		series, err = figures.Fig9a(cores, *ppn, *shards, cfg)
 		title = "Figure 9(a): NWChem DFT SiOSi3 proxy — total execution time (s) vs cores"
 	case "ccsd":
 		cfg := ccsd.Config{N: 1024, BlockSize: 64, TasksPerRank: 2, TaskFlop: 3 * sim.Millisecond}
-		series, err = figures.Fig9b(cores, *ppn, cfg)
+		series, err = figures.Fig9b(cores, *ppn, *shards, cfg)
 		title = "Figure 9(b): NWChem CCSD(T) water proxy — total execution time (s) vs cores"
 	default:
 		fmt.Fprintln(os.Stderr, "bad -model (want dft or ccsd)")

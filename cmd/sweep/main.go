@@ -88,6 +88,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write all runs as one Chrome-trace JSON file (forces -j 1, bypasses cache)")
 	progress := flag.Bool("progress", false, "report per-point progress and ETA on stderr")
 	list := flag.Bool("list", false, "print the expanded points and cache keys without running")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	assertAgg := flag.Bool("assert-agg", false, "compare aggregation off/on pairs and fail if aggregation regressed latency (needs agg=off,on in the grid)")
 	flag.Parse()
 
@@ -142,6 +143,7 @@ func main() {
 		CacheDir: *cacheDir,
 		Metrics:  reg,
 		Trace:    tracer,
+		Shards:   *shards,
 	}
 	if *progress {
 		runner.Progress = func(done, total int, st sweep.Stats, eta time.Duration) {

@@ -106,6 +106,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file (forces -j 1)")
 	faultSpec := flag.String("faults", "", "fault schedule for the contention runs (see docs/FAULTS.md)")
 	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
+	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 	s := quickScale()
 	mode := "quick"
@@ -181,7 +182,7 @@ func main() {
 		}
 	}
 	sweep.Reindex(points)
-	runner := &sweep.Runner{Workers: *jobs, Trace: tracer}
+	runner := &sweep.Runner{Workers: *jobs, Trace: tracer, Shards: *shards}
 	results, _ := runner.Run(points)
 
 	for _, sec := range sections {
@@ -204,17 +205,17 @@ func main() {
 	}
 
 	section(w, "Figure 8: NAS LU execution time")
-	ls, err := figures.Fig8(s.luProcs, s.luPPN, s.luCfg)
+	ls, err := figures.Fig8(s.luProcs, s.luPPN, *shards, s.luCfg)
 	check(err)
 	stats.SeriesTable("time (s)", "processes", ls).Write(w)
 
 	section(w, "Figure 9(a): NWChem DFT SiOSi3 proxy")
-	ds, err := figures.Fig9a(s.dftCores, s.dftPPN, s.dftCfg)
+	ds, err := figures.Fig9a(s.dftCores, s.dftPPN, *shards, s.dftCfg)
 	check(err)
 	stats.SeriesTable("time (s)", "cores", ds).Write(w)
 
 	section(w, "Figure 9(b): NWChem CCSD(T) water proxy")
-	cs2, err := figures.Fig9b(s.ccsdCores, s.ccsdPPN, s.ccsdCfg)
+	cs2, err := figures.Fig9b(s.ccsdCores, s.ccsdPPN, *shards, s.ccsdCfg)
 	check(err)
 	stats.SeriesTable("time (s)", "cores", cs2).Write(w)
 

@@ -82,18 +82,18 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 			// failed back to its origin immediately — forwarding it would
 			// strand a credit on an edge no ack will ever return over.
 			if rt.healArmed && ns.mv.isDead(targetNode) {
-				rt.stats.NodeAborts++
+				rt.st(ns.id).NodeAborts++
 				ns.fail(req, &NodeFailedError{Node: targetNode})
 				continue
 			}
 			next := rt.nextHop(ns.id, targetNode)
 			eg, err := rt.egressFor(ns.id, next)
 			if err != nil {
-				rt.stats.NoRoutes++
+				rt.st(ns.id).NoRoutes++
 				ns.fail(req, err)
 				continue
 			}
-			rt.stats.Forwards++
+			rt.st(ns.id).Forwards++
 			prev := req.prevNode
 			eg.submitForward(req, func() {
 				// The request has left this node: free its buffer.
@@ -137,7 +137,7 @@ func (ns *nodeState) deliver(p *sim.Proc, req *request) {
 // remembered rmw old value), otherwise the original is still in flight here
 // and the duplicate is simply dropped.
 func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec *dupState) {
-	ns.rt.stats.DupDrops++
+	ns.rt.st(ns.id).DupDrops++
 	switch req.kind {
 	case opGet, opGetV:
 		ns.handle(p, req)
@@ -152,16 +152,27 @@ func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec *dupState) {
 // chunk is failed on its handle (unblocking the waiter with a non-nil
 // Handle.Err) and the buffer credit is returned as usual.
 func (ns *nodeState) fail(req *request, err error) {
+	ns.failSubs(req, err)
+	ns.finish(req, req.prevNode)
+}
+
+// failSubs routes a failure notice back to the origin of every sub-operation
+// of req. A failed batch fails every sub on its own handle (batches carry no
+// handle themselves). Notices travel as messages — never synchronous handle
+// mutation — because the handle lives in the origin node's owner context,
+// which may be another shard.
+func (ns *nodeState) failSubs(req *request, err error) {
 	rt := ns.rt
-	// A failed batch fails every sub-operation on its own handle (batches
-	// carry no handle themselves); each sub's origin gets its own notice.
 	for _, sub := range batchSubs(req) {
-		rt.stats.Failures++
+		rt.st(ns.id).Failures++
 		h, chunk := sub.h, sub.chunk
+		if h == nil {
+			continue
+		}
 		origin := sub.originNode
 		deliver := func() { h.failChunk(chunk, err) }
 		if origin == ns.id {
-			rt.eng.After(rt.cfg.LocalLatency, deliver)
+			rt.eng.AfterOn(ns.id, rt.cfg.LocalLatency, deliver)
 		} else {
 			rt.net.Send(ns.id, origin, respBytes, func() {
 				rt.nodes[origin].heard(ns.id)
@@ -169,7 +180,6 @@ func (ns *nodeState) fail(req *request, err error) {
 			})
 		}
 	}
-	ns.finish(req, req.prevNode)
 }
 
 // finish releases the request buffer this CHT held: bookkeeping plus a
@@ -335,8 +345,9 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 		h.completeChunkAt(chunk)
 	}
 	if req.originNode == ns.id {
-		// Same-node response through shared memory.
-		rt.eng.After(rt.cfg.LocalLatency, deliver)
+		// Same-node response through shared memory (stays in this node's
+		// owner context — the handle belongs to one of this node's ranks).
+		rt.eng.AfterOn(ns.id, rt.cfg.LocalLatency, deliver)
 		return
 	}
 	origin := req.originNode

@@ -18,7 +18,7 @@ import "fmt"
 func (ns *nodeState) maybeShift(hot int) {
 	rt := ns.rt
 	ac := rt.cfg.Adaptive
-	now := rt.eng.Now()
+	now := rt.eng.NowOn(ns.id)
 	if t, ok := ns.lastShift[hot]; ok && now-t < ac.Cooldown {
 		return
 	}
@@ -46,7 +46,7 @@ func (ns *nodeState) maybeShift(hot int) {
 	ns.inCap[hot]++
 	ns.lastShift[donor] = now
 	ns.lastShift[hot] = now
-	rt.stats.CreditShifts++
+	rt.st(ns.id).CreditShifts++
 	// Control messages ride the fabric like credit acks: the donor sender
 	// shrinks its pool (or swallows the next returning credit), the hot
 	// sender grows its pool and drains any parked sends.

@@ -74,11 +74,11 @@ func (eg *egress) submitRank(p *sim.Proc, req *request) {
 		}
 		return
 	}
-	eg.rt.stats.CreditWaits++
+	eg.rt.st(eg.from).CreditWaits++
 	ps := &pendingSend{
 		req:  req,
 		sent: sim.NewEvent(eg.rt.eng, fmt.Sprintf("credits %d->%d", eg.from, eg.to)),
-		enq:  eg.rt.eng.Now(),
+		enq:  eg.rt.eng.NowOn(eg.from),
 	}
 	eg.pending = append(eg.pending, ps)
 	eg.maybeArmRegen()
@@ -96,8 +96,8 @@ func (eg *egress) submitForward(req *request, onSend func()) {
 		onSend()
 		return
 	}
-	eg.rt.stats.CreditWaits++
-	eg.pending = append(eg.pending, &pendingSend{req: req, onSend: onSend, enq: eg.rt.eng.Now()})
+	eg.rt.st(eg.from).CreditWaits++
+	eg.pending = append(eg.pending, &pendingSend{req: req, onSend: onSend, enq: eg.rt.eng.NowOn(eg.from)})
 	eg.maybeArmRegen()
 }
 
@@ -114,7 +114,7 @@ func (eg *egress) release() {
 	case eg.regenDebt > 0:
 		eg.regenDebt--
 	case eg.rt.healArmed && eg.credits >= eg.capacity:
-		eg.rt.stats.StaleAcks++
+		eg.rt.st(eg.from).StaleAcks++
 	default:
 		eg.credits++
 	}
@@ -157,10 +157,10 @@ func (eg *egress) drain() {
 			req = buildBatch(subs)
 		}
 		eg.transmit(req)
-		now := eg.rt.eng.Now()
+		now := eg.rt.eng.NowOn(eg.from)
 		for _, g := range group {
 			waited := now - g.enq
-			eg.rt.stats.CreditWaited += waited
+			eg.rt.st(eg.from).CreditWaited += waited
 			if o := eg.rt.obs; o != nil {
 				o.creditWait.Observe(waited.Micros())
 			}
@@ -238,7 +238,7 @@ func (eg *egress) maybeArmRegen() {
 		eg.regenInterval = rt.cfg.CreditTimeout
 	}
 	last := eg.transmits
-	rt.eng.After(eg.regenInterval, func() { eg.regenCheck(last) })
+	rt.eng.AfterOn(eg.from, eg.regenInterval, func() { eg.regenCheck(last) })
 }
 
 // regenCheck decides whether the edge is starved: no transmission for a full
@@ -257,7 +257,7 @@ func (eg *egress) regenCheck(lastSeen uint64) {
 		eg.maybeArmRegen()
 		return
 	}
-	rt.stats.CreditRegens++
+	rt.st(eg.from).CreditRegens++
 	eg.regenDebt++
 	eg.credits++
 	eg.drain()
@@ -276,8 +276,8 @@ func (eg *egress) transmit(req *request) {
 	eg.credits--
 	eg.transmits++
 	if req.kind == opBatch {
-		eg.rt.stats.AggBatches++
-		eg.rt.stats.AggBatchedOps += uint64(len(req.subs))
+		eg.rt.st(eg.from).AggBatches++
+		eg.rt.st(eg.from).AggBatchedOps += uint64(len(req.subs))
 		if o := eg.rt.obs; o != nil {
 			o.noteBatch(req)
 		}
@@ -289,7 +289,7 @@ func (eg *egress) transmit(req *request) {
 	}
 	req.prevNode = eg.from
 	dst := eg.rt.nodes[eg.to]
-	eg.rt.stats.Requests++
+	eg.rt.st(eg.from).Requests++
 	eg.rt.net.Send(eg.from, eg.to, req.wire, func() { dst.enqueue(req) })
 }
 

@@ -93,7 +93,7 @@ func (ns *nodeState) heard(from int) {
 	if _, ok := mv.lastHeard[from]; !ok {
 		return
 	}
-	mv.lastHeard[from] = ns.rt.eng.Now()
+	mv.lastHeard[from] = ns.rt.eng.NowOn(ns.id)
 	if mv.state[from] != memberAlive {
 		was := mv.state[from]
 		mv.state[from] = memberAlive
@@ -112,11 +112,11 @@ func (ns *nodeState) monitorTick() {
 	if rt.liveRanks == 0 {
 		return
 	}
-	rt.eng.After(rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
+	rt.eng.AfterOn(ns.id, rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
 	if fi := rt.faultInj; fi != nil && fi.NodeDown(ns.id) {
 		return // a crashed node probes and judges nothing until it reboots
 	}
-	now := rt.eng.Now()
+	now := rt.eng.NowOn(ns.id)
 	st := rt.cfg.Heal.SuspicionTimeout
 	for _, peer := range ns.mv.nbrs {
 		peer := peer
@@ -131,13 +131,13 @@ func (ns *nodeState) monitorTick() {
 		case memberAlive:
 			if gap >= st {
 				ns.mv.state[peer] = memberSuspect
-				rt.stats.Suspicions++
+				rt.st(ns.id).Suspicions++
 				rt.noteMembership("suspect", ns.id, peer)
 			}
 		case memberSuspect:
 			if gap >= 2*st {
 				ns.mv.state[peer] = memberDead
-				rt.stats.Confirms++
+				rt.st(ns.id).Confirms++
 				ns.recordDetection(peer, now)
 				rt.noteMembership("confirm", ns.id, peer)
 				ns.healDeadNeighbor(peer)
@@ -151,7 +151,7 @@ func (ns *nodeState) monitorTick() {
 // fresh credit pool (any ack still in flight from before the crash is
 // swallowed as stale by release).
 func (ns *nodeState) rejoin(peer int) {
-	ns.rt.stats.Rejoins++
+	ns.rt.st(ns.id).Rejoins++
 	ns.egress[peer].reset()
 	ns.rt.noteMembership("rejoin", ns.id, peer)
 }
@@ -169,7 +169,7 @@ func (ns *nodeState) healDeadNeighbor(dead int) {
 		ns.replayParked(ps, dead)
 	}
 	if w := eg.inUse(); w > 0 {
-		rt.stats.CreditWriteOffs += uint64(w)
+		rt.st(ns.id).CreditWriteOffs += uint64(w)
 		eg.regenDebt += w
 		eg.credits += w
 	}
@@ -195,30 +195,20 @@ func (ns *nodeState) replayParked(ps *pendingSend, dead int) {
 	targetNode := req.target / rt.cfg.PPN
 	hop, ok := core.ReplacementHop(rt.topo, ns.id, targetNode, ns.mv.isDead)
 	if !ok {
-		rt.stats.HealFails++
-		for _, sub := range batchSubs(req) {
-			rt.stats.Failures++
-			if sub.h != nil {
-				sub.h.failChunk(sub.chunk, &NodeFailedError{Node: dead})
-			}
-		}
+		rt.st(ns.id).HealFails++
+		ns.failSubs(req, &NodeFailedError{Node: dead})
 		fire()
 		return
 	}
 	eg, err := rt.egressFor(ns.id, hop)
 	if err != nil {
-		rt.stats.NoRoutes++
-		rt.stats.HealFails++
-		for _, sub := range batchSubs(req) {
-			rt.stats.Failures++
-			if sub.h != nil {
-				sub.h.failChunk(sub.chunk, err)
-			}
-		}
+		rt.st(ns.id).NoRoutes++
+		rt.st(ns.id).HealFails++
+		ns.failSubs(req, err)
 		fire()
 		return
 	}
-	rt.stats.HealReplays++
+	rt.st(ns.id).HealReplays++
 	eg.submitForward(req, fire)
 }
 
@@ -237,8 +227,8 @@ func (ns *nodeState) recordDetection(peer int, now sim.Time) {
 		crashed = ns.mv.resetAt
 	}
 	lat := now - crashed
-	if lat > rt.stats.MaxDetectLatency {
-		rt.stats.MaxDetectLatency = lat
+	if lat > rt.st(ns.id).MaxDetectLatency {
+		rt.st(ns.id).MaxDetectLatency = lat
 	}
 	if o := rt.obs; o != nil && o.detectLat != nil {
 		o.detectLat.Observe(lat.Micros())
@@ -328,12 +318,12 @@ func (rt *Runtime) deadRouteErr(originNode, targetNode int) error {
 // synchronously: the issuing rank may be about to park on the handle).
 func (rt *Runtime) abortChunks(err error, reqs ...*request) {
 	for _, req := range reqs {
-		rt.stats.NodeAborts++
+		rt.st(req.originNode).NodeAborts++
 		h, chunk := req.h, req.chunk
 		if h == nil {
 			continue
 		}
-		rt.eng.After(rt.cfg.LocalLatency, func() { h.failChunk(chunk, err) })
+		rt.eng.AfterOn(req.originNode, rt.cfg.LocalLatency, func() { h.failChunk(chunk, err) })
 	}
 }
 

@@ -28,14 +28,18 @@ type notifyWaiter struct {
 	ev        *sim.Event
 }
 
-func (rt *Runtime) notify() *notifyState {
-	if rt.notifies == nil {
-		rt.notifies = &notifyState{
+// notify returns the node's notify-wait state (allocated lazily). State
+// lives on the *consumer's* node: deliveries arrive in that node's owner
+// context and waiters are that node's own ranks, so all access is owner-local
+// and sharded runs never contend.
+func (ns *nodeState) notify() *notifyState {
+	if ns.notifies == nil {
+		ns.notifies = &notifyState{
 			count:   map[notifyKey]int64{},
 			waiters: map[notifyKey]*notifyWaiter{},
 		}
 	}
-	return rt.notifies
+	return ns.notifies
 }
 
 // Notify sends a notification to dst. It must follow the puts it announces;
@@ -51,20 +55,23 @@ func (r *Rank) NotifyTag(dst int, tag string) {
 	if dst < 0 || dst >= len(rt.ranks) {
 		panic(fmt.Sprintf("armci: Notify(%d) out of range", dst))
 	}
-	rt.stats.Ops++
-	ns := rt.notify()
+	rt.st(r.node).Ops++
+	dstNode := rt.ranks[dst].node
 	key := notifyKey{to: dst, from: r.rank, tag: tag}
+	// deliver runs in the destination node's owner context (either via the
+	// fabric's delivery event or the pinned same-node event below), which is
+	// where the consumer's notify state lives.
 	deliver := func() {
+		ns := rt.nodes[dstNode].notify()
 		ns.count[key]++
 		if w := ns.waiters[key]; w != nil && ns.count[key] >= w.threshold {
 			delete(ns.waiters, key)
 			w.ev.Fire()
 		}
 	}
-	dstNode := rt.ranks[dst].node
 	if dstNode == r.node {
-		rt.stats.LocalOps++
-		rt.eng.After(rt.cfg.LocalLatency, deliver)
+		rt.st(r.node).LocalOps++
+		rt.eng.AfterOn(dstNode, rt.cfg.LocalLatency, deliver)
 		return
 	}
 	rt.net.Send(r.node, dstNode, respBytes, deliver)
@@ -80,7 +87,7 @@ func (r *Rank) WaitNotifyTag(src int, tag string, count int64) {
 	if src < 0 || src >= len(rt.ranks) {
 		panic(fmt.Sprintf("armci: WaitNotify(%d) out of range", src))
 	}
-	ns := rt.notify()
+	ns := rt.nodes[r.node].notify()
 	key := notifyKey{to: r.rank, from: src, tag: tag}
 	if ns.count[key] >= count {
 		return
@@ -99,5 +106,5 @@ func (r *Rank) WaitNotifyTag(src int, tag string, count int64) {
 // Notifications returns the cumulative untagged notification count received
 // by rank `to` from rank `from` (for tests and diagnostics).
 func (rt *Runtime) Notifications(to, from int) int64 {
-	return rt.notify().count[notifyKey{to: to, from: from}]
+	return rt.nodes[rt.ranks[to].node].notify().count[notifyKey{to: to, from: from}]
 }

@@ -130,11 +130,11 @@ func (r *Rank) localDelay(n int) {
 // off.
 func (r *Rank) NbPut(dst int, alloc string, off int, data []byte) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	checkRange(a, off, len(data))
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(len(data))
 		copy(a.mem[dst][off:], data)
 		return newHandle(rt.eng, 0, 0)
@@ -160,11 +160,11 @@ func (r *Rank) Put(dst int, alloc string, off int, data []byte) {
 // NbGet starts a one-sided get of n bytes from src's allocation at off.
 func (r *Rank) NbGet(src int, alloc string, off, n int) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	checkRange(a, off, n)
 	if r.nodeOf(src) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(n)
 		h := newHandle(rt.eng, 0, n)
 		copy(h.data, a.mem[src][off:off+n])
@@ -199,12 +199,12 @@ func (r *Rank) Get(src int, alloc string, off, n int) []byte {
 // float64 elements.
 func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float64) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	data := Float64sToBytes(vals)
 	checkRange(a, off, len(data))
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(len(data))
 		mem := a.mem[dst]
 		for i := range vals {
@@ -245,7 +245,7 @@ func (r *Rank) Acc(dst int, alloc string, off int, scale float64, vals []float64
 // according to segs (data length must equal the summed segment length).
 func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	total := segsBytes(segs)
 	if total != len(data) {
@@ -255,7 +255,7 @@ func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 		checkRange(a, s.Off, s.Len)
 	}
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(total)
 		mem := a.mem[dst]
 		pos := 0
@@ -287,14 +287,14 @@ func (r *Rank) PutV(dst int, alloc string, segs []Seg, data []byte) {
 // segments in order.
 func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	total := segsBytes(segs)
 	for _, s := range segs {
 		checkRange(a, s.Off, s.Len)
 	}
 	if r.nodeOf(src) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(total)
 		h := newHandle(rt.eng, 0, total)
 		mem := a.mem[src]
@@ -360,11 +360,11 @@ func (r *Rank) NbGetS(src int, alloc string, off, blockLen, stride, count int) *
 // counter traffic of Figure 7.
 func (r *Rank) NbFetchAdd(dst int, alloc string, off int, delta int64) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	checkRange(a, off, 8)
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(8)
 		mem := a.mem[dst]
 		old := GetInt64(mem, off)
@@ -417,7 +417,7 @@ func (r *Rank) lockOp(m int, kind opKind) {
 			panic(fmt.Sprintf("armci: rank %d unlocking mutex %d it does not hold", r.rank, m))
 		}
 	}
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	ownerNode := m % rt.cfg.Nodes
 	ownerRank := ownerNode * rt.cfg.PPN
 	req := &request{
@@ -438,10 +438,10 @@ func (r *Rank) lockOp(m int, kind opKind) {
 	if ownerNode == r.node {
 		// Same-node mutex traffic still goes through the owner CHT (the
 		// authority for the mutex) but over shared memory: no credits.
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		req.prevNode = -1
 		node := rt.nodes[ownerNode]
-		rt.eng.After(rt.cfg.LocalLatency, func() { node.enqueue(req) })
+		rt.eng.AfterOn(ownerNode, rt.cfg.LocalLatency, func() { node.enqueue(req) })
 	} else {
 		r.send(req)
 	}
@@ -453,20 +453,30 @@ func (r *Rank) lockOp(m int, kind opKind) {
 
 // Barrier synchronizes all ranks. The cost model is a dissemination barrier:
 // ceil(log2(N)) rounds of BarrierStep each after the last rank arrives.
+//
+// The arrival counter is shared by every rank, so each arrival is registered
+// through a global event (a serial instant in sharded mode): the rank posts
+// its own gate event, the arrival lands on the global lane one lookahead
+// later, and the final arrival fires every gate. The +lookahead hop applies
+// identically in serial mode, keeping both modes bit-identical.
 func (r *Rank) Barrier() {
 	r.flushAllAgg()
 	rt := r.rt
-	b := &rt.barrier
-	b.arrived++
-	if b.arrived == len(rt.ranks) {
-		b.arrived = 0
-		ev := b.ev
-		b.ev = sim.NewEvent(rt.eng, "barrier")
-		ev.Fire()
-	} else {
-		ev := b.ev
-		ev.Wait(r.proc)
-	}
+	gate := sim.NewEvent(rt.eng, "barrier")
+	rt.eng.AtGlobal(r.node, func() {
+		b := &rt.barrier
+		b.arrived++
+		b.gates = append(b.gates, gate)
+		if b.arrived == len(rt.ranks) {
+			b.arrived = 0
+			gates := b.gates
+			b.gates = nil
+			for _, g := range gates {
+				g.Fire()
+			}
+		}
+	})
+	gate.Wait(r.proc)
 	steps := 0
 	for 1<<steps < len(rt.ranks) {
 		steps++

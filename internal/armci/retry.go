@@ -16,37 +16,45 @@ import (
 // responses, and lost credit acks alike.
 
 // armTimeout assigns req a request id and starts its timeout timer. No-op
-// when request timeouts are disabled.
+// when request timeouts are disabled. It must run in the origin node's owner
+// context (it always does: chunks are armed by the issuing rank). The rid is
+// the origin node's own counter prefixed with the node id, so ids are
+// runtime-unique without any cross-node state.
 func (rt *Runtime) armTimeout(req *request, targetNode int) {
 	if rt.cfg.RequestTimeout <= 0 {
 		return
 	}
-	rt.ridSeq++
-	req.rid = rt.ridSeq
-	req.issued = rt.eng.Now()
+	ns := rt.nodes[req.originNode]
+	ns.ridSeq++
+	req.rid = uint64(req.originNode+1)<<32 | ns.ridSeq
+	req.issued = rt.eng.NowOn(req.originNode)
 	rt.scheduleTimeout(req, targetNode, rt.cfg.RequestTimeout)
 }
 
+// scheduleTimeout arms the chunk's timer as an event pinned to the origin
+// node, so retries, failure notices and handle completion all stay in the
+// origin's owner context.
 func (rt *Runtime) scheduleTimeout(req *request, targetNode int, timeout sim.Time) {
-	rt.eng.After(timeout, func() {
+	origin := req.originNode
+	rt.eng.AfterOn(origin, timeout, func() {
 		h := req.h
 		if h == nil || h.chunkComplete(req.chunk) {
 			return // completed (or already failed) — timer expires silently
 		}
-		rt.stats.Timeouts++
-		elapsed := rt.eng.Now() - req.issued
+		rt.st(origin).Timeouts++
+		elapsed := rt.eng.NowOn(origin) - req.issued
 		// A target the origin's membership view has confirmed dead (or an
 		// origin node that has itself crashed) cannot complete the chunk;
 		// fail fast instead of burning the remaining retries.
-		if err := rt.deadRouteErr(req.originNode, targetNode); err != nil {
-			rt.stats.Failures++
-			rt.stats.NodeAborts++
+		if err := rt.deadRouteErr(origin, targetNode); err != nil {
+			rt.st(origin).Failures++
+			rt.st(origin).NodeAborts++
 			rt.noteRetry("node-fail", req, elapsed)
 			h.failChunk(req.chunk, err)
 			return
 		}
 		if req.attempt >= rt.cfg.MaxRetries {
-			rt.stats.Failures++
+			rt.st(origin).Failures++
 			err := &TimeoutError{
 				Kind:     req.kind.String(),
 				Origin:   req.origin,
@@ -59,16 +67,16 @@ func (rt *Runtime) scheduleTimeout(req *request, targetNode int, timeout sim.Tim
 			return
 		}
 		req.attempt++
-		rt.stats.Retries++
+		rt.st(origin).Retries++
 		rt.noteRetry("retry", req, elapsed)
 		// Retransmit a clone so the in-flight original (possibly parked at
 		// a failed link or a stalled CHT) cannot alias the retry's state.
 		clone := *req
-		next := rt.nextHop(req.originNode, targetNode)
-		eg, err := rt.egressFor(req.originNode, next)
+		next := rt.nextHop(origin, targetNode)
+		eg, err := rt.egressFor(origin, next)
 		if err != nil {
-			rt.stats.NoRoutes++
-			rt.stats.Failures++
+			rt.st(origin).NoRoutes++
+			rt.st(origin).Failures++
 			h.failChunk(req.chunk, err)
 			return
 		}

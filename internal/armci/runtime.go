@@ -3,6 +3,7 @@ package armci
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"armcivt/internal/core"
 	"armcivt/internal/fabric"
@@ -22,20 +23,25 @@ type Runtime struct {
 	ranks []*Rank
 
 	allocs map[string]*allocation
+	// allocsMu guards the allocs map: Malloc may be called concurrently from
+	// rank processes on different shards. Allocation contents need no lock —
+	// each rank's partition is only touched from its node's owner context.
+	allocsMu sync.RWMutex
 
-	barrier  barrierState
-	mutexes  []mutexState
-	notifies *notifyState
-	world    []int // all ranks, the member list of world collectives
+	barrier barrierState
+	mutexes []mutexState
+	world   []int // all ranks, the member list of world collectives
 
-	stats Stats
+	// nstats holds one Stats block per node: every counter is incremented
+	// only from its node's owner context (rank process, CHT, or an event
+	// pinned to the node), so sharded workers never contend and runs stay
+	// bit-identical. Stats() merges the blocks.
+	nstats []Stats
 	// obs is the observability side-car (nil unless Config.Metrics or
 	// Config.Trace is set); see obs.go and docs/OBSERVABILITY.md.
 	obs *obsState
 	// faultInj mirrors Config.Faults (nil when fault injection is off).
 	faultInj *faults.Injector
-	// ridSeq issues runtime-unique request ids for timeout dedup.
-	ridSeq uint64
 
 	// healArmed is true when Config.Heal.Enabled is set AND the fault
 	// schedule contains node: faults — the only condition under which the
@@ -106,6 +112,14 @@ type nodeState struct {
 	// mv is this node's membership view of its virtual-topology neighbors
 	// (nil unless healing is armed); see membership.go.
 	mv *memberView
+	// ridSeq issues this node's request ids for timeout dedup; combined with
+	// the node id (see armTimeout) the result is runtime-unique without any
+	// cross-node counter.
+	ridSeq uint64
+	// notifies is this node's notify-wait state, keyed by consuming rank.
+	// Both delivery and waiting run in this node's owner context (see
+	// notify.go), so no lock is needed.
+	notifies *notifyState
 
 	// Adaptive credit state (allocated only with Config.Adaptive.Enabled):
 	// the node's current buffer capacity per in-edge (sum is invariant),
@@ -129,9 +143,13 @@ type allocation struct {
 	mem   [][]byte // per rank
 }
 
+// barrierState counts arrivals of the current world barrier. It is mutated
+// only from global events (serial instants — see Rank.Barrier), so sharded
+// ranks never touch it concurrently.
 type barrierState struct {
 	arrived int
-	ev      *sim.Event
+	// gates holds one per-arrival event; the last arrival fires them all.
+	gates []*sim.Event
 }
 
 type mutexState struct {
@@ -158,7 +176,15 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		faultInj: cfg.Faults,
 	}
 	cfg.Faults.Instrument(cfg.Metrics, cfg.Trace, cfg.TracePID)
-	rt.barrier.ev = sim.NewEvent(eng, "barrier")
+	// Arm the kernel's conservative-parallel mode (a no-op beyond recording
+	// the lookahead when Shards <= 1): node ids are the scheduling owners,
+	// partitioned into contiguous torus slabs so LDF traffic stays mostly
+	// shard-local, with the minimum link latency as the lookahead window.
+	// The owner space is the fabric's full torus capacity, not just the
+	// node count: messages traverse intermediate torus positions, and each
+	// hop's event is owned by the position whose link it reserves.
+	eng.ConfigureShards(cfg.Shards, rt.net.Capacity(), rt.net.ShardOf(cfg.Shards), rt.net.Lookahead())
+	rt.nstats = make([]Stats, cfg.Nodes)
 	rt.mutexes = make([]mutexState, cfg.Mutexes)
 	for m := range rt.mutexes {
 		rt.mutexes[m].owner = -1
@@ -243,9 +269,48 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // NRanks returns the total process count (Nodes * PPN).
 func (rt *Runtime) NRanks() int { return len(rt.ranks) }
 
-// Stats returns runtime counters.
+// st returns the stats block counters for node should be charged to. Every
+// call site runs in node's owner context, which is what keeps the blocks
+// contention-free (and deterministic) under sharded execution.
+func (rt *Runtime) st(node int) *Stats { return &rt.nstats[node] }
+
+// Stats merges the per-node counter blocks into runtime totals. Call it from
+// coordinator context (between runs or after Run), not from rank bodies.
 func (rt *Runtime) Stats() Stats {
-	s := rt.stats
+	var s Stats
+	for i := range rt.nstats {
+		n := &rt.nstats[i]
+		s.Ops += n.Ops
+		s.Requests += n.Requests
+		s.Forwards += n.Forwards
+		s.LocalOps += n.LocalOps
+		s.CreditWaits += n.CreditWaits
+		s.CreditWaited += n.CreditWaited
+		s.Timeouts += n.Timeouts
+		s.Retries += n.Retries
+		s.Failures += n.Failures
+		s.CreditRegens += n.CreditRegens
+		s.Reroutes += n.Reroutes
+		s.DupDrops += n.DupDrops
+		s.NoRoutes += n.NoRoutes
+		s.AggBatches += n.AggBatches
+		s.AggBatchedOps += n.AggBatchedOps
+		s.CreditShifts += n.CreditShifts
+		s.Suspicions += n.Suspicions
+		s.Confirms += n.Confirms
+		s.Rejoins += n.Rejoins
+		s.HealReplays += n.HealReplays
+		s.HealFails += n.HealFails
+		s.CreditWriteOffs += n.CreditWriteOffs
+		s.StaleAcks += n.StaleAcks
+		s.NodeAborts += n.NodeAborts
+		if n.MaxDetectLatency > s.MaxDetectLatency {
+			s.MaxDetectLatency = n.MaxDetectLatency
+		}
+		if n.MaxCHTBacklog > s.MaxCHTBacklog {
+			s.MaxCHTBacklog = n.MaxCHTBacklog
+		}
+	}
 	for _, ns := range rt.nodes {
 		if m := ns.inbox.MaxLen(); m > s.MaxCHTBacklog {
 			s.MaxCHTBacklog = m
@@ -261,6 +326,8 @@ func (rt *Runtime) Alloc(name string, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("armci: Alloc(%q) with negative size", name))
 	}
+	rt.allocsMu.Lock()
+	defer rt.allocsMu.Unlock()
 	if a, ok := rt.allocs[name]; ok {
 		if a.bytes != bytes {
 			panic(fmt.Sprintf("armci: Alloc(%q) size conflict: %d vs %d", name, a.bytes, bytes))
@@ -281,7 +348,9 @@ func (rt *Runtime) Memory(rank int, name string) []byte {
 }
 
 func (rt *Runtime) alloc(name string) *allocation {
+	rt.allocsMu.RLock()
 	a, ok := rt.allocs[name]
+	rt.allocsMu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("armci: unknown allocation %q", name))
 	}
@@ -304,25 +373,29 @@ func (rt *Runtime) Shutdown() { rt.eng.Shutdown() }
 // Start spawns CHTs and rank processes without running the engine, for
 // callers that schedule additional activity or use RunUntil.
 func (rt *Runtime) Start(body func(r *Rank)) {
+	// Every process and recurring event is pinned to its node's scheduling
+	// owner, so in sharded mode all of a node's activity runs on one shard.
 	for _, ns := range rt.nodes {
 		ns := ns
-		ns.chtProc = rt.eng.SpawnDaemon(fmt.Sprintf("cht%d", ns.id), ns.chtLoop)
+		ns.chtProc = rt.eng.SpawnDaemonOn(ns.id, fmt.Sprintf("cht%d", ns.id), ns.chtLoop)
 	}
 	rt.liveRanks = len(rt.ranks)
 	for _, r := range rt.ranks {
 		r := r
-		r.proc = rt.eng.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+		r.proc = rt.eng.SpawnOn(r.node, fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
 			body(r)
 			// Aggregated operations still buffered when the body returns
 			// would otherwise never be injected.
 			r.flushAllAgg()
-			rt.liveRanks--
+			// liveRanks is shared across nodes, so the decrement must land
+			// on the global lane (a serial instant).
+			rt.eng.AtGlobal(r.node, func() { rt.liveRanks-- })
 		})
 	}
 	if rt.healArmed {
 		for _, ns := range rt.nodes {
 			ns := ns
-			rt.eng.After(rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
+			rt.eng.AfterOn(ns.id, rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
 		}
 	}
 }
@@ -371,7 +444,7 @@ func (rt *Runtime) nextHop(src, dst int) int {
 	if next != dst && next != src && rt.hopAvoided(src, next) {
 		for _, alt := range core.AdmissibleHops(rt.topo, src, dst) {
 			if alt != next && !rt.hopAvoided(src, alt) {
-				rt.stats.Reroutes++
+				rt.st(src).Reroutes++
 				return alt
 			}
 		}

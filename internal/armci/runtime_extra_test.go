@@ -172,7 +172,11 @@ func TestBarrierStepCostModel(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if exitAt != 3000 { // log2(8) = 3 steps
-		t.Errorf("barrier exit at %v, want 3000", exitAt)
+	// Arrivals propagate to the global barrier state after one fabric
+	// lookahead (the same delay in serial and sharded runs), then the
+	// dissemination sleep costs ceil(log2(8)) = 3 steps.
+	want := rt.eng.Lookahead() + 3000
+	if exitAt != want {
+		t.Errorf("barrier exit at %v, want %v", exitAt, want)
 	}
 }

@@ -33,11 +33,11 @@ func (r *Rank) GetFloat64At(dst int, alloc string, off int) float64 {
 // and returns the previous value (ARMCI_SWAP).
 func (r *Rank) Swap(dst int, alloc string, off int, v int64) int64 {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	checkRange(a, off, 8)
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(8)
 		mem := a.mem[dst]
 		old := GetInt64(mem, off)
@@ -60,7 +60,7 @@ func (r *Rank) Swap(dst int, alloc string, off int, v int64) int64 {
 // Segment offsets and lengths must be 8-byte aligned.
 func (r *Rank) NbAccV(dst int, alloc string, segs []Seg, scale float64, vals []float64) *Handle {
 	rt := r.rt
-	rt.stats.Ops++
+	rt.st(r.node).Ops++
 	a := rt.alloc(alloc)
 	total := segsBytes(segs)
 	if total != 8*len(vals) {
@@ -74,7 +74,7 @@ func (r *Rank) NbAccV(dst int, alloc string, segs []Seg, scale float64, vals []f
 	}
 	data := Float64sToBytes(vals)
 	if r.nodeOf(dst) == r.node {
-		rt.stats.LocalOps++
+		rt.st(r.node).LocalOps++
 		r.localDelay(total)
 		mem := a.mem[dst]
 		pos := 0

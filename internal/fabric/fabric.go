@@ -130,7 +130,10 @@ func (l *link) reserve(t sim.Time, ser sim.Time) sim.Time {
 	return start
 }
 
-// Stats aggregates fabric-wide counters.
+// Stats aggregates fabric-wide counters. Internally the network keeps one
+// Stats per torus position — each mutated only by events owned by that
+// position, which is what lets shard workers update them without locks —
+// and Stats() merges them (sums, and maxima for the two high-water marks).
 type Stats struct {
 	Messages     uint64
 	Bytes        uint64
@@ -156,7 +159,9 @@ type Network struct {
 	// ejSources[node] counts queued messages per source node at the
 	// ejection port, for the stream-overload model.
 	ejSources []map[int]int
-	stats     Stats
+	// stats[pos] holds the counters attributed to torus position pos; see
+	// the Stats doc comment.
+	stats []Stats
 
 	// Observability (nil when disabled): per-port queue-wait histograms,
 	// resolved once at Instrument time so the hot path pays one nil check.
@@ -214,6 +219,7 @@ func New(e *sim.Engine, n int, cfg Config) *Network {
 		inj:       make([]link, n),
 		ej:        make([]link, n),
 		ejSources: make([]map[int]int, n),
+		stats:     make([]Stats, capacity),
 	}
 	for i := range nw.ejSources {
 		nw.ejSources[i] = make(map[int]int)
@@ -227,8 +233,54 @@ func (nw *Network) Nodes() int { return nw.n }
 // Config returns the effective configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
-// Stats returns aggregate counters.
-func (nw *Network) Stats() Stats { return nw.stats }
+// Stats returns the aggregate counters, merged across torus positions.
+func (nw *Network) Stats() Stats {
+	var out Stats
+	for i := range nw.stats {
+		s := &nw.stats[i]
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+		if s.MaxQueueWait > out.MaxQueueWait {
+			out.MaxQueueWait = s.MaxQueueWait
+		}
+		if s.MaxStreams > out.MaxStreams {
+			out.MaxStreams = s.MaxStreams
+		}
+		out.LinkStalls += s.LinkStalls
+		out.Reroutes += s.Reroutes
+		out.Dropped += s.Dropped
+		out.NodeDrops += s.NodeDrops
+	}
+	return out
+}
+
+// Capacity returns the number of torus positions (>= Nodes): when the job
+// does not fill the torus, routes still pass through unpopulated positions'
+// routers, so the sharded engine's owner space must cover all of them.
+func (nw *Network) Capacity() int { return len(nw.links) / 6 }
+
+// Lookahead returns the conservative-parallel synchronization window this
+// fabric guarantees: every event that crosses torus positions — hop to hop,
+// last hop to ejection — is scheduled at least one HopLatency in the
+// future, so it is the minimum cross-shard event-creation gap.
+func (nw *Network) Lookahead() sim.Time { return nw.cfg.HopLatency }
+
+// ShardOf returns the topology-aware position→shard partition for `shards`
+// shards: contiguous position-id slabs of near-equal size. Position ids are
+// x-major, so a slab is a stack of whole xy-planes (plus partial planes at
+// its edges); dimension-order routes resolve x and y before z, which keeps
+// most hops of a route inside the slab that contains its source plane and
+// confines shard crossings to the final z leg.
+func (nw *Network) ShardOf(shards int) func(pos int) int {
+	capacity := nw.Capacity()
+	return func(pos int) int {
+		s := pos * shards / capacity
+		if s >= shards {
+			s = shards - 1
+		}
+		return s
+	}
+}
 
 // Coord maps a node ID to its torus coordinates.
 func (nw *Network) Coord(node int) [3]int {
@@ -353,7 +405,7 @@ func (nw *Network) routeFaultAware(src, dst int) []int {
 			altDir, altDist := 1-dir, nw.shape[d]-dist
 			if altDist > 0 && !nw.arcBlocked(node, d, altDir, altDist) {
 				dir, dist = altDir, altDist
-				nw.stats.Reroutes++
+				nw.stats[src].Reroutes++
 			}
 		}
 		for s := 0; s < dist; s++ {
@@ -370,9 +422,10 @@ func (nw *Network) routeFaultAware(src, dst int) []int {
 }
 
 // Send injects a message of size bytes from node src to node dst and calls
-// deliver (in engine context) when the last byte is ejected at dst. It may
-// be called from process or engine context. Loopback (src == dst) pays only
-// the software overhead.
+// deliver (in engine context, as owner dst) when the last byte is ejected at
+// dst. It must be called from src's owner context (a process or event of
+// node src) or from coordinator/serial context. Loopback (src == dst) pays
+// only the software overhead.
 func (nw *Network) Send(src, dst, size int, deliver func()) {
 	if src < 0 || src >= nw.n || dst < 0 || dst >= nw.n {
 		panic(fmt.Sprintf("fabric: Send %d->%d out of range [0,%d)", src, dst, nw.n))
@@ -380,20 +433,21 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 	if size < 0 {
 		panic("fabric: negative message size")
 	}
-	nw.stats.Messages++
-	nw.stats.Bytes += uint64(size)
+	st := &nw.stats[src]
+	st.Messages++
+	st.Bytes += uint64(size)
 	if src == dst {
 		if nw.cfg.Faults != nil {
-			nw.eng.After(nw.cfg.SoftwareOverhead, func() {
+			nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() {
 				if nw.cfg.Faults.NodeDown(src) {
-					nw.stats.NodeDrops++
+					nw.stats[src].NodeDrops++
 					return
 				}
 				deliver()
 			})
 			return
 		}
-		nw.eng.After(nw.cfg.SoftwareOverhead, deliver)
+		nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, deliver)
 		return
 	}
 	serLink := sim.Time(float64(size) / nw.cfg.LinkBandwidth)
@@ -402,39 +456,47 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 	// Injection: software overhead then NIC serialization. The route is
 	// resolved at injection time so it reflects the fault state then, not at
 	// the Send call.
-	nw.eng.After(nw.cfg.SoftwareOverhead, func() {
+	nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() {
 		var path []int
 		if nw.cfg.Faults != nil {
 			// A crashed source NIC injects nothing: anything its software
 			// stack had queued dies with the node.
 			if nw.cfg.Faults.NodeDown(src) {
-				nw.stats.NodeDrops++
+				nw.stats[src].NodeDrops++
 				return
 			}
 			path = nw.routeFaultAware(src, dst)
 		} else {
 			path = nw.route(src, dst)
 		}
-		now := nw.eng.Now()
+		now := nw.eng.NowOn(src)
 		start := nw.inj[src].reserve(now, serNIC)
-		nw.noteWait(start-now, nw.waitInj)
+		nw.noteWait(src, start-now, nw.waitInj)
 		arrive := start + serNIC + nw.cfg.HopLatency
-		nw.walk(path, 0, arrive, serLink, serNIC, src, dst, deliver)
+		nw.walk(path, 0, src, arrive, serLink, serNIC, src, dst, deliver)
 	})
 }
 
-// walk advances the message across path[i:], then through dst's ejection
-// port.
-func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
-	nw.eng.At(arrive, func() {
-		now := nw.eng.Now()
+// walk schedules the message's next step — traversal of link path[i], or
+// ejection at dst once the path is exhausted — at time arrive. It must be
+// called in the context of owner `from` (the torus position the message is
+// leaving); each step's event is owned by the position whose link or port it
+// reserves, so shard workers only ever touch their own links. Every step is
+// scheduled at least HopLatency ahead, the bound Lookahead() reports.
+func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+	hop := dst
+	if i < len(path) {
+		hop = path[i] / 6
+	}
+	nw.eng.AtFrom(from, hop, arrive, func() {
+		now := arrive
 		if i < len(path) {
 			ser := serLink
 			if fi := nw.cfg.Faults; fi != nil {
 				a, b := nw.linkEnds(path[i])
 				if fi.LinkDown(a, b) {
-					nw.stats.LinkStalls++
-					nw.stallAt(path, i, now, serLink, serNIC, src, dst, deliver)
+					nw.stats[hop].LinkStalls++
+					nw.stallAt(path, i, hop, now, now, serLink, serNIC, src, dst, deliver)
 					return
 				}
 				if f := fi.LinkFactor(a, b); f < 1 {
@@ -442,32 +504,33 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 				}
 			}
 			start := nw.links[path[i]].reserve(now, ser)
-			nw.noteWait(start-now, nw.waitLink)
-			nw.walk(path, i+1, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
+			nw.noteWait(hop, start-now, nw.waitLink)
+			nw.walk(path, i+1, hop, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
 			return
 		}
 		// A crashed destination NIC ejects nothing: the message has
 		// traversed the torus (SeaStar routers forward in hardware) but
 		// dies at the dead node's ejection port.
 		if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
-			nw.stats.NodeDrops++
+			nw.stats[dst].NodeDrops++
 			return
 		}
 		// Ejection with the stream-overload model: the port slows down
 		// when more distinct sources than StreamLimit are queued, the
 		// BEER-throttling behaviour hot-spot nodes exhibit on the XT5.
+		st := &nw.stats[dst]
 		srcs := nw.ejSources[dst]
 		srcs[src]++
-		if n := len(srcs); n > nw.stats.MaxStreams {
-			nw.stats.MaxStreams = n
+		if n := len(srcs); n > st.MaxStreams {
+			st.MaxStreams = n
 		}
 		ser := serNIC
 		if excess := len(srcs) - nw.cfg.StreamLimit; excess > 0 {
 			ser += sim.Time(float64(serNIC) * nw.cfg.StreamPenalty * float64(excess))
 		}
 		start := nw.ej[dst].reserve(now, ser)
-		nw.noteWait(start-now, nw.waitEj)
-		nw.eng.At(start+ser, func() {
+		nw.noteWait(dst, start-now, nw.waitEj)
+		nw.eng.AtOn(dst, start+ser, func() {
 			if srcs[src] <= 1 {
 				delete(srcs, src)
 			} else {
@@ -476,7 +539,7 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 			// The node can crash mid-ejection; the partially ejected
 			// message is lost with it.
 			if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
-				nw.stats.NodeDrops++
+				nw.stats[dst].NodeDrops++
 				return
 			}
 			deliver()
@@ -484,31 +547,32 @@ func (nw *Network) walk(path []int, i int, arrive sim.Time, serLink, serNIC sim.
 	})
 }
 
-// stallAt parks a message in front of the hard-failed link path[i],
-// re-probing every LinkRetry until the link repairs — at which point the walk
-// resumes and the total stall time is recorded — or LinkStallLimit elapses
-// and the message is dropped. Dropping instead of waiting forever keeps the
-// event queue finite; the runtime's request timeouts retransmit the payload.
-func (nw *Network) stallAt(path []int, i int, since sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+// stallAt parks a message in front of the hard-failed link path[i] (whose
+// from-position pos owns these events), re-probing every LinkRetry until the
+// link repairs — at which point the walk resumes and the total stall time is
+// recorded — or LinkStallLimit elapses and the message is dropped. Dropping
+// instead of waiting forever keeps the event queue finite; the runtime's
+// request timeouts retransmit the payload.
+func (nw *Network) stallAt(path []int, i, pos int, now, since sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
 	a, b := nw.linkEnds(path[i])
 	if !nw.cfg.Faults.LinkDown(a, b) {
-		waited := nw.eng.Now() - since
-		nw.noteWait(waited, nw.waitStall)
-		nw.walk(path, i, nw.eng.Now(), serLink, serNIC, src, dst, deliver)
+		nw.noteWait(pos, now-since, nw.waitStall)
+		nw.walk(path, i, pos, now, serLink, serNIC, src, dst, deliver)
 		return
 	}
-	if nw.eng.Now()-since >= nw.cfg.LinkStallLimit {
-		nw.stats.Dropped++
+	if now-since >= nw.cfg.LinkStallLimit {
+		nw.stats[pos].Dropped++
 		return
 	}
-	nw.eng.After(nw.cfg.LinkRetry, func() {
-		nw.stallAt(path, i, since, serLink, serNIC, src, dst, deliver)
+	retry := now + nw.cfg.LinkRetry
+	nw.eng.AtOn(pos, retry, func() {
+		nw.stallAt(path, i, pos, retry, since, serLink, serNIC, src, dst, deliver)
 	})
 }
 
-func (nw *Network) noteWait(w sim.Time, h *obs.Histogram) {
-	if w > nw.stats.MaxQueueWait {
-		nw.stats.MaxQueueWait = w
+func (nw *Network) noteWait(pos int, w sim.Time, h *obs.Histogram) {
+	if w > nw.stats[pos].MaxQueueWait {
+		nw.stats[pos].MaxQueueWait = w
 	}
 	if h != nil {
 		h.Observe(w.Micros())
@@ -576,14 +640,15 @@ func (nw *Network) FillMetrics() {
 	if reg == nil {
 		return
 	}
-	reg.Counter("fabric_messages_total").Add(float64(nw.stats.Messages))
-	reg.Counter("fabric_bytes_total").Add(float64(nw.stats.Bytes))
-	reg.Gauge("fabric_max_queue_wait_us").Set(nw.stats.MaxQueueWait.Micros())
-	reg.Gauge("fabric_max_streams").Set(float64(nw.stats.MaxStreams))
-	reg.Counter("fabric_link_stalls_total").Add(float64(nw.stats.LinkStalls))
-	reg.Counter("fabric_reroutes_total").Add(float64(nw.stats.Reroutes))
-	reg.Counter("fabric_dropped_msgs_total").Add(float64(nw.stats.Dropped))
-	reg.Counter("fabric_node_drops_total").Add(float64(nw.stats.NodeDrops))
+	st := nw.Stats()
+	reg.Counter("fabric_messages_total").Add(float64(st.Messages))
+	reg.Counter("fabric_bytes_total").Add(float64(st.Bytes))
+	reg.Gauge("fabric_max_queue_wait_us").Set(st.MaxQueueWait.Micros())
+	reg.Gauge("fabric_max_streams").Set(float64(st.MaxStreams))
+	reg.Counter("fabric_link_stalls_total").Add(float64(st.LinkStalls))
+	reg.Counter("fabric_reroutes_total").Add(float64(st.Reroutes))
+	reg.Counter("fabric_dropped_msgs_total").Add(float64(st.Dropped))
+	reg.Counter("fabric_node_drops_total").Add(float64(st.NodeDrops))
 
 	elapsed := nw.eng.Now()
 	util := func(busy sim.Time) float64 {

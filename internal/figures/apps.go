@@ -15,22 +15,26 @@ import (
 // simEngine returns a fresh deterministic engine.
 func simEngine() *sim.Engine { return sim.New() }
 
-// runtimeFor builds a runtime of one topology kind.
-func runtimeFor(kind core.Kind, nodes, ppn int) (*armci.Runtime, error) {
+// runtimeFor builds a runtime of one topology kind. shards selects the
+// simulation kernel's conservative-parallel shard count (armci.Config.Shards;
+// <= 1 keeps the serial kernel, results are bit-identical either way).
+func runtimeFor(kind core.Kind, nodes, ppn, shards int) (*armci.Runtime, error) {
 	topo, err := core.New(kind, nodes)
 	if err != nil {
 		return nil, err
 	}
 	cfg := armci.DefaultConfig(nodes, ppn)
 	cfg.Topology = topo
+	cfg.Shards = shards
 	return armci.New(simEngine(), cfg)
 }
 
 // Fig8 reproduces Figure 8: NAS LU execution time versus process count, one
 // series per topology. procCounts must be multiples of ppn; hypercube points
 // are skipped when the node count is not a power of two (as in the paper's
-// restriction).
-func Fig8(procCounts []int, ppn int, cfg lu.Config) ([]*stats.Series, error) {
+// restriction). shards selects the kernel's parallel shard count (<= 1
+// serial; results are bit-identical for every value).
+func Fig8(procCounts []int, ppn, shards int, cfg lu.Config) ([]*stats.Series, error) {
 	var out []*stats.Series
 	for _, kind := range core.Kinds {
 		s := &stats.Series{Label: kind.String()}
@@ -38,7 +42,7 @@ func Fig8(procCounts []int, ppn int, cfg lu.Config) ([]*stats.Series, error) {
 			if procs%ppn != 0 {
 				return nil, fmt.Errorf("figures: %d processes not divisible by ppn %d", procs, ppn)
 			}
-			rt, err := runtimeFor(kind, procs/ppn, ppn)
+			rt, err := runtimeFor(kind, procs/ppn, ppn, shards)
 			if err != nil {
 				continue // hypercube off powers of two
 			}
@@ -63,7 +67,7 @@ func Fig8(procCounts []int, ppn int, cfg lu.Config) ([]*stats.Series, error) {
 
 // Fig9a reproduces Figure 9(a): NWChem DFT (SiOSi3 proxy) execution time
 // versus core count for all four topologies.
-func Fig9a(coreCounts []int, ppn int, cfg dft.Config) ([]*stats.Series, error) {
+func Fig9a(coreCounts []int, ppn, shards int, cfg dft.Config) ([]*stats.Series, error) {
 	var out []*stats.Series
 	for _, kind := range core.Kinds {
 		s := &stats.Series{Label: kind.String()}
@@ -71,7 +75,7 @@ func Fig9a(coreCounts []int, ppn int, cfg dft.Config) ([]*stats.Series, error) {
 			if cores%ppn != 0 {
 				return nil, fmt.Errorf("figures: %d cores not divisible by ppn %d", cores, ppn)
 			}
-			rt, err := runtimeFor(kind, cores/ppn, ppn)
+			rt, err := runtimeFor(kind, cores/ppn, ppn, shards)
 			if err != nil {
 				continue
 			}
@@ -96,7 +100,7 @@ func Fig9a(coreCounts []int, ppn int, cfg dft.Config) ([]*stats.Series, error) {
 
 // Fig9b reproduces Figure 9(b): NWChem CCSD(T) water-model proxy execution
 // time versus core count, FCG and MFCG only (as in the paper).
-func Fig9b(coreCounts []int, ppn int, cfg ccsd.Config) ([]*stats.Series, error) {
+func Fig9b(coreCounts []int, ppn, shards int, cfg ccsd.Config) ([]*stats.Series, error) {
 	var out []*stats.Series
 	for _, kind := range []core.Kind{core.FCG, core.MFCG} {
 		s := &stats.Series{Label: kind.String()}
@@ -104,7 +108,7 @@ func Fig9b(coreCounts []int, ppn int, cfg ccsd.Config) ([]*stats.Series, error) 
 			if cores%ppn != 0 {
 				return nil, fmt.Errorf("figures: %d cores not divisible by ppn %d", cores, ppn)
 			}
-			rt, err := runtimeFor(kind, cores/ppn, ppn)
+			rt, err := runtimeFor(kind, cores/ppn, ppn, shards)
 			if err != nil {
 				return nil, err
 			}

@@ -54,6 +54,10 @@ type ChaosConfig struct {
 	// the same schedule demonstrably loses paths on multi-hop topologies:
 	// operations routed through a dead forwarder exhaust their retries.
 	Heal bool
+	// Shards runs the kernel conservatively in parallel (armci.Config.Shards);
+	// ledger results are bit-identical for every value. Forced serial when
+	// Trace is set.
+	Shards int
 
 	// Metrics/Trace/TracePID attach observability exactly as in
 	// ContentionConfig.
@@ -141,6 +145,10 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 	cfg.Metrics = c.Metrics
 	cfg.Trace = c.Trace
 	cfg.TracePID = c.TracePID
+	cfg.Shards = c.Shards
+	if c.Trace != nil {
+		cfg.Shards = 1
+	}
 	if c.Trace != nil {
 		heal := "heal off"
 		if c.Heal {
@@ -174,7 +182,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 	issued := make([]int, n)
 	completed := make([]int, n)
 	failed := make([]int, n)
-	partitioned := 0
+	partitioned := make([]int, n) // per-rank: written only from the rank's own shard
 
 	body := func(r *armci.Rank) {
 		if victimSet[r.Node()] {
@@ -197,7 +205,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 				// admissible route means a partition, the one failure mode
 				// healing is not allowed to paper over.
 				if _, ok := core.ReplacementHop(topo, r.Node(), target/c.PPN, inj.NodeDown); !ok {
-					partitioned++
+					partitioned[r.Rank()]++
 				}
 			} else {
 				completed[r.Rank()]++
@@ -210,7 +218,10 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 	}
 	rt.FillMetrics()
 
-	res := &ChaosResult{Victims: victims, Partitioned: partitioned, Elapsed: eng.Now(), Stats: rt.Stats()}
+	res := &ChaosResult{Victims: victims, Elapsed: eng.Now(), Stats: rt.Stats()}
+	for _, p := range partitioned {
+		res.Partitioned += p
+	}
 
 	// Invariant 1: per-origin ledger conservation. applied(o) sums slot o
 	// over every rank's memory; each +1 is exact in float64 at these counts.

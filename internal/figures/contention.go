@@ -73,6 +73,12 @@ type ContentionConfig struct {
 	// AdaptiveCredits enables adaptive per-edge credit management
 	// (armci.Config.Adaptive with defaults).
 	AdaptiveCredits bool
+	// Shards runs the simulation kernel conservatively in parallel across
+	// this many topology-aware shards (armci.Config.Shards). Results are
+	// bit-identical for every value; 0 or 1 keeps the serial kernel. When
+	// Trace is set the run is forced serial (tracing is a serial-only
+	// observation tool), which by the same contract changes nothing.
+	Shards int
 
 	// Metrics, when non-nil, collects the run's observability counters,
 	// gauges and histograms (see docs/OBSERVABILITY.md). Use a fresh
@@ -145,6 +151,10 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	}
 	cfg.Agg.Enabled = c.Aggregation
 	cfg.Adaptive.Enabled = c.AdaptiveCredits
+	cfg.Shards = c.Shards
+	if c.Trace != nil {
+		cfg.Shards = 1
+	}
 	cfg.Heal.Enabled = c.Heal
 	cfg.Metrics = c.Metrics
 	cfg.Trace = c.Trace
@@ -191,17 +201,24 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 		order = append(order, rank)
 	}
 	finished := sim.NewEvent(eng, "finished")
-	next := func(rank int) {
-		for i, v := range order {
-			if v == rank {
-				if i+1 < len(order) {
-					turn[order[i+1]].Fire()
-				} else {
-					finished.Fire()
+	// next hands the token to the following measured rank. It is called from
+	// rank context, but the next rank may live on another shard, so the Fire
+	// is routed through a global event (one fabric lookahead later — the same
+	// instant in serial and sharded runs).
+	next := func(r *armci.Rank) {
+		rank := r.Rank()
+		eng.AtGlobal(r.Node(), func() {
+			for i, v := range order {
+				if v == rank {
+					if i+1 < len(order) {
+						turn[order[i+1]].Fire()
+					} else {
+						finished.Fire()
+					}
+					return
 				}
-				return
 			}
-		}
+		})
 	}
 	eng.At(0, func() {
 		if len(order) == 0 {
@@ -212,7 +229,10 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	})
 
 	series := &stats.Series{Label: c.Kind.String()}
-	times := make(map[int]float64)
+	// Per-rank measurement slots: each rank writes only its own index from
+	// its own owner context, so sharded runs never contend.
+	times := make([]float64, n)
+	measured := make([]bool, n)
 
 	window := c.Window
 	if window < 1 {
@@ -263,7 +283,8 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 		t0 := r.Now()
 		doOps(r, c.Iters)
 		times[r.Rank()] = (r.Now() - t0).Micros() / float64(c.Iters)
-		next(r.Rank())
+		measured[r.Rank()] = true
+		next(r)
 	}
 
 	body := func(r *armci.Rank) {
@@ -296,8 +317,8 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	}
 	rt.FillMetrics()
 	for _, rank := range order {
-		if t, ok := times[rank]; ok {
-			series.Add(float64(rank), t)
+		if measured[rank] {
+			series.Add(float64(rank), times[rank])
 		}
 	}
 	return series, nil

@@ -214,7 +214,7 @@ func TestFig8LUShape(t *testing.T) {
 	// Paper Fig 8: time decreases with process count and topologies stay
 	// comparable (within ~40% of FCG).
 	import8 := []int{16, 64}
-	ss, err := Fig8(import8, 4, luSmall())
+	ss, err := Fig8(import8, 4, 1, luSmall())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestFig8LUShape(t *testing.T) {
 func TestFig9aDFTShape(t *testing.T) {
 	// Paper Fig 9(a): with hot-spot-prone DFT, MFCG beats FCG and
 	// Hypercube is the worst at scale.
-	ss, err := Fig9a([]int{128}, 2, dftSmall())
+	ss, err := Fig9a([]int{128}, 2, 1, dftSmall())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestFig9aDFTShape(t *testing.T) {
 func TestFig9bCCSDShape(t *testing.T) {
 	// Paper Fig 9(b): without hot-spots, FCG is comparable to or better
 	// than MFCG (within 25%).
-	ss, err := Fig9b([]int{32}, 2, ccsdSmall())
+	ss, err := Fig9b([]int{32}, 2, 1, ccsdSmall())
 	if err != nil {
 		t.Fatal(err)
 	}

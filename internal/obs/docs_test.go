@@ -1,7 +1,8 @@
 package obs_test
 
-// Documentation-drift check: docs/OBSERVABILITY.md (baseline metrics) and
-// docs/FAULTS.md (fault-injection and resilience metrics) are together the
+// Documentation-drift check: docs/OBSERVABILITY.md (baseline metrics),
+// docs/FAULTS.md (fault-injection and resilience metrics) and
+// docs/PARALLELISM.md (sharded-kernel execution counters) are together the
 // schema of record for every metric the repository emits. This test runs an
 // instrumented workload that exercises every emitting layer (armci runtime +
 // fabric via FillMetrics, a faulted run for the resilience counters, plus
@@ -116,7 +117,7 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 
 func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 	var docs string
-	for _, path := range []string{"../../docs/OBSERVABILITY.md", "../../docs/FAULTS.md"} {
+	for _, path := range []string{"../../docs/OBSERVABILITY.md", "../../docs/FAULTS.md", "../../docs/PARALLELISM.md"} {
 		doc, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -130,7 +131,7 @@ func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 	}
 	for _, name := range names {
 		if !strings.Contains(docs, "`"+name+"`") {
-			t.Errorf("metric %q is emitted but documented in neither docs/OBSERVABILITY.md nor docs/FAULTS.md", name)
+			t.Errorf("metric %q is emitted but documented in none of docs/OBSERVABILITY.md, docs/FAULTS.md, docs/PARALLELISM.md", name)
 		}
 	}
 }

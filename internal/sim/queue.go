@@ -160,14 +160,14 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		return
 	}
 	r.waits++
-	start := r.e.now
+	start := p.Now()
 	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
 	for {
 		p.park(fmt.Sprintf("resource %s (want %d, avail %d)", r.name, n, r.avail))
 		if len(r.waiters) > 0 && r.waiters[0].p == p && r.avail >= n {
 			r.waiters = r.waiters[1:]
 			r.take(n)
-			r.waitedTime += r.e.now - start
+			r.waitedTime += p.Now() - start
 			r.wakeHead()
 			return
 		}

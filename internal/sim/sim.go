@@ -2,11 +2,17 @@
 // simulation kernel.
 //
 // Simulated processes are goroutines that are cooperatively scheduled by the
-// Engine: exactly one goroutine (either the engine's Run loop or a single
-// process) executes at any moment, and control is handed over explicitly at
-// blocking points (Sleep, Queue.Get, Resource.Acquire, ...). Events are
-// ordered by (virtual time, sequence number), so a simulation is fully
-// deterministic and repeatable regardless of GOMAXPROCS.
+// Engine: in serial mode exactly one goroutine (either the engine's Run loop
+// or a single process) executes at any moment, and control is handed over
+// explicitly at blocking points (Sleep, Queue.Get, Resource.Acquire, ...).
+//
+// Events are ordered by the three-part key (time, seq, origin), where origin
+// is the owner id of the context that created the event and seq is a
+// per-origin creation counter. Because each origin's creation stream is
+// independent of how other origins interleave, the key — and therefore the
+// execution order — is identical whether the engine runs serially or sharded
+// (see shard.go), which is the repository's bit-identical determinism
+// contract (docs/PARALLELISM.md).
 //
 // The kernel is the substrate on which the repository models the Cray XT5
 // interconnect (package fabric) and the ARMCI runtime (package armci); in
@@ -53,13 +59,32 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Seconds reports t as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// GlobalOwner is the pseudo-owner of engine-level events: fault schedules,
+// watchdog checks, run-wide coordination. Global events always execute on
+// the coordinator with every shard quiesced (a "serial instant"), so they
+// may touch any owner's state.
+const GlobalOwner = -1
+
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t      Time
+	seq    uint64
+	origin int32
+	owner  int32
+	fn     func()
 }
 
-// eventHeap is a hand-rolled binary min-heap ordered by (time, seq).
+// keyLess orders events by the determinism-contract key (time, seq, origin).
+func keyLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.origin < b.origin
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq, origin).
 // Scheduling is the simulator's hottest path: routing a single one-sided
 // request schedules an event per link hop, CHT poll and credit return, so
 // container/heap's interface-boxed Push/Pop (one heap allocation plus two
@@ -70,12 +95,7 @@ type eventHeap []event
 func (h eventHeap) Len() int    { return len(h) }
 func (h eventHeap) peek() event { return h[0] }
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) less(i, j int) bool { return keyLess(h[i], h[j]) }
 
 func (h *eventHeap) pushEvent(e event) {
 	s := append(*h, e)
@@ -132,15 +152,23 @@ const (
 // process's own body function; they are not safe to call from other
 // goroutines or from engine-context callbacks.
 type Proc struct {
-	e           *Engine
-	id          int
-	name        string
-	resume      chan struct{}
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	// parkedTo is the channel of whichever runner (coordinator or shard
+	// worker) last resumed the process; park and the exit path signal it to
+	// hand control back.
+	parkedTo    chan struct{}
 	state       procState
 	blockedOn   string
 	daemon      bool
 	wakePending bool
 	killed      bool
+	// owner pins the process to a scheduling owner: its resume events carry
+	// this owner, so in sharded mode the process always runs on the owner's
+	// shard (or on the coordinator during serial instants).
+	owner int
 }
 
 // Name returns the name the process was spawned with.
@@ -152,8 +180,12 @@ func (p *Proc) ID() int { return p.id }
 // Engine returns the engine this process runs under.
 func (p *Proc) Engine() *Engine { return p.e }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.e.now }
+// Owner returns the scheduling owner the process is pinned to
+// (GlobalOwner if it was spawned without one).
+func (p *Proc) Owner() int { return p.owner }
+
+// Now returns the current virtual time in the process's context.
+func (p *Proc) Now() Time { return p.e.NowOn(p.owner) }
 
 // BlockedOn reports the label of the blocking point the process is currently
 // parked at ("" if running or done). Used by the deadlock reporter.
@@ -162,15 +194,23 @@ func (p *Proc) BlockedOn() string { return p.blockedOn }
 // Engine drives a simulation. Create one with New, add processes with Spawn
 // (or GoAt), then call Run.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
+	now    Time
+	events eventHeap // the global lane; the only heap in serial mode
+	// seqs holds the per-origin event-creation counters that form the seq
+	// component of the ordering key; index is origin+1 so GlobalOwner maps
+	// to slot 0. Distinct origins never share a slot, so shard workers
+	// advance their owners' counters without contention.
+	seqs    []uint64
 	parked  chan struct{}
 	procs   []*Proc
 	current *Proc
-	rng     *rand.Rand
-	running bool
-	tracer  Tracer
+	// ctxOwner is the owner of the event the coordinator (or serial loop) is
+	// currently executing; events created from that context inherit it as
+	// their origin and default placement.
+	ctxOwner int
+	rng      *rand.Rand
+	running  bool
+	tracer   Tracer
 	// resumes counts process resumptions, the progress signal the Watchdog
 	// samples: a simulation whose event queue stays busy without ever
 	// resuming a process is livelocked, not working.
@@ -181,65 +221,203 @@ type Engine struct {
 	executed uint64
 	// halt, when set (see Halt), aborts the run loop before the next event.
 	halt error
+
+	shardState
 }
 
 // New creates an engine with virtual time 0 and a deterministic RNG.
 func New() *Engine {
-	return &Engine{
-		parked: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(1)),
+	e := &Engine{
+		parked:   make(chan struct{}),
+		rng:      rand.New(rand.NewSource(1)),
+		ctxOwner: GlobalOwner,
+		seqs:     make([]uint64, 1),
 	}
+	return e
 }
 
 // Seed reseeds the engine's deterministic RNG.
 func (e *Engine) Seed(s int64) { e.rng = rand.New(rand.NewSource(s)) }
 
-// Rand returns the engine's RNG. Using it from process bodies keeps
-// simulations deterministic (there is only ever one runner at a time).
+// Rand returns the engine's RNG. Using it from process bodies keeps serial
+// simulations deterministic (there is only ever one runner at a time). It is
+// not part of the sharded determinism contract: workloads that run with
+// shards > 1 must draw randomness from per-owner sources instead.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Now returns current virtual time.
+// Now returns current virtual time in coordinator context. During a sharded
+// window it does not see the executing shard's clock — use NowOn (or
+// Proc.Now) from owner contexts.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run in engine context at absolute virtual time t.
-// Scheduling in the past is clamped to now.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+// NowOn returns current virtual time in owner's context: the owner's shard
+// clock while a sharded window is executing, the engine clock otherwise
+// (serial mode, setup, and serial instants).
+func (e *Engine) NowOn(owner int) Time {
+	if owner >= 0 && e.windowActive.Load() {
+		return e.lanes[e.shardOf[owner]].now
 	}
-	e.seq++
-	e.events.pushEvent(event{t: t, seq: e.seq, fn: fn})
+	return e.now
+}
+
+// ctxFor resolves the scheduling context for an event created by owner
+// `from`: the shard lane executing it (nil for the coordinator or serial
+// loop), that context's current time, and the origin for the ordering key.
+func (e *Engine) ctxFor(from int) (*lane, Time, int) {
+	if e.windowActive.Load() {
+		if from < 0 {
+			panic("sim: global-context scheduling from a shard worker; use AtGlobal with the owner the caller runs as")
+		}
+		ln := e.lanes[e.shardOf[from]]
+		return ln, ln.now, ln.ctxOwner
+	}
+	return nil, e.now, e.ctxOwner
+}
+
+// schedule creates an event at time t (clamped to the creating context's
+// now) executing as owner, attributed to origin, and routes it to the right
+// heap or cross-shard outbox. src is the creating lane (nil = coordinator).
+func (e *Engine) schedule(src *lane, now Time, origin, owner int, t Time, fn func()) {
+	if t < now {
+		t = now
+	}
+	idx := origin + 1
+	if idx >= len(e.seqs) {
+		if e.nshards > 1 {
+			panic(fmt.Sprintf("sim: origin %d outside the sharded owner space", origin))
+		}
+		grown := make([]uint64, idx+1)
+		copy(grown, e.seqs)
+		e.seqs = grown
+	}
+	e.seqs[idx]++
+	ev := event{t: t, seq: e.seqs[idx], origin: int32(origin), owner: int32(owner), fn: fn}
+	var dst *lane
+	if owner >= 0 && e.nshards > 1 {
+		dst = e.lanes[e.shardOf[owner]]
+	}
+	if src == nil {
+		if dst == nil {
+			e.events.pushEvent(ev)
+		} else {
+			dst.heap.pushEvent(ev)
+		}
+		return
+	}
+	if dst == src {
+		src.heap.pushEvent(ev)
+		return
+	}
+	// Leaving the creating shard: the event must clear the current lookahead
+	// window, or conservative execution would already have passed its time.
+	if ev.t < src.end {
+		panic(fmt.Sprintf("sim: cross-shard event at t=%v violates the lookahead window ending at %v (lookahead %v too large for this workload)",
+			ev.t, src.end, e.lookahead))
+	}
+	if dst == nil {
+		src.outGlobal = append(src.outGlobal, ev)
+		return
+	}
+	src.outCross[dst.idx] = append(src.outCross[dst.idx], ev)
+}
+
+// At schedules fn to run in engine context at absolute virtual time t.
+// Scheduling in the past is clamped to now. It may be called from serial
+// mode, setup, or coordinator context; shard-worker contexts must use
+// AtOn/AtFrom with an explicit owner.
+func (e *Engine) At(t Time, fn func()) {
+	if e.windowActive.Load() {
+		panic("sim: At called from a shard worker; use AtOn/AtFrom with an explicit owner")
+	}
+	e.schedule(nil, e.now, e.ctxOwner, e.ctxOwner, t, fn)
 }
 
 // After schedules fn to run in engine context d after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AtOn schedules fn at absolute time t executing as owner. The caller must
+// be running as owner (or on the coordinator): it is the owner-explicit form
+// of At for code that runs inside sharded windows.
+func (e *Engine) AtOn(owner int, t Time, fn func()) { e.AtFrom(owner, owner, t, fn) }
+
+// AfterOn schedules fn to run as owner d after owner's current time.
+func (e *Engine) AfterOn(owner int, d Time, fn func()) {
+	src, now, origin := e.ctxFor(owner)
+	e.schedule(src, now, origin, owner, now+d, fn)
+}
+
+// AtFrom schedules fn at absolute time t executing as owner `to`, created
+// from the context of owner `from` (which the caller must be running as).
+// When from and to live on different shards the event crosses shards at the
+// next window edge and t must be at least one lookahead in the future.
+func (e *Engine) AtFrom(from, to int, t Time, fn func()) {
+	src, now, origin := e.ctxFor(from)
+	e.schedule(src, now, origin, to, t, fn)
+}
+
+// AtGlobal schedules fn on the global lane one lookahead after the caller's
+// current time. Global events execute as serial instants with every shard
+// quiesced, so fn may mutate state shared across owners (barrier counters,
+// run-wide tallies). The fixed +lookahead delay is what lets a shard safely
+// reach back to the global lane, and it is applied identically in serial
+// mode so both modes agree on timing.
+func (e *Engine) AtGlobal(from int, fn func()) {
+	src, now, origin := e.ctxFor(from)
+	e.schedule(src, now, origin, GlobalOwner, now+e.lookahead, fn)
+}
+
+// Lookahead returns the conservative synchronization window configured by
+// ConfigureShards (0 if never configured).
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
 // Spawn creates a simulated process that starts executing body at the current
-// virtual time. The returned Proc handle is also passed to body.
+// virtual time, pinned to the creating context's owner. The returned Proc
+// handle is also passed to body.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	return e.spawnAt(e.now, name, body, false)
+	return e.spawnAt(e.ctxOwner, e.now, name, body, false)
+}
+
+// SpawnOn is Spawn with an explicit owner pin: the process and all events it
+// creates belong to owner, so in sharded mode it runs on owner's shard.
+func (e *Engine) SpawnOn(owner int, name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(owner, e.now, name, body, false)
 }
 
 // SpawnDaemon creates a process that does not keep the simulation alive: Run
 // returns successfully even if daemon processes are still blocked (e.g.
 // server loops waiting for requests that will never come).
 func (e *Engine) SpawnDaemon(name string, body func(p *Proc)) *Proc {
-	return e.spawnAt(e.now, name, body, true)
+	return e.spawnAt(e.ctxOwner, e.now, name, body, true)
+}
+
+// SpawnDaemonOn is SpawnDaemon with an explicit owner pin.
+func (e *Engine) SpawnDaemonOn(owner int, name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(owner, e.now, name, body, true)
 }
 
 // GoAt schedules a process to start at absolute time t.
 func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
-	return e.spawnAt(t, name, body, false)
+	return e.spawnAt(e.ctxOwner, t, name, body, false)
 }
 
-func (e *Engine) spawnAt(t Time, name string, body func(p *Proc), daemon bool) *Proc {
+// GoAtOn schedules a process pinned to owner to start at absolute time t.
+func (e *Engine) GoAtOn(owner int, t Time, name string, body func(p *Proc)) *Proc {
+	return e.spawnAt(owner, t, name, body, false)
+}
+
+func (e *Engine) spawnAt(owner int, t Time, name string, body func(p *Proc), daemon bool) *Proc {
+	if e.windowActive.Load() {
+		panic("sim: Spawn from a shard worker is not supported; spawn before Run or from a global event")
+	}
 	p := &Proc{
-		e:      e,
-		id:     len(e.procs),
-		name:   name,
-		resume: make(chan struct{}),
-		state:  procNew,
-		daemon: daemon,
+		e:        e,
+		id:       len(e.procs),
+		name:     name,
+		resume:   make(chan struct{}),
+		parkedTo: e.parked,
+		state:    procNew,
+		daemon:   daemon,
+		owner:    owner,
 	}
 	e.procs = append(e.procs, p)
 	e.trace(TraceSpawn, p, "")
@@ -251,9 +429,9 @@ func (e *Engine) spawnAt(t Time, name string, body func(p *Proc), daemon bool) *
 		p.state = procDone
 		p.blockedOn = ""
 		e.trace(TraceExit, p, "")
-		e.parked <- struct{}{}
+		p.parkedTo <- struct{}{}
 	}()
-	e.At(t, func() { e.switchTo(p) })
+	e.schedule(nil, e.now, e.ctxOwner, owner, t, func() { e.switchTo(p) })
 	return p
 }
 
@@ -273,9 +451,23 @@ func runBody(body func(p *Proc), p *Proc) {
 }
 
 // switchTo hands control to p and blocks until p parks or finishes. It must
-// be invoked from engine context (inside an event callback).
+// be invoked from a runner context (inside an event callback): the serial
+// loop, the coordinator during an instant, or the shard worker owning p.
 func (e *Engine) switchTo(p *Proc) {
 	if p.state == procDone || p.state == procRunning {
+		return
+	}
+	if e.windowActive.Load() {
+		ln := e.lanes[e.shardOf[p.owner]]
+		prev := ln.current
+		ln.current = p
+		p.state = procRunning
+		p.blockedOn = ""
+		ln.resumes++
+		p.parkedTo = ln.parked
+		p.resume <- struct{}{}
+		<-ln.parked
+		ln.current = prev
 		return
 	}
 	prev := e.current
@@ -284,18 +476,19 @@ func (e *Engine) switchTo(p *Proc) {
 	p.blockedOn = ""
 	e.resumes++
 	e.trace(TraceResume, p, "")
+	p.parkedTo = e.parked
 	p.resume <- struct{}{}
 	<-e.parked
 	e.current = prev
 }
 
-// park is called from process context: it returns control to the engine and
-// blocks until the process is resumed by a future switchTo.
+// park is called from process context: it returns control to the current
+// runner and blocks until the process is resumed by a future switchTo.
 func (p *Proc) park(label string) {
 	p.state = procBlocked
 	p.blockedOn = label
 	p.e.trace(TracePark, p, label)
-	p.e.parked <- struct{}{}
+	p.parkedTo <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(killSignal{})
@@ -306,15 +499,18 @@ func (p *Proc) park(label string) {
 
 // wake schedules the process to be resumed at the current virtual time. It
 // is idempotent: a process with a wake already pending is not scheduled
-// again, so primitives may over-notify safely.
+// again, so primitives may over-notify safely. The wake event carries the
+// process's owner, so callers must run as that owner or on the coordinator.
 func (p *Proc) wake() {
 	if p.wakePending || p.state == procDone {
 		return
 	}
 	p.wakePending = true
-	p.e.At(p.e.now, func() {
+	e := p.e
+	src, now, origin := e.ctxFor(p.owner)
+	e.schedule(src, now, origin, p.owner, now, func() {
 		p.wakePending = false
-		p.e.switchTo(p)
+		e.switchTo(p)
 	})
 }
 
@@ -325,7 +521,8 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	e := p.e
-	e.At(e.now+d, func() { e.switchTo(p) })
+	src, now, origin := e.ctxFor(p.owner)
+	e.schedule(src, now, origin, p.owner, now+d, func() { e.switchTo(p) })
 	p.park(fmt.Sprintf("sleep(%v)", d))
 }
 
@@ -371,6 +568,9 @@ func (e *Engine) run(limit Time) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.nshards > 1 {
+		return e.runSharded(limit)
+	}
 	for e.events.Len() > 0 {
 		if e.halt != nil {
 			return e.halt
@@ -381,27 +581,33 @@ func (e *Engine) run(limit Time) error {
 		}
 		ev := e.events.popEvent()
 		e.now = ev.t
+		e.ctxOwner = int(ev.owner)
 		e.executed++
 		ev.fn()
 	}
+	e.ctxOwner = GlobalOwner
+	if blocked := e.blockedNonDaemons(); len(blocked) > 0 {
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+func (e *Engine) blockedNonDaemons() []string {
 	var blocked []string
 	for _, p := range e.procs {
 		if p.state == procBlocked && !p.daemon {
 			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
 		}
 	}
-	if len(blocked) > 0 {
-		sort.Strings(blocked)
-		return &DeadlockError{At: e.now, Blocked: blocked}
-	}
-	return nil
+	sort.Strings(blocked)
+	return blocked
 }
 
 // Shutdown terminates every parked or not-yet-started process, releasing
-// their goroutines. Call it after Run (or after abandoning a simulation) in
-// long-lived programs that create many engines; the engine must not be
-// running. Processes are unwound via a recovered panic, so their deferred
-// functions still execute.
+// their goroutines, and stops any shard workers. Call it after Run (or after
+// abandoning a simulation) in long-lived programs that create many engines;
+// the engine must not be running. Processes are unwound via a recovered
+// panic, so their deferred functions still execute.
 func (e *Engine) Shutdown() {
 	if e.running {
 		panic("sim: Shutdown while engine is running")
@@ -409,39 +615,43 @@ func (e *Engine) Shutdown() {
 	for _, p := range e.procs {
 		if p.state == procBlocked || p.state == procNew {
 			p.killed = true
+			p.parkedTo = e.parked
 			p.resume <- struct{}{}
 			<-e.parked
 		}
 	}
 	e.events = nil
+	e.stopWorkers()
 }
 
 // BlockedProcs returns the names of all currently blocked non-daemon
 // processes (useful after a TimeLimitError to diagnose livelock).
 func (e *Engine) BlockedProcs() []string {
-	var out []string
-	for _, p := range e.procs {
-		if p.state == procBlocked && !p.daemon {
-			out = append(out, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
-		}
-	}
-	sort.Strings(out)
-	return out
+	return e.blockedNonDaemons()
 }
 
 // Resumes returns how many times any process has been resumed, the engine's
 // monotone progress counter. The Watchdog samples it to tell "working" from
 // "wedged": events that fire without ever resuming a process make no
-// application progress.
+// application progress. In sharded mode it is exact at serial instants
+// (which is when the Watchdog reads it).
 func (e *Engine) Resumes() uint64 { return e.resumes }
 
-// PendingEvents returns the number of scheduled events not yet executed.
-func (e *Engine) PendingEvents() int { return e.events.Len() }
+// PendingEvents returns the number of scheduled events not yet executed,
+// across the global lane and every shard.
+func (e *Engine) PendingEvents() int {
+	n := e.events.Len()
+	for _, ln := range e.lanes {
+		n += ln.heap.Len()
+	}
+	return n
+}
 
-// Halt requests that the run loop stop before executing its next event and
-// return err from Run/RunUntil. It is how the Watchdog aborts a wedged
-// simulation: the engine state stays consistent, so Shutdown still works.
-// Calling it outside a run (or with nil) is harmless.
+// Halt requests that the run loop stop before executing its next event (or,
+// sharded, before dispatching the next window) and return err from
+// Run/RunUntil. It is how the Watchdog aborts a wedged simulation: the
+// engine state stays consistent, so Shutdown still works. Calling it outside
+// a run (or with nil) is harmless.
 func (e *Engine) Halt(err error) { e.halt = err }
 
 // liveNonDaemons counts non-daemon processes that have not finished.

@@ -34,12 +34,20 @@ func (r Result) Series() *stats.Series {
 	return &stats.Series{Label: r.Label, X: r.X, Y: r.Y}
 }
 
-// ExecOptions carries per-sweep observability attachments into the executor.
+// ExecOptions carries per-sweep execution knobs into the executor. Nothing
+// here may change a point's result — options deliberately do not participate
+// in cache keys.
 type ExecOptions struct {
 	// Trace, when non-nil, receives every run's spans; the point index is
 	// used as the trace process id. Tracing implies a serial pool (the
 	// tracer is not goroutine-safe), which Runner.Run enforces.
 	Trace *obs.Tracer
+	// Shards is the simulation kernel's conservative-parallel shard count
+	// for every executed point (<= 1 serial). Results are bit-identical for
+	// every value — the sharded-kernel determinism contract
+	// (docs/PARALLELISM.md) — which is why cached results stay valid across
+	// shard counts.
+	Shards int
 }
 
 // Execute runs one point to completion and returns its result. It is a pure
@@ -114,6 +122,7 @@ func Execute(p Point, opts ExecOptions) Result {
 			Aggregation:     p.Agg == "on",
 			AdaptiveCredits: p.Adapt == "on",
 			Heal:            p.Heal == "on",
+			Shards:          opts.Shards,
 		}
 		if p.Op == "fadd" {
 			cfg.Op = figures.OpFetchAdd

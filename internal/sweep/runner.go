@@ -82,6 +82,11 @@ type Runner struct {
 	// goroutine-safe, so a non-nil Trace forces a serial pool and, because
 	// a cache hit would silently drop the run's spans, bypasses the cache.
 	Trace *obs.Tracer
+	// Shards is the per-point simulation kernel shard count, forwarded to
+	// the executor via ExecOptions (<= 1 serial). It multiplies with
+	// Workers: Workers points run concurrently, each on Shards lanes.
+	// Results and cache keys are unaffected (bit-identical contract).
+	Shards int
 	// Exec overrides the point executor (tests); nil uses Execute.
 	Exec func(Point, ExecOptions) Result
 }
@@ -177,7 +182,7 @@ func (r *Runner) runPoint(p Point) (res Result) {
 		exec = Execute
 	}
 	start := time.Now()
-	res = exec(p, ExecOptions{Trace: r.Trace})
+	res = exec(p, ExecOptions{Trace: r.Trace, Shards: r.Shards})
 	res.WallNS = time.Since(start).Nanoseconds()
 	if useCache && res.Err == "" {
 		r.cacheStore(res)

@@ -1,0 +1,38 @@
+package sweep_test
+
+// Driver-level shard determinism: Execute must return bit-identical
+// Results at every shard count for every experiment the sweep layer can
+// run — fig5 (analytic, trivially shard-free), the fig6/fig7 contention
+// grid and the chaos harness. The figure-level suites in internal/figures
+// compare full series and ledgers; this test pins the sweep executor's
+// view of the same contract (docs/PARALLELISM.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"armcivt/internal/sweep"
+)
+
+func TestExecuteShardDeterminism(t *testing.T) {
+	points := []sweep.Point{
+		{Experiment: sweep.ExpMemscale, Topo: "MFCG", PPN: 12, Procs: 768},
+		{Experiment: sweep.ExpContention, Topo: "MFCG", Nodes: 32, PPN: 2,
+			Op: "fadd", Level: "20", Iters: 5, SampleEvery: 4},
+		{Experiment: sweep.ExpChaos, Topo: "CFCG", Nodes: 27, PPN: 2,
+			Crashes: 2, Heal: "on", Seed: 3},
+	}
+	for _, p := range points {
+		p := p
+		t.Run(p.Experiment+"/"+p.Topo, func(t *testing.T) {
+			serial := sweep.Execute(p, sweep.ExecOptions{Shards: 1})
+			if serial.Err != "" {
+				t.Fatalf("serial: %s", serial.Err)
+			}
+			sharded := sweep.Execute(p, sweep.ExecOptions{Shards: 8})
+			if got, want := fmt.Sprintf("%+v", sharded), fmt.Sprintf("%+v", serial); got != want {
+				t.Fatalf("shards=8 result diverges from serial:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
