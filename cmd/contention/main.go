@@ -29,13 +29,18 @@
 // only when the schedule contains node: crash-stop faults — without them the
 // flag is a documented no-op and the output is bit-identical.
 //
+// With -overload, the runtime arms the overload-protection layer (ECN-style
+// congestion marking, AIMD injection pacing, the graceful-degradation
+// ladder — see docs/OVERLOAD.md); the pacing_* and shed_* counters appear in
+// the -metrics snapshot.
+//
 // Usage:
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
 //	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
 //	           [-j N] [-cache DIR] [-csv] [-metrics]
 //	           [-trace FILE [-trace-sched]] [-faults SPEC] [-heal]
-//	           [-window N] [-agg] [-adaptive]
+//	           [-window N] [-agg] [-adaptive] [-overload]
 package main
 
 import (
@@ -71,6 +76,7 @@ func main() {
 	agg := flag.Bool("agg", false, "enable small-op aggregation in the runtime")
 	adaptive := flag.Bool("adaptive", false, "enable adaptive per-edge credit management")
 	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
+	overload := flag.Bool("overload", false, "enable the overload-protection layer: congestion marking, AIMD injection pacing and the degradation ladder (see docs/OVERLOAD.md)")
 	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 
@@ -129,6 +135,7 @@ func main() {
 		Aggs:        []string{onOff(*agg)},
 		Adapts:      []string{onOff(*adaptive)},
 		Heals:       []string{onOff(*heal)},
+		Overloads:   []string{onOff(*overload)},
 	}
 	for _, kind := range kinds {
 		if _, err := core.New(kind, *nodes); err != nil {
@@ -240,7 +247,7 @@ func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
 		VecSegLen: p.MsgSize, SampleEvery: p.SampleEvery,
 		StreamLimit: p.StreamLimit, Seed: p.EffectiveSeed(),
 		Window: p.Window, Aggregation: p.Agg == "on", AdaptiveCredits: p.Adapt == "on",
-		Heal:  p.Heal == "on",
+		Heal: p.Heal == "on", Overload: p.Overload == "on",
 		Trace: opts.Trace, TracePID: p.Index, TraceSched: true,
 	}
 	if p.Op == "fadd" {

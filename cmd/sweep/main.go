@@ -20,6 +20,10 @@
 //	sweep -preset chaos -j 8          crash/recover chaos grid, healing
 //	                                  off vs on, three schedules per cell
 //	sweep -preset chaos-ci            the reduced chaos grid CI smokes
+//	sweep -preset overload -j 8       incast-storm overload grid, protection
+//	                                  off vs on across storm intensities
+//	                                  and tenant mixes
+//	sweep -preset overload-ci         the reduced overload grid CI smokes
 //
 // Custom grids compose any axes, e.g. a topology × message-size × fault
 // sweep:
@@ -37,7 +41,7 @@
 //
 // Usage:
 //
-//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci|chaos|chaos-ci]
+//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci|chaos|chaos-ci|overload|overload-ci]
 //	      [-grid SPEC] [-j N]
 //	      [-cache DIR] [-bench FILE] [-csv] [-metrics] [-trace FILE]
 //	      [-progress] [-list] [-assert-agg]
@@ -75,10 +79,17 @@ var presets = map[string]string{
 	// per-PR smoke: one schedule per topology at the acceptance scale.
 	"chaos":    "exp=chaos;nodes=64;ppn=2;iters=20;crashes=1,2,3;heal=off,on;seeds=1,2,3",
 	"chaos-ci": "exp=chaos;nodes=64;ppn=2;iters=10;crashes=3;heal=off,on;seeds=1",
+	// overload runs the incast-storm harness across storm intensities and
+	// tenant mixes, protection off and on: the off arm shows goodput
+	// collapsing as storms stack up, the on arm holds it (figures.Overload
+	// asserts the protection invariants per point). overload-ci is the
+	// per-PR smoke: one storm intensity, both arms.
+	"overload":    "exp=overload;nodes=64;ppn=2;iters=32;storm=1,2,4;tenants=2,4;overload=off,on",
+	"overload-ci": "exp=overload;nodes=64;ppn=2;iters=16;storm=2;tenants=2;overload=off,on",
 }
 
 func main() {
-	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, or chaos-ci")
+	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci")
 	gridSpec := flag.String("grid", "", "grid spec (see docs/SWEEP.md); overrides -preset")
 	j := flag.Int("j", runtime.NumCPU(), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", ".sweep-cache", "result cache directory ('' disables caching)")
@@ -100,7 +111,7 @@ func main() {
 		}
 		var ok bool
 		if spec, ok = presets[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, or chaos-ci)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci)\n", name)
 			os.Exit(2)
 		}
 	}

@@ -18,12 +18,14 @@
 // runs execute under the given fault schedule (grammar in docs/FAULTS.md),
 // exercising the timeout/retry/reroute machinery; -heal arms heartbeat
 // membership and topology self-healing for those runs (a bit-identical
-// no-op unless the schedule contains node: crash-stop faults).
+// no-op unless the schedule contains node: crash-stop faults); -overload
+// arms the overload-protection layer (congestion marking, AIMD injection
+// pacing and the degradation ladder — see docs/OVERLOAD.md).
 //
 // Usage:
 //
 //	vtreport [-quick|-full] [-j N] [-metrics] [-trace FILE] [-faults SPEC]
-//	         [-heal] > report.md
+//	         [-heal] [-overload] > report.md
 package main
 
 import (
@@ -106,6 +108,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write contention runs as one Chrome-trace JSON file (forces -j 1)")
 	faultSpec := flag.String("faults", "", "fault schedule for the contention runs (see docs/FAULTS.md)")
 	heal := flag.Bool("heal", false, "enable heartbeat membership and topology self-healing (no-op without node: faults)")
+	overload := flag.Bool("overload", false, "enable the overload-protection layer for the contention runs (see docs/OVERLOAD.md)")
 	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	flag.Parse()
 	s := quickScale()
@@ -173,7 +176,8 @@ func main() {
 					SampleEvery:    s.contention.SampleEvery,
 					StreamLimit:    s.contention.StreamLimit,
 					Faults:         *faultSpec,
-					Heal:           healToggle(*heal),
+					Heal:           toggle(*heal),
+					Overload:       toggle(*overload),
 					Metrics:        *metrics,
 				})
 			}
@@ -236,9 +240,10 @@ func main() {
 
 func section(w io.Writer, title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
 
-// healToggle renders the -heal flag as the Point's canonical toggle value:
-// "on" or, for off, the empty string that keeps pre-existing cache keys.
-func healToggle(b bool) string {
+// toggle renders a boolean flag (-heal, -overload) as the Point's canonical
+// toggle value: "on" or, for off, the empty string that keeps pre-existing
+// cache keys.
+func toggle(b bool) string {
 	if b {
 		return "on"
 	}

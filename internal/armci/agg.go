@@ -81,9 +81,14 @@ func batchSubs(req *request) []*request {
 // ---------- Origin-side aggregation ----------
 
 // submit injects an operation's chunks, diverting batchable chunks through
-// the rank's per-target aggregation buffer when aggregation is enabled.
+// the rank's per-target aggregation buffer when aggregation is enabled. With
+// overload protection armed, admission control runs first: a shed operation
+// completes with *OverloadError and injects nothing (see overload.go).
 func (r *Rank) submit(reqs []*request, h *Handle) {
 	rt := r.rt
+	if rt.overloadArmed && !r.admit(reqs, h) {
+		return
+	}
 	for i, req := range reqs {
 		req.h, req.chunk = h, i
 		if rt.cfg.Agg.Enabled && rt.cfg.batchable(req) {
@@ -108,7 +113,7 @@ func (r *Rank) aggAdd(req *request, targetNode int) {
 		for _, s := range cur {
 			wire += subWireOf(s)
 		}
-		if len(cur) >= cfg.Agg.MaxOps || wire+subWireOf(req) > cfg.BufSize {
+		if len(cur) >= r.rt.effMaxOps(r.node, targetNode) || wire+subWireOf(req) > cfg.BufSize {
 			r.flushAgg(targetNode)
 		}
 	}

@@ -105,8 +105,13 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 			// Unpack at the target: sub-ops apply back-to-back in rid
 			// (issue) order — atomically in virtual time, since the CHT
 			// is serial — with dedup per sub. The whole batch occupied
-			// one buffer, so one finish returns one credit.
+			// one buffer, so one finish returns one credit. A CE mark on
+			// the batch packet marks every sub: they all crossed the
+			// congested port together.
 			for _, sub := range req.subs {
+				if req.ce {
+					sub.ce = true
+				}
 				ns.deliver(p, sub)
 			}
 			ns.finish(req, req.prevNode)
@@ -336,12 +341,16 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 	flat := req.flatOff
 	size := respBytes + len(payload)
 	deliver := func() {
+		if h.chunkComplete(chunk) {
+			return // duplicate or raced response: completion is idempotent
+		}
 		if payload != nil {
 			copy(h.data[flat:flat+len(payload)], payload)
 		}
 		if req.kind == opRmw || req.kind == opSwap {
 			h.old = old
 		}
+		rt.st(req.originNode).Completions++
 		h.completeChunkAt(chunk)
 	}
 	if req.originNode == ns.id {
@@ -351,10 +360,14 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 		return
 	}
 	origin := req.originNode
-	rt.net.Send(ns.id, origin, size, func() {
+	rt.net.SendMarked(ns.id, origin, size, func(ce bool) {
 		// Responses count as proof of life too, when origin and target
 		// happen to be neighbors (no-op otherwise).
 		rt.nodes[origin].heard(ns.id)
+		// Echo congestion back to the origin's pacer: the request-path mark
+		// (req.ce) or a mark picked up by the response itself both count
+		// (no-op unless overload protection is armed).
+		rt.nodes[origin].onAck(ns.id, req.ce || ce, req.issued)
 		deliver()
 	})
 }

@@ -173,6 +173,13 @@ type Config struct {
 	// changes, so the Figure 5 memory scaling is unaffected. The zero value
 	// (disabled) changes nothing. See AdaptiveConfig.
 	Adaptive AdaptiveConfig
+	// Overload configures the overload-protection layer: ECN-style
+	// congestion marks from the fabric drive origin-side AIMD injection
+	// pacing, and a graceful-degradation ladder paces, coalesces and finally
+	// sheds traffic instead of collapsing under a hot-spot storm. The zero
+	// value (disabled) leaves every protocol path bit-identical. See
+	// OverloadConfig and docs/OVERLOAD.md.
+	Overload OverloadConfig
 
 	// Metrics, when non-nil, enables the observability layer: the runtime
 	// records credit-pool wait times, CHT inbox depths and per-node CHT
@@ -263,6 +270,115 @@ type AdaptiveConfig struct {
 	// same in-edge (default 10 us), rate-limiting the control traffic.
 	Cooldown sim.Time
 }
+
+// OverloadConfig parameterizes the overload-protection layer.
+//
+// The fabric stamps an ECN-style congestion-experienced (CE) mark on any
+// message whose queue delay at a link or ejection-port reservation reaches
+// CongestionThreshold, and the target echoes the mark on the operation's
+// response. Each origin node keeps one AIMD pacer per destination node: a
+// marked response multiplies the pacer's inter-op gap (additive-increase /
+// multiplicative-decrease in rate terms), a clean response shrinks it
+// additively, and ranks sleep the gap out before injecting toward that
+// destination.
+//
+// The pacer gap positions each destination on a graceful-degradation
+// ladder, evaluated per op at admission:
+//
+//	rung 0  gap == 0            healthy; admit untouched
+//	rung 1  gap > 0             pace: delay injection by the gap
+//	rung 2  gap >= CoalesceAt   coalesce harder: aggregation batches up to
+//	                            4x Agg.MaxOps sub-ops toward this node
+//	rung 3  gap >= ShedAt       shed: reject ops of priority class > 0
+//
+// Independent of the ladder, admission control rejects any op when the
+// rank's incomplete-handle count reaches Budget, and — when the rank set a
+// deadline — any op whose pacing delay plus minimum round-trip already
+// overruns it. Rejected ops fail their Handle with *OverloadError
+// immediately, never enter the network, and are tallied in the per-origin
+// shed ledger (Stats.ShedOps/ShedBudget/ShedDeadline/ShedClass).
+//
+// Lock/Unlock are exempt from admission: shedding half of a lock/unlock
+// pair would wedge the mutex holder, and mutex traffic is not part of the
+// data-plane storms this layer protects against.
+//
+// Enabling overload protection arms aggregation with its defaults if it was
+// off — the ladder's coalesce rung rides the existing aggregation engine —
+// and propagates CongestionThreshold to the fabric.
+type OverloadConfig struct {
+	// Enabled turns overload protection on. Off (the default) is
+	// bit-identical to the unprotected protocol.
+	Enabled bool
+	// CongestionThreshold is the fabric queue delay that stamps a CE mark
+	// (default 10 us), or the occupancy signal of an ejection port past
+	// half its stream limit. The default sits just above the serialization
+	// of a few back-to-back aggregated batches: early marks are the whole
+	// game, because fabric ports price each message's serialization at
+	// arrival — backlog admitted before the first cut stays priced at the
+	// congested rate no matter how hard origins back off afterwards.
+	// Propagated to fabric.Config.CongestionThreshold.
+	CongestionThreshold sim.Time
+	// PaceFloor is both a fresh pacer's starting gap (slow-start pacing: an
+	// unknown destination is paced gently until its first responses prove
+	// the path clean) and the gap a fully decayed pacer reopens to on a CE
+	// mark (default 1 us).
+	PaceFloor sim.Time
+	// PaceCeil caps the gap (default 5 ms). The ceiling bounds the worst
+	// per-destination backoff; it must be deep enough that the whole origin
+	// population backed off to it injects below the congested port's drain
+	// rate, or pacing cannot clear a standing backlog.
+	PaceCeil sim.Time
+	// PaceDecay is the additive gap shrink per clean response (default
+	// 250 ns) — the counterpart of TCP's additive increase; deeply
+	// backed-off pacers recover through DecayHalflife instead.
+	PaceDecay sim.Time
+	// PaceBackoff is the multiplicative gap growth applied on a CE-marked
+	// response, at most once per gap interval so one congestion episode does
+	// not compound through every ack it marked (default 2.0; must be >= 1).
+	PaceBackoff float64
+	// SlamRTT is the round-trip delay past which a CE-marked response is
+	// treated as evidence of a standing backlog rather than transient
+	// contention: the pacer jumps straight to PaceCeil instead of doubling
+	// toward it. Doubling converges in a few steps, but each step costs one
+	// round trip *through the backlog being reported* — multi-millisecond
+	// when a port has collapsed — so gradual backoff discovers the
+	// drain-capable gap long after the run is lost (the pacing analogue of
+	// TCP collapsing its window on a retransmission timeout). The default,
+	// 50 us, is 2x the CE marking threshold: it must sit just above the
+	// healthy round trip, because a port's stream penalty can engage at a
+	// queue depth whose delay is far smaller than the backlog the penalty
+	// then builds.
+	SlamRTT sim.Time
+	// DecayHalflife halves a pacer's gap per elapsed interval of virtual
+	// time since the last backoff, independent of response arrivals
+	// (default 500 us). Clean-response decay alone cannot
+	// recover a deeply backed-off pacer promptly: at a multi-millisecond
+	// gap it sees one response per gap, so recovery would take a geometric
+	// sum of gaps. Time-based decay re-probes a slammed destination within
+	// a few halflives regardless of how little traffic is flowing.
+	DecayHalflife sim.Time
+	// Budget caps a rank's incomplete operation handles; ops beyond it are
+	// shed with reason "budget" (default 256).
+	Budget int
+	// CoalesceAt is the gap at which the ladder's coalesce rung engages
+	// (default PaceCeil/4).
+	CoalesceAt sim.Time
+	// ShedAt is the gap at which class shedding engages (default
+	// PaceCeil/2).
+	ShedAt sim.Time
+}
+
+// Overload defaults, applied when Overload.Enabled is set.
+const (
+	DefaultCongestionThreshold = 10 * sim.Microsecond
+	DefaultPaceFloor           = 1 * sim.Microsecond
+	DefaultPaceCeil            = 5 * sim.Millisecond
+	DefaultPaceDecay           = 250 * sim.Nanosecond
+	DefaultPaceBackoff         = 2.0
+	DefaultSlamRTT             = 50 * sim.Microsecond
+	DefaultDecayHalflife       = 500 * sim.Microsecond
+	DefaultOverloadBudget      = 256
+)
 
 // HealConfig parameterizes crash-stop failure detection and recovery.
 //
@@ -362,7 +478,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("armci: BufSize %d too small (need >= 256 for headers)", c.BufSize)
 	}
 	if c.BufsPerProc < 0 {
-		return fmt.Errorf("armci: BufsPerProc must be >= 1, got %d", c.BufsPerProc)
+		return fmt.Errorf("armci: BufsPerProc must not be negative, got %d", c.BufsPerProc)
 	}
 	for _, f := range []struct {
 		name string
@@ -377,10 +493,40 @@ func (c Config) Validate() error {
 		{"CreditTimeout", c.CreditTimeout},
 		{"Heal.HeartbeatInterval", c.Heal.HeartbeatInterval},
 		{"Heal.SuspicionTimeout", c.Heal.SuspicionTimeout},
+		{"Fabric.HopLatency", c.Fabric.HopLatency},
+		{"Fabric.SoftwareOverhead", c.Fabric.SoftwareOverhead},
+		{"Fabric.CongestionThreshold", c.Fabric.CongestionThreshold},
+		{"Fabric.LinkRetry", c.Fabric.LinkRetry},
+		{"Fabric.LinkStallLimit", c.Fabric.LinkStallLimit},
+		{"Overload.CongestionThreshold", c.Overload.CongestionThreshold},
+		{"Overload.PaceFloor", c.Overload.PaceFloor},
+		{"Overload.PaceCeil", c.Overload.PaceCeil},
+		{"Overload.PaceDecay", c.Overload.PaceDecay},
+		{"Overload.SlamRTT", c.Overload.SlamRTT},
+		{"Overload.DecayHalflife", c.Overload.DecayHalflife},
+		{"Overload.CoalesceAt", c.Overload.CoalesceAt},
+		{"Overload.ShedAt", c.Overload.ShedAt},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("armci: %s must not be negative, got %v", f.name, f.v)
 		}
+	}
+	if c.Fabric.LinkBandwidth < 0 || c.Fabric.NICBandwidth < 0 || c.Fabric.StreamPenalty < 0 {
+		return fmt.Errorf("armci: Fabric rates must not be negative (LinkBandwidth=%g, NICBandwidth=%g, StreamPenalty=%g)",
+			c.Fabric.LinkBandwidth, c.Fabric.NICBandwidth, c.Fabric.StreamPenalty)
+	}
+	if c.Fabric.StreamLimit < 0 {
+		return fmt.Errorf("armci: Fabric.StreamLimit must not be negative, got %d", c.Fabric.StreamLimit)
+	}
+	if c.Overload.Budget < 0 {
+		return fmt.Errorf("armci: Overload.Budget must not be negative, got %d", c.Overload.Budget)
+	}
+	if c.Overload.PaceBackoff != 0 && c.Overload.PaceBackoff < 1 {
+		return fmt.Errorf("armci: Overload.PaceBackoff must be >= 1, got %g", c.Overload.PaceBackoff)
+	}
+	if c.Overload.CoalesceAt != 0 && c.Overload.ShedAt != 0 && c.Overload.CoalesceAt > c.Overload.ShedAt {
+		return fmt.Errorf("armci: Overload.CoalesceAt %v exceeds ShedAt %v (the ladder's rungs must be ordered)",
+			c.Overload.CoalesceAt, c.Overload.ShedAt)
 	}
 	if c.CHTPerByte < 0 || c.LocalPerByte < 0 {
 		return fmt.Errorf("armci: per-byte costs must not be negative (CHTPerByte=%g, LocalPerByte=%g)",
@@ -487,6 +633,46 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.RetryBackoff == 0 {
 			c.RetryBackoff = DefaultRetryBackoff
+		}
+	}
+	if c.Overload.Enabled {
+		if c.Overload.CongestionThreshold == 0 {
+			c.Overload.CongestionThreshold = DefaultCongestionThreshold
+		}
+		if c.Overload.PaceFloor == 0 {
+			c.Overload.PaceFloor = DefaultPaceFloor
+		}
+		if c.Overload.PaceCeil == 0 {
+			c.Overload.PaceCeil = DefaultPaceCeil
+		}
+		if c.Overload.PaceDecay == 0 {
+			c.Overload.PaceDecay = DefaultPaceDecay
+		}
+		if c.Overload.PaceBackoff == 0 {
+			c.Overload.PaceBackoff = DefaultPaceBackoff
+		}
+		if c.Overload.SlamRTT == 0 {
+			c.Overload.SlamRTT = DefaultSlamRTT
+		}
+		if c.Overload.DecayHalflife == 0 {
+			c.Overload.DecayHalflife = DefaultDecayHalflife
+		}
+		if c.Overload.Budget == 0 {
+			c.Overload.Budget = DefaultOverloadBudget
+		}
+		if c.Overload.CoalesceAt == 0 {
+			c.Overload.CoalesceAt = c.Overload.PaceCeil / 4
+		}
+		if c.Overload.ShedAt == 0 {
+			c.Overload.ShedAt = c.Overload.PaceCeil / 2
+		}
+		// The ladder's coalesce rung rides the aggregation engine; arm it
+		// with defaults when the caller left it off.
+		c.Agg.Enabled = true
+		// CE marks originate in the fabric; hand it the threshold unless the
+		// caller tuned the fabric directly.
+		if c.Fabric.CongestionThreshold == 0 {
+			c.Fabric.CongestionThreshold = c.Overload.CongestionThreshold
 		}
 	}
 	if c.Agg.Enabled {

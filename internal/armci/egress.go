@@ -196,7 +196,7 @@ func (eg *egress) gather(head *pendingSend) []*pendingSend {
 			continue
 		}
 		if !coalescable(cfg, ps.req) ||
-			ops+subCount(ps.req) > cfg.Agg.MaxOps ||
+			ops+subCount(ps.req) > eg.rt.effMaxOps(eg.from, tn) ||
 			wire+subWireOf(ps.req) > cfg.BufSize {
 			break
 		}
@@ -290,7 +290,15 @@ func (eg *egress) transmit(req *request) {
 	req.prevNode = eg.from
 	dst := eg.rt.nodes[eg.to]
 	eg.rt.st(eg.from).Requests++
-	eg.rt.net.Send(eg.from, eg.to, req.wire, func() { dst.enqueue(req) })
+	// A CE mark picked up on any hop of the walk sticks to the request and
+	// rides it to the target, where the response echoes it to the origin
+	// (respond). With CongestionThreshold unset nothing ever marks.
+	eg.rt.net.SendMarked(eg.from, eg.to, req.wire, func(ce bool) {
+		if ce {
+			req.ce = true
+		}
+		dst.enqueue(req)
+	})
 }
 
 // inUse reports credits currently consumed (buffers occupied at the peer).

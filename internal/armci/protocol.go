@@ -89,6 +89,11 @@ type request struct {
 	// handle/rid/chunk, so completion, dedup and retry act per sub-op.
 	subs []*request
 
+	// ce records that this request crossed a congestion-experienced port on
+	// its way to the target (fabric ECN marking); the response echoes it to
+	// the origin's pacer. Never set unless Fabric.CongestionThreshold > 0.
+	ce bool
+
 	// Resilience fields, populated only when Config.RequestTimeout > 0.
 	chunk   int      // index into the handle's chunkDone bitset
 	rid     uint64   // runtime-unique request id, the target's dedup key

@@ -29,6 +29,12 @@ type Rank struct {
 	// collective-layer state (see collectives.go)
 	collSent map[int]int64
 	collRecv map[int]int64
+
+	// Overload-protection stamps applied to subsequently issued operations
+	// (SetOpClass / SetOpDeadline in overload.go); consulted only at
+	// admission, never carried on the wire.
+	opClass    int
+	opDeadline sim.Time
 }
 
 // Rank returns the process's global rank in [0, N).
@@ -179,10 +185,7 @@ func (r *Rank) NbGet(src int, alloc string, off, n int) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), n)
-	for i, req := range reqs {
-		req.h, req.chunk = h, i
-		r.send(req)
-	}
+	r.submit(reqs, h)
 	return r.track(h)
 }
 
@@ -315,10 +318,7 @@ func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
 		})
 	})
 	h := newHandle(rt.eng, len(reqs), total)
-	for i, req := range reqs {
-		req.h, req.chunk = h, i
-		r.send(req)
-	}
+	r.submit(reqs, h)
 	return r.track(h)
 }
 

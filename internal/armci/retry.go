@@ -21,6 +21,12 @@ import (
 // the origin node's own counter prefixed with the node id, so ids are
 // runtime-unique without any cross-node state.
 func (rt *Runtime) armTimeout(req *request, targetNode int) {
+	if rt.overloadArmed {
+		// The AIMD pacers compare each response's issue instant against
+		// their last backoff to discard stale congestion signal (see
+		// onAck); the stamp is origin-local and never travels on the wire.
+		req.issued = rt.eng.NowOn(req.originNode)
+	}
 	if rt.cfg.RequestTimeout <= 0 {
 		return
 	}

@@ -47,6 +47,10 @@ type Runtime struct {
 	// schedule contains node: faults — the only condition under which the
 	// membership monitors and self-healing run (see membership.go).
 	healArmed bool
+	// overloadArmed mirrors Config.Overload.Enabled: the admission, pacing
+	// and shedding paths (overload.go) run only when it is set, keeping
+	// unprotected runs bit-identical.
+	overloadArmed bool
 	// liveRanks counts rank processes still executing their body; the
 	// membership monitors stop re-arming when it reaches zero so the event
 	// queue can drain (the same termination rule sim.Watchdog uses).
@@ -89,6 +93,24 @@ type Stats struct {
 	StaleAcks        uint64   // credit acks swallowed after a crash/heal cycle
 	NodeAborts       uint64   // chunks aborted at a crashed origin or toward a dead target
 	MaxDetectLatency sim.Time // worst crash -> confirmation latency observed
+
+	// Completions counts request chunks completed at their origin by a
+	// response (remote ops; always counted). With ShedOps it is the goodput
+	// signal Runtime.GoodputSample feeds the watchdog collapse detector.
+	Completions uint64
+
+	// Overload-protection counters (zero unless Config.Overload.Enabled);
+	// together they are the per-origin shed ledger. See docs/OVERLOAD.md.
+	Admitted     uint64   // ops admitted past overload admission control
+	ShedOps      uint64   // ops rejected with *OverloadError (sum of the three below)
+	ShedBudget   uint64   // ... because the pending-op budget was exhausted
+	ShedDeadline uint64   // ... because pacing delay would overrun the op deadline
+	ShedClass    uint64   // ... because their priority class hit the ladder's shed rung
+	PaceWaits    uint64   // injections delayed by the AIMD pacer
+	PaceWaited   sim.Time // total virtual time spent in pacing delays
+	PaceBackoffs uint64   // multiplicative gap increases (CE-marked responses)
+	PaceSlams    uint64   // gap jumps straight to PaceCeil (SlamRTT exceeded)
+	CEAcks       uint64   // CE-marked responses observed at this origin
 }
 
 type nodeState struct {
@@ -128,6 +150,12 @@ type nodeState struct {
 	inNbrs    []int
 	inCap     map[int]int
 	lastShift map[int]sim.Time
+
+	// pacers holds this node's AIMD injection pacer per destination node
+	// (allocated only with Config.Overload.Enabled; see overload.go). Both
+	// updates (response arrivals) and reads (rank admission) run in this
+	// node's owner context.
+	pacers map[int]*pacer
 }
 
 // dupState is what the target remembers about a request id: whether it has
@@ -175,6 +203,7 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		allocs:   map[string]*allocation{},
 		faultInj: cfg.Faults,
 	}
+	rt.overloadArmed = cfg.Overload.Enabled
 	cfg.Faults.Instrument(cfg.Metrics, cfg.Trace, cfg.TracePID)
 	// Arm the kernel's conservative-parallel mode (a no-op beyond recording
 	// the lookahead when Shards <= 1): node ids are the scheduling owners,
@@ -201,6 +230,9 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		}
 		if cfg.RequestTimeout > 0 {
 			ns.rids = map[uint64]*dupState{}
+		}
+		if cfg.Overload.Enabled {
+			ns.pacers = map[int]*pacer{}
 		}
 		for _, peer := range rt.topo.Neighbors(n) {
 			ns.egress[peer] = newEgress(rt, n, peer, poolCap)
@@ -304,6 +336,17 @@ func (rt *Runtime) Stats() Stats {
 		s.CreditWriteOffs += n.CreditWriteOffs
 		s.StaleAcks += n.StaleAcks
 		s.NodeAborts += n.NodeAborts
+		s.Completions += n.Completions
+		s.Admitted += n.Admitted
+		s.ShedOps += n.ShedOps
+		s.ShedBudget += n.ShedBudget
+		s.ShedDeadline += n.ShedDeadline
+		s.ShedClass += n.ShedClass
+		s.PaceWaits += n.PaceWaits
+		s.PaceWaited += n.PaceWaited
+		s.PaceBackoffs += n.PaceBackoffs
+		s.PaceSlams += n.PaceSlams
+		s.CEAcks += n.CEAcks
 		if n.MaxDetectLatency > s.MaxDetectLatency {
 			s.MaxDetectLatency = n.MaxDetectLatency
 		}
@@ -317,6 +360,18 @@ func (rt *Runtime) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// GoodputSample returns the monotonic totals of completed and shed
+// operations across all origins — the sample function sim.Watchdog.SetGoodput
+// expects. It must be called from serial/coordinator context (the watchdog's
+// check event qualifies): it reads every node's stats block.
+func (rt *Runtime) GoodputSample() (completed, shed uint64) {
+	for i := range rt.nstats {
+		completed += rt.nstats[i].Completions
+		shed += rt.nstats[i].ShedOps
+	}
+	return completed, shed
 }
 
 // Alloc registers a global allocation: every rank gets bytes of remotely

@@ -27,6 +27,22 @@ func TestValidateRejects(t *testing.T) {
 		{"shrinking backoff", func(c *Config) { c.RetryBackoff = 0.5 }, "RetryBackoff"},
 		{"negative per-byte", func(c *Config) { c.CHTPerByte = -1 }, "CHTPerByte"},
 		{"topology mismatch", func(c *Config) { c.Topology = core.MustNew(core.FCG, 5) }, "topology"},
+		{"negative congestion threshold",
+			func(c *Config) { c.Overload.CongestionThreshold = -sim.Microsecond }, "Overload.CongestionThreshold"},
+		{"negative pace floor", func(c *Config) { c.Overload.PaceFloor = -sim.Microsecond }, "Overload.PaceFloor"},
+		{"negative pace ceil", func(c *Config) { c.Overload.PaceCeil = -sim.Millisecond }, "Overload.PaceCeil"},
+		{"negative pace decay", func(c *Config) { c.Overload.PaceDecay = -sim.Microsecond }, "Overload.PaceDecay"},
+		{"negative slam rtt", func(c *Config) { c.Overload.SlamRTT = -sim.Microsecond }, "Overload.SlamRTT"},
+		{"negative decay halflife",
+			func(c *Config) { c.Overload.DecayHalflife = -sim.Microsecond }, "Overload.DecayHalflife"},
+		{"negative coalesce rung", func(c *Config) { c.Overload.CoalesceAt = -sim.Microsecond }, "Overload.CoalesceAt"},
+		{"negative shed rung", func(c *Config) { c.Overload.ShedAt = -sim.Microsecond }, "Overload.ShedAt"},
+		{"negative budget", func(c *Config) { c.Overload.Budget = -1 }, "Overload.Budget"},
+		{"shrinking pace backoff", func(c *Config) { c.Overload.PaceBackoff = 0.5 }, "Overload.PaceBackoff"},
+		{"inverted ladder", func(c *Config) {
+			c.Overload.CoalesceAt = 2 * sim.Millisecond
+			c.Overload.ShedAt = sim.Millisecond
+		}, "Overload.CoalesceAt"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -68,6 +84,52 @@ func TestFaultsEnableResilienceDefaults(t *testing.T) {
 	if rt.cfg.MaxRetries != DefaultMaxRetries || rt.cfg.RetryBackoff != DefaultRetryBackoff {
 		t.Errorf("MaxRetries/RetryBackoff = %d/%v, want defaults %d/%v",
 			rt.cfg.MaxRetries, rt.cfg.RetryBackoff, DefaultMaxRetries, DefaultRetryBackoff)
+	}
+}
+
+func TestOverloadEnableAppliesDefaults(t *testing.T) {
+	eng := sim.New()
+	cfg := DefaultConfig(4, 1)
+	cfg.Overload.Enabled = true
+	rt, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := rt.cfg.Overload
+	if ov.CongestionThreshold != DefaultCongestionThreshold {
+		t.Errorf("CongestionThreshold = %v, want default %v", ov.CongestionThreshold, DefaultCongestionThreshold)
+	}
+	if ov.PaceFloor != DefaultPaceFloor || ov.PaceCeil != DefaultPaceCeil ||
+		ov.PaceDecay != DefaultPaceDecay || ov.PaceBackoff != DefaultPaceBackoff {
+		t.Errorf("pacing defaults = %+v", ov)
+	}
+	if ov.SlamRTT != DefaultSlamRTT || ov.DecayHalflife != DefaultDecayHalflife {
+		t.Errorf("SlamRTT/DecayHalflife = %v/%v, want defaults %v/%v",
+			ov.SlamRTT, ov.DecayHalflife, DefaultSlamRTT, DefaultDecayHalflife)
+	}
+	if ov.Budget != DefaultOverloadBudget {
+		t.Errorf("Budget = %d, want default %d", ov.Budget, DefaultOverloadBudget)
+	}
+	if ov.CoalesceAt != ov.PaceCeil/4 || ov.ShedAt != ov.PaceCeil/2 {
+		t.Errorf("ladder rungs = %v/%v, want PaceCeil/4 and PaceCeil/2", ov.CoalesceAt, ov.ShedAt)
+	}
+	if rt.cfg.Fabric.CongestionThreshold != ov.CongestionThreshold {
+		t.Errorf("fabric marking threshold %v not mirrored from overload config %v",
+			rt.cfg.Fabric.CongestionThreshold, ov.CongestionThreshold)
+	}
+}
+
+func TestOverloadDisabledLeavesFabricUnmarked(t *testing.T) {
+	eng := sim.New()
+	rt, err := New(eng, DefaultConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.cfg.Fabric.CongestionThreshold != 0 {
+		t.Errorf("overload-off config armed fabric marking: %v", rt.cfg.Fabric.CongestionThreshold)
+	}
+	if rt.overloadArmed {
+		t.Error("overload-off runtime is armed")
 	}
 }
 

@@ -45,10 +45,22 @@ type Config struct {
 	// adds 25% to a message's ejection time).
 	StreamPenalty float64
 
+	// CongestionThreshold, when positive, arms ECN-style congestion
+	// signaling: a message is stamped congestion-experienced when its FIFO
+	// queue delay at any link or ejection-port reservation reaches the
+	// threshold, or when it arrives at an ejection port already past its
+	// StreamLimit (the port's occupancy tracking reports overload before
+	// queue delay accumulates). SendMarked reports the mark to the delivery
+	// callback (the armci runtime echoes it to the origin on the response,
+	// driving AIMD injection pacing). Zero (the default) disables marking
+	// and leaves every code path bit-identical.
+	CongestionThreshold sim.Time
+
 	// Faults, when non-nil, makes routing and link traversal consult the
 	// injector: hard-failed links stall in-flight messages and steer fresh
 	// routes onto the opposite ring arc, degraded links stretch their
-	// serialization time. Nil (the default) leaves every code path
+	// serialization time, and storm bursts stretch a hot node's ejection
+	// serialization. Nil (the default) leaves every code path
 	// bit-identical to the fault-free model.
 	Faults *faults.Injector
 	// LinkRetry is how often a message parked at a failed link re-probes it.
@@ -143,6 +155,7 @@ type Stats struct {
 	Reroutes     uint64   // routes steered onto the long ring arc around a failure
 	Dropped      uint64   // messages dropped after LinkStallLimit at a failed link
 	NodeDrops    uint64   // messages dropped because their source or destination node crashed
+	CEMarks      uint64   // congestion-experienced marks stamped at hot links/ports (CongestionThreshold > 0)
 }
 
 // Network is a simulated torus interconnect for n nodes.
@@ -250,6 +263,7 @@ func (nw *Network) Stats() Stats {
 		out.Reroutes += s.Reroutes
 		out.Dropped += s.Dropped
 		out.NodeDrops += s.NodeDrops
+		out.CEMarks += s.CEMarks
 	}
 	return out
 }
@@ -427,6 +441,16 @@ func (nw *Network) routeFaultAware(src, dst int) []int {
 // node src) or from coordinator/serial context. Loopback (src == dst) pays
 // only the software overhead.
 func (nw *Network) Send(src, dst, size int, deliver func()) {
+	nw.SendMarked(src, dst, size, func(bool) { deliver() })
+}
+
+// SendMarked is Send with ECN-style congestion signaling: deliver receives
+// true when the message's queue delay at any link or ejection-port
+// reservation along the way reached Config.CongestionThreshold, or when the
+// destination's ejection port was past its StreamLimit as the message
+// arrived. With the threshold unset (zero) the mark is always false and the
+// schedule is bit-identical to Send.
+func (nw *Network) SendMarked(src, dst, size int, deliver func(ce bool)) {
 	if src < 0 || src >= nw.n || dst < 0 || dst >= nw.n {
 		panic(fmt.Sprintf("fabric: Send %d->%d out of range [0,%d)", src, dst, nw.n))
 	}
@@ -443,11 +467,11 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 					nw.stats[src].NodeDrops++
 					return
 				}
-				deliver()
+				deliver(false)
 			})
 			return
 		}
-		nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, deliver)
+		nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() { deliver(false) })
 		return
 	}
 	serLink := sim.Time(float64(size) / nw.cfg.LinkBandwidth)
@@ -473,8 +497,19 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 		start := nw.inj[src].reserve(now, serNIC)
 		nw.noteWait(src, start-now, nw.waitInj)
 		arrive := start + serNIC + nw.cfg.HopLatency
-		nw.walk(path, 0, src, arrive, serLink, serNIC, src, dst, deliver)
+		nw.walk(path, 0, src, arrive, serLink, serNIC, src, dst, false, deliver)
 	})
+}
+
+// marked reports whether a queue delay of wait at position pos crosses the
+// congestion threshold, counting the mark against pos. Disabled (threshold
+// zero) it is a single comparison and never marks.
+func (nw *Network) marked(pos int, wait sim.Time) bool {
+	if th := nw.cfg.CongestionThreshold; th > 0 && wait >= th {
+		nw.stats[pos].CEMarks++
+		return true
+	}
+	return false
 }
 
 // walk schedules the message's next step — traversal of link path[i], or
@@ -483,7 +518,7 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 // leaving); each step's event is owned by the position whose link or port it
 // reserves, so shard workers only ever touch their own links. Every step is
 // scheduled at least HopLatency ahead, the bound Lookahead() reports.
-func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, ce bool, deliver func(ce bool)) {
 	hop := dst
 	if i < len(path) {
 		hop = path[i] / 6
@@ -496,7 +531,7 @@ func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNI
 				a, b := nw.linkEnds(path[i])
 				if fi.LinkDown(a, b) {
 					nw.stats[hop].LinkStalls++
-					nw.stallAt(path, i, hop, now, now, serLink, serNIC, src, dst, deliver)
+					nw.stallAt(path, i, hop, now, now, serLink, serNIC, src, dst, ce, deliver)
 					return
 				}
 				if f := fi.LinkFactor(a, b); f < 1 {
@@ -505,7 +540,8 @@ func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNI
 			}
 			start := nw.links[path[i]].reserve(now, ser)
 			nw.noteWait(hop, start-now, nw.waitLink)
-			nw.walk(path, i+1, hop, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, deliver)
+			ce = nw.marked(hop, start-now) || ce
+			nw.walk(path, i+1, hop, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, ce, deliver)
 			return
 		}
 		// A crashed destination NIC ejects nothing: the message has
@@ -528,8 +564,28 @@ func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNI
 		if excess := len(srcs) - nw.cfg.StreamLimit; excess > 0 {
 			ser += sim.Time(float64(serNIC) * nw.cfg.StreamPenalty * float64(excess))
 		}
+		// RED-style early marking: the port's deterministic occupancy
+		// tracking stamps congestion-experienced once more than half the
+		// stream limit's worth of distinct sources are resident. Marking at
+		// half the penalty cliff — rather than at it — leaves origins a
+		// reaction round trip to widen their injection gaps before the
+		// stream-overload penalty engages; a signal that only fires once the
+		// penalty is already being paid arrives too late to prevent it.
+		if nw.cfg.CongestionThreshold > 0 && 2*len(srcs) > nw.cfg.StreamLimit {
+			st.CEMarks++
+			ce = true
+		}
+		// A storm fault saturates the node's ejection path with burst
+		// traffic from outside the model; every real transfer serializes
+		// slower while the burst window is open.
+		if fi := nw.cfg.Faults; fi != nil {
+			if f := fi.StormFactor(dst); f > 1 {
+				ser = sim.Time(float64(ser) * f)
+			}
+		}
 		start := nw.ej[dst].reserve(now, ser)
 		nw.noteWait(dst, start-now, nw.waitEj)
+		ce = nw.marked(dst, start-now) || ce
 		nw.eng.AtOn(dst, start+ser, func() {
 			if srcs[src] <= 1 {
 				delete(srcs, src)
@@ -542,7 +598,7 @@ func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNI
 				nw.stats[dst].NodeDrops++
 				return
 			}
-			deliver()
+			deliver(ce)
 		})
 	})
 }
@@ -553,11 +609,11 @@ func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNI
 // recorded — or LinkStallLimit elapses and the message is dropped. Dropping
 // instead of waiting forever keeps the event queue finite; the runtime's
 // request timeouts retransmit the payload.
-func (nw *Network) stallAt(path []int, i, pos int, now, since sim.Time, serLink, serNIC sim.Time, src, dst int, deliver func()) {
+func (nw *Network) stallAt(path []int, i, pos int, now, since sim.Time, serLink, serNIC sim.Time, src, dst int, ce bool, deliver func(ce bool)) {
 	a, b := nw.linkEnds(path[i])
 	if !nw.cfg.Faults.LinkDown(a, b) {
 		nw.noteWait(pos, now-since, nw.waitStall)
-		nw.walk(path, i, pos, now, serLink, serNIC, src, dst, deliver)
+		nw.walk(path, i, pos, now, serLink, serNIC, src, dst, ce, deliver)
 		return
 	}
 	if now-since >= nw.cfg.LinkStallLimit {
@@ -566,7 +622,7 @@ func (nw *Network) stallAt(path []int, i, pos int, now, since sim.Time, serLink,
 	}
 	retry := now + nw.cfg.LinkRetry
 	nw.eng.AtOn(pos, retry, func() {
-		nw.stallAt(path, i, pos, retry, since, serLink, serNIC, src, dst, deliver)
+		nw.stallAt(path, i, pos, retry, since, serLink, serNIC, src, dst, ce, deliver)
 	})
 }
 
@@ -649,6 +705,9 @@ func (nw *Network) FillMetrics() {
 	reg.Counter("fabric_reroutes_total").Add(float64(st.Reroutes))
 	reg.Counter("fabric_dropped_msgs_total").Add(float64(st.Dropped))
 	reg.Counter("fabric_node_drops_total").Add(float64(st.NodeDrops))
+	if nw.cfg.CongestionThreshold > 0 {
+		reg.Counter("fabric_ce_marks_total").Add(float64(st.CEMarks))
+	}
 
 	elapsed := nw.eng.Now()
 	util := func(busy sim.Time) float64 {

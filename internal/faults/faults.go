@@ -6,7 +6,8 @@
 //
 //   - package fabric asks LinkDown/LinkFactor when routing and when
 //     advancing a message hop by hop (fail-at-time, degrade-bandwidth and
-//     transient-flap link models);
+//     transient-flap link models), and StormFactor when ejecting (storm:
+//     hot-spot burst windows that stretch a node's ejection serialization);
 //   - package armci asks CHTStalled when choosing a next hop and parks a
 //     stalled helper thread on AwaitRepair (failed-intermediate model that
 //     its timeout/retry/reroute machinery recovers from);
@@ -51,6 +52,12 @@ const (
 	// in-flight operations die atomically at the activation time. A finite
 	// for= window models crash-recover; 0 is a permanent crash.
 	NodeCrash
+	// Storm is a deterministic hot-spot burst: over a bounded window the
+	// target node's ejection path alternates between burst (serialization
+	// stretched by 1/bw, as if saturated by traffic from outside the
+	// simulated job) and quiet half-periods. It degrades service without
+	// killing anything — the overload-protection model's natural stressor.
+	Storm
 )
 
 func (k Kind) String() string {
@@ -65,6 +72,8 @@ func (k Kind) String() string {
 		return "cht_stall"
 	case NodeCrash:
 		return "node_crash"
+	case Storm:
+		return "storm"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -85,9 +94,10 @@ type Fault struct {
 	// For is how long it lasts; 0 means permanent (LinkFlap requires a
 	// finite window and defaults it from Period).
 	For sim.Time
-	// Factor is LinkDegrade's bandwidth multiplier in (0,1).
+	// Factor is LinkDegrade's bandwidth multiplier in (0,1); Storm reuses it
+	// as the fraction of ejection bandwidth left to real traffic mid-burst.
 	Factor float64
-	// Period is LinkFlap's half-period: down for Period, up for Period.
+	// Period is the LinkFlap/Storm half-period: on for Period, off for Period.
 	Period sim.Time
 }
 
@@ -120,11 +130,16 @@ type Spec struct {
 //	cht:12@t=2ms@for=5ms        node 12's CHT stalls for 5ms
 //	node:5@t=1ms                node 5 crash-stops at t=1ms, permanently
 //	node:5@t=1ms@for=4ms        ... and recovers 4ms later
+//	storm:0@t=1ms@for=4ms@bw=0.2@period=200us
+//	                            node 0's ejection path bursts down to 20%
+//	                            bandwidth in 200us on/off windows for 4ms
 //	rand:8@seed=42@for=10ms     8 seeded random faults within 10ms
 //
 // Durations use Go syntax (time.ParseDuration). Clause keys: t (activation
-// time, default 0), for (duration, default permanent), bw (degrade factor),
-// period (flap half-period, default 100us), seed (rand, required).
+// time, default 0), for (duration, default permanent; storm defaults to 20
+// half-periods like flap), bw (degrade/storm factor in (0,1); storm defaults
+// 0.25), period (flap/storm half-period, default 100us), seed (rand,
+// required).
 func ParseSpec(s string) (*Spec, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -233,11 +248,13 @@ func (s *Spec) parseEntry(entry string) error {
 		f.Kind = CHTStall
 	case "node":
 		f.Kind = NodeCrash
+	case "storm":
+		f.Kind = Storm
 	default:
-		return fmt.Errorf("faults: entry %q: unknown kind %q (want link, degrade, flap, cht, node or rand)", entry, kindStr)
+		return fmt.Errorf("faults: entry %q: unknown kind %q (want link, degrade, flap, cht, node, storm or rand)", entry, kindStr)
 	}
 
-	if f.Kind == CHTStall || f.Kind == NodeCrash {
+	if f.Kind == CHTStall || f.Kind == NodeCrash || f.Kind == Storm {
 		n, err := strconv.Atoi(targetStr)
 		if err != nil || n < 0 {
 			return fmt.Errorf("faults: entry %q: target %q: %s wants a node id", entry, targetStr, kindStr)
@@ -292,6 +309,30 @@ func (s *Spec) parseEntry(entry string) error {
 				entry, toggles, maxFlapToggles)
 		}
 	}
+	if f.Kind == Storm {
+		if v, ok := clauses["bw"]; ok {
+			used["bw"] = true
+			f.Factor, err = strconv.ParseFloat(v, 64)
+			if err != nil || f.Factor <= 0 || f.Factor >= 1 {
+				return fmt.Errorf("faults: entry %q: storm factor must be in (0,1), got %q", entry, v)
+			}
+		} else {
+			f.Factor = 0.25
+		}
+		if f.Period, err = dur("period", 100*sim.Microsecond); err != nil {
+			return err
+		}
+		if f.Period <= 0 {
+			return fmt.Errorf("faults: entry %q: storm period must be positive", entry)
+		}
+		if f.For == 0 {
+			f.For = 20 * f.Period // bursting must end; default a finite window
+		}
+		if toggles := int64(f.For / f.Period); toggles > maxFlapToggles {
+			return fmt.Errorf("faults: entry %q: %d storm toggles exceed the %d cap (shorten for= or lengthen period=)",
+				entry, toggles, maxFlapToggles)
+		}
+	}
 	if err := checkUnused(); err != nil {
 		return err
 	}
@@ -330,15 +371,17 @@ func (f Fault) String() string {
 		fmt.Fprintf(&b, "cht:%d", f.A)
 	case NodeCrash:
 		fmt.Fprintf(&b, "node:%d", f.A)
+	case Storm:
+		fmt.Fprintf(&b, "storm:%d", f.A)
 	}
 	fmt.Fprintf(&b, "@t=%s", time.Duration(f.At))
 	if f.For > 0 {
 		fmt.Fprintf(&b, "@for=%s", time.Duration(f.For))
 	}
-	if f.Kind == LinkDegrade {
+	if f.Kind == LinkDegrade || f.Kind == Storm {
 		fmt.Fprintf(&b, "@bw=%s", strconv.FormatFloat(f.Factor, 'g', -1, 64))
 	}
-	if f.Kind == LinkFlap {
+	if f.Kind == LinkFlap || f.Kind == Storm {
 		fmt.Fprintf(&b, "@period=%s", time.Duration(f.Period))
 	}
 	return b.String()

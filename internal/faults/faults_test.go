@@ -25,6 +25,13 @@ func TestParseSpec(t *testing.T) {
 		{"node:5@t=1ms", Fault{Kind: NodeCrash, A: 5, B: -1, At: sim.Millisecond}},
 		{"node:5@t=1ms@for=4ms", Fault{Kind: NodeCrash, A: 5, B: -1, At: sim.Millisecond, For: 4 * sim.Millisecond}},
 		{"node:0", Fault{Kind: NodeCrash, A: 0, B: -1}},
+		{"storm:0@t=1ms@for=4ms@bw=0.2@period=200us",
+			Fault{Kind: Storm, A: 0, B: -1, At: sim.Millisecond, For: 4 * sim.Millisecond,
+				Factor: 0.2, Period: 200 * sim.Microsecond}},
+		// Bare storm picks up every default: bw 0.25, period 100us, a
+		// finite 20-half-period window.
+		{"storm:5", Fault{Kind: Storm, A: 5, B: -1, For: 2 * sim.Millisecond,
+			Factor: 0.25, Period: 100 * sim.Microsecond}},
 	}
 	for _, c := range cases {
 		spec, err := ParseSpec(c.in)
@@ -82,6 +89,12 @@ func TestParseSpecErrors(t *testing.T) {
 		"degrade:1-2@bw=0",           // factor out of range
 		"flap:1-2@period=0s",         // zero period
 		"flap:1-2@period=1us@for=1s", // toggle cap
+		"storm:x",                    // bad storm target
+		"storm:1-2",                  // storm wants a single node id
+		"storm:0@bw=1.5",             // factor out of range
+		"storm:0@bw=0",               // factor out of range
+		"storm:0@period=0s",          // zero period
+		"storm:0@period=1us@for=1s",  // toggle cap
 		"rand:0@seed=1",
 		"rand:4",                      // missing seed
 		"rand:2@seed=1,rand:2@seed=2", // two rand batches
@@ -104,6 +117,8 @@ func TestParseSpecErrorsNameToken(t *testing.T) {
 		{"bogus:1-2", `"bogus"`},            // unknown kind
 		{"cht:x", `"x"`},                    // bad cht target
 		{"node:1-2", `"1-2"`},               // bad node target
+		{"storm:1-2", `"1-2"`},              // bad storm target
+		{"storm:0@bw=1.5", `"1.5"`},         // out-of-range storm factor
 		{"link:3", `"3"`},                   // malformed link target
 		{"link:3-x", `"3-x"`},               // bad link endpoint
 		{"rand:zero@seed=1", `"zero"`},      // bad rand count
@@ -134,7 +149,8 @@ func TestSpecStringRoundTrip(t *testing.T) {
 		"cht:12@t=2ms",
 		"node:5@t=1ms@for=4ms",
 		"node:0",
-		"link:0-1@t=250us,cht:3,node:2@t=1ms,rand:4@seed=-7@for=10ms",
+		"storm:0@t=1ms@for=4ms@bw=0.2@period=200us",
+		"link:0-1@t=250us,cht:3,storm:2@t=1ms@for=2ms@bw=0.5@period=50us,rand:4@seed=-7@for=10ms",
 	} {
 		spec := MustParseSpec(in)
 		again, err := ParseSpec(spec.String())
@@ -227,6 +243,42 @@ func TestInjectorFlapToggles(t *testing.T) {
 		if states[i] != want[i] {
 			t.Errorf("flap state %d = %v, want %v (all: %v)", i, states[i], want[i], states)
 		}
+	}
+}
+
+func TestInjectorStormBursts(t *testing.T) {
+	// A storm opens burst windows every other half-period, like flap, but
+	// stretches the node's ejection serialization (1/bw) instead of cutting a
+	// link — and it must never read as a crash, or membership would arm.
+	eng := sim.New()
+	in := NewInjector(eng, 4, MustParseSpec("storm:2@t=1ms@period=100us@for=250us@bw=0.25"))
+	if in.HasNodeFaults() {
+		t.Fatal("a storm must not count as a node fault")
+	}
+	type probe struct {
+		factor float64
+		down   bool
+	}
+	var got []probe
+	for _, at := range []sim.Time{999 * sim.Microsecond, 1050 * sim.Microsecond, 1150 * sim.Microsecond,
+		1249 * sim.Microsecond, 1300 * sim.Microsecond} {
+		at := at
+		eng.At(at, func() { got = append(got, probe{in.StormFactor(2), in.NodeDown(2)}) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []probe{{1, false}, {4, false}, {1, false}, {4, false}, {1, false}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("probe %d = %+v, want %+v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if in.StormFactor(1) != 1 {
+		t.Error("storm leaked onto an unfaulted node")
+	}
+	if in.Active() != 0 {
+		t.Errorf("Active = %d after the storm window closed", in.Active())
 	}
 }
 

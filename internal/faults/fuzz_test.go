@@ -20,6 +20,11 @@ func FuzzFaultSpec(f *testing.F) {
 	f.Add("node:3@t=1ms")
 	f.Add("node:3@t=1ms@for=2ms,cht:1")
 	f.Add("node:0,node:1@t=500us,node:0@t=1ms@for=1ms")
+	f.Add("storm:0@t=1ms@for=4ms@bw=0.2@period=200us")
+	f.Add("storm:3")
+	f.Add("storm:1@period=1us@for=1s")
+	f.Add("storm:2@bw=0.5,node:2@t=1ms,storm:2@t=2ms@for=1ms")
+	f.Add("storm:1-2")
 	f.Add("node:1-2")
 	f.Add("node:-1")
 	f.Add("link:1-2@bw=0.5")

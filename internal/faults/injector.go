@@ -37,6 +37,10 @@ type Injector struct {
 	nodeDown  map[int]int
 	crashedAt map[int]sim.Time
 	onNode    []func(node int, down bool)
+	// stormDown counts open storm burst windows per node; stormFactor holds
+	// the active ejection serialization stretch (1/bw) while any are open.
+	stormDown   map[int]int
+	stormFactor map[int]float64
 
 	injected           map[Kind]int
 	activations        uint64
@@ -52,16 +56,18 @@ type Injector struct {
 // eng. A nil spec yields an injector with no faults (all queries healthy).
 func NewInjector(eng *sim.Engine, nodes int, spec *Spec) *Injector {
 	in := &Injector{
-		eng:        eng,
-		nodes:      nodes,
-		faults:     spec.Expand(nodes),
-		linkDown:   map[[2]int]int{},
-		linkFactor: map[[2]int]float64{},
-		chtDown:    map[int]int{},
-		repair:     map[int]*sim.Event{},
-		nodeDown:   map[int]int{},
-		crashedAt:  map[int]sim.Time{},
-		injected:   map[Kind]int{},
+		eng:         eng,
+		nodes:       nodes,
+		faults:      spec.Expand(nodes),
+		linkDown:    map[[2]int]int{},
+		linkFactor:  map[[2]int]float64{},
+		chtDown:     map[int]int{},
+		repair:      map[int]*sim.Event{},
+		nodeDown:    map[int]int{},
+		crashedAt:   map[int]sim.Time{},
+		stormDown:   map[int]int{},
+		stormFactor: map[int]float64{},
+		injected:    map[Kind]int{},
 	}
 	for _, f := range in.faults {
 		in.injected[f.Kind]++
@@ -128,6 +134,17 @@ func (in *Injector) schedule(f Fault) {
 		if f.For > 0 {
 			in.eng.At(f.At+f.For, func() { in.setNode(f, -1) })
 		}
+	case Storm:
+		end := f.At + f.For
+		for t := f.At; t < end; t += 2 * f.Period {
+			on := t
+			off := on + f.Period
+			if off > end {
+				off = end
+			}
+			in.eng.At(on, func() { in.setStorm(f, +1) })
+			in.eng.At(off, func() { in.setStorm(f, -1) })
+		}
 	}
 }
 
@@ -187,6 +204,19 @@ func (in *Injector) setNode(f Fault, delta int) {
 	}
 }
 
+func (in *Injector) setStorm(f Fault, delta int) {
+	n := f.A
+	was := in.stormDown[n]
+	in.stormDown[n] = was + delta
+	if delta > 0 && was == 0 {
+		in.stormFactor[n] = 1 / f.Factor
+		in.note(true, fmt.Sprintf("storm %d bw=%g", n, f.Factor))
+	} else if delta < 0 && was+delta == 0 {
+		delete(in.stormFactor, n)
+		in.note(false, fmt.Sprintf("storm %d cleared", n))
+	}
+}
+
 // note records an activation (on) or repair transition.
 func (in *Injector) note(on bool, label string) {
 	if on {
@@ -229,6 +259,22 @@ func (in *Injector) NodeDown(node int) bool {
 		return false
 	}
 	return in.nodeDown[node] > 0
+}
+
+// StormFactor returns the ejection serialization stretch for node: 1 when
+// healthy, 1/bw while a storm burst window is open. The fabric multiplies
+// the node's ejection serialization time by it, modeling a hot-spot burst
+// saturating the NIC with traffic from outside the simulated job. Storm
+// faults degrade but never kill: they do not count as node faults
+// (HasNodeFaults stays false), so membership/healing stays unarmed.
+func (in *Injector) StormFactor(node int) float64 {
+	if in == nil {
+		return 1
+	}
+	if f, ok := in.stormFactor[node]; ok {
+		return f
+	}
+	return 1
 }
 
 // HasNodeFaults reports whether the expanded schedule contains any

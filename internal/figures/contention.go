@@ -73,6 +73,12 @@ type ContentionConfig struct {
 	// AdaptiveCredits enables adaptive per-edge credit management
 	// (armci.Config.Adaptive with defaults).
 	AdaptiveCredits bool
+	// Overload enables the overload-protection layer (armci.Config.Overload
+	// with defaults): ECN congestion marking, AIMD injection pacing and the
+	// degradation ladder of docs/OVERLOAD.md. The workload shape is
+	// unchanged — only the protocol under it. Note that enabling it also
+	// arms aggregation (the ladder's coalesce rung needs it).
+	Overload bool
 	// Shards runs the simulation kernel conservatively in parallel across
 	// this many topology-aware shards (armci.Config.Shards). Results are
 	// bit-identical for every value; 0 or 1 keeps the serial kernel. When
@@ -151,6 +157,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	}
 	cfg.Agg.Enabled = c.Aggregation
 	cfg.Adaptive.Enabled = c.AdaptiveCredits
+	cfg.Overload.Enabled = c.Overload
 	cfg.Shards = c.Shards
 	if c.Trace != nil {
 		cfg.Shards = 1

@@ -1,9 +1,10 @@
 package obs_test
 
 // Documentation-drift check: docs/OBSERVABILITY.md (baseline metrics),
-// docs/FAULTS.md (fault-injection and resilience metrics) and
-// docs/PARALLELISM.md (sharded-kernel execution counters) are together the
-// schema of record for every metric the repository emits. This test runs an
+// docs/FAULTS.md (fault-injection and resilience metrics),
+// docs/PARALLELISM.md (sharded-kernel execution counters) and
+// docs/OVERLOAD.md (congestion signaling, pacing and shed-ledger counters)
+// are together the schema of record for every metric the repository emits. This test runs an
 // instrumented workload that exercises every emitting layer (armci runtime +
 // fabric via FillMetrics, a faulted run for the resilience counters, plus
 // the core analysis gauges cmd/topoviz publishes) and fails if any
@@ -104,6 +105,30 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 	hrt.FillMetrics()
 	hrt.Shutdown()
 
+	// An overload-armed incast run adds the congestion-signaling, pacing and
+	// shed-ledger names (schema in docs/OVERLOAD.md): every rank hammers node
+	// 0 while a storm burst squeezes its ejection bandwidth, so CE marks flow
+	// and the AIMD pacers engage.
+	oeng := sim.New()
+	ocfg := armci.DefaultConfig(9, 2)
+	ocfg.Topology = core.MustNew(core.MFCG, 9)
+	ocfg.Metrics = reg
+	ocfg.Trace = obs.NewTracer()
+	ocfg.Overload.Enabled = true
+	ocfg.Faults = faults.NewInjector(oeng, 9,
+		faults.MustParseSpec("storm:0@t=20us@for=200us@bw=0.25@period=50us"))
+	ort := armci.MustNew(oeng, ocfg)
+	ort.Alloc("o", 1024)
+	if err := ort.Run(func(r *armci.Rank) {
+		for i := 0; i < 4; i++ {
+			r.Put(0, "o", 0, make([]byte, 512))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ort.FillMetrics()
+	ort.Shutdown()
+
 	// The core analysis gauges, exactly as cmd/topoviz publishes them.
 	tl := obs.L("topo", core.MFCG.String())
 	reg.Gauge("core_diameter_hops", tl).Set(float64(core.Diameter(topo)))
@@ -117,7 +142,7 @@ func allLayersRegistry(t *testing.T) *obs.Registry {
 
 func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 	var docs string
-	for _, path := range []string{"../../docs/OBSERVABILITY.md", "../../docs/FAULTS.md", "../../docs/PARALLELISM.md"} {
+	for _, path := range []string{"../../docs/OBSERVABILITY.md", "../../docs/FAULTS.md", "../../docs/PARALLELISM.md", "../../docs/OVERLOAD.md"} {
 		doc, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -131,7 +156,7 @@ func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 	}
 	for _, name := range names {
 		if !strings.Contains(docs, "`"+name+"`") {
-			t.Errorf("metric %q is emitted but documented in none of docs/OBSERVABILITY.md, docs/FAULTS.md, docs/PARALLELISM.md", name)
+			t.Errorf("metric %q is emitted but documented in none of docs/OBSERVABILITY.md, docs/FAULTS.md, docs/PARALLELISM.md, docs/OVERLOAD.md", name)
 		}
 	}
 }
@@ -154,6 +179,8 @@ func TestWorkloadCoversDocumentedTables(t *testing.T) {
 		"fabric_link_stalls_total",
 		"armci_membership_confirmed_total", "armci_membership_detect_latency_us",
 		"armci_heal_replays_total", "fabric_node_drops_total",
+		"fabric_ce_marks_total", "armci_overload_ce_acks_total",
+		"armci_pacing_waits_total", "armci_shed_total",
 	} {
 		if !have[want] {
 			t.Errorf("documented metric %q not emitted by the all-layers workload", want)

@@ -89,6 +89,10 @@ func groupKey(p Point) string {
 		// Crash count is the x-axis; heal on/off pairs share the table,
 		// distinguished by the +heal series label.
 		return fmt.Sprintf("%s|%d|%d", ExpChaos, p.Nodes, p.Iters)
+	case ExpOverload:
+		// Storm count is the x-axis; protection on/off pairs share the
+		// table, distinguished by the +protect series label.
+		return fmt.Sprintf("%s|%d|%d|%d", ExpOverload, p.Nodes, p.Iters, p.Tenants)
 	default:
 		// The protocol toggles (Agg/Adapt) are deliberately absent: an
 		// off/on pair shares one table, distinguished by series label.
@@ -103,6 +107,9 @@ func groupTitle(p Point, multiNodes, multiSizes bool) string {
 	}
 	if p.Experiment == ExpChaos {
 		return fmt.Sprintf("chaos: failed survivor ops vs crashes, %d nodes, %d ops/rank", p.Nodes, p.Iters)
+	}
+	if p.Experiment == ExpOverload {
+		return fmt.Sprintf("overload: goodput (ops/ms) vs storms, %d nodes, %d tenants", p.Nodes, p.Tenants)
 	}
 	opName := "vectored put"
 	if p.Op == "fadd" {
@@ -168,12 +175,15 @@ func Groups(results []Result) []Group {
 			if r.Point.Experiment == ExpChaos {
 				g.XLabel = "crashes"
 			}
+			if r.Point.Experiment == ExpOverload {
+				g.XLabel = "storms"
+			}
 			groups[key] = g
 			byLab[key] = map[string]*stats.Series{}
 			order = append(order, key)
 		}
 		switch r.Point.Experiment {
-		case ExpMemscale, ExpChaos:
+		case ExpMemscale, ExpChaos, ExpOverload:
 			s, ok := byLab[key][r.Label]
 			if !ok {
 				s = &stats.Series{Label: r.Label}
@@ -181,8 +191,11 @@ func Groups(results []Result) []Group {
 				g.Series = append(g.Series, s)
 			}
 			x := float64(r.Point.Procs)
-			if r.Point.Experiment == ExpChaos {
+			switch r.Point.Experiment {
+			case ExpChaos:
 				x = float64(r.Point.Crashes)
+			case ExpOverload:
+				x = float64(r.Point.Storms)
 			}
 			s.Add(x, r.Value)
 		default:

@@ -99,6 +99,45 @@ func Execute(p Point, opts ExecOptions) Result {
 		if reg != nil {
 			res.Snapshot = reg.Snapshot(fmt.Sprintf("metrics: chaos %s, %d crashes, heal %s", p.Topo, p.Crashes, onOff(p.Heal)))
 		}
+	case ExpOverload:
+		oc := figures.OverloadConfig{
+			Kind:       kind,
+			Nodes:      p.Nodes,
+			PPN:        p.PPN,
+			OpsPerRank: p.Iters,
+			Storms:     p.Storms,
+			Tenants:    p.Tenants,
+			Seed:       p.EffectiveSeed(),
+			Protect:    p.Overload == "on",
+			Shards:     opts.Shards,
+		}
+		var reg *obs.Registry
+		if p.Metrics {
+			reg = obs.NewRegistry()
+			oc.Metrics = reg
+		}
+		if opts.Trace != nil {
+			oc.Trace = opts.Trace
+			oc.TracePID = p.Index
+		}
+		ores, err := figures.Overload(oc)
+		if err != nil {
+			var werr *sim.WatchdogError
+			if errors.As(err, &werr) {
+				res.Err = werr.Report.String()
+			} else {
+				res.Err = err.Error()
+			}
+			return res
+		}
+		// The scalar of an overload point is its goodput (completed ops per
+		// virtual millisecond): the protected/unprotected pair at each storm
+		// intensity is the collapse comparison the merged table shows.
+		res.Value = ores.Goodput()
+		if reg != nil {
+			res.Snapshot = reg.Snapshot(fmt.Sprintf("metrics: overload %s, %d storms, %d tenants, protection %s",
+				p.Topo, p.Storms, p.Tenants, onOff(p.Overload)))
+		}
 	case ExpMemscale:
 		v, err := figures.Fig5Point(p.Procs, p.PPN, kind)
 		if err != nil {
@@ -122,6 +161,7 @@ func Execute(p Point, opts ExecOptions) Result {
 			Aggregation:     p.Agg == "on",
 			AdaptiveCredits: p.Adapt == "on",
 			Heal:            p.Heal == "on",
+			Overload:        p.Overload == "on",
 			Shards:          opts.Shards,
 		}
 		if p.Op == "fadd" {

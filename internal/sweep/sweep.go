@@ -32,6 +32,7 @@ const (
 	ExpContention = "contention" // Figs 6-7 hot-spot microbenchmark
 	ExpMemscale   = "memscale"   // Fig 5 memory scaling
 	ExpChaos      = "chaos"      // randomized crash/recover invariant harness
+	ExpOverload   = "overload"   // incast-storm overload-protection harness
 )
 
 // keySalt versions the cache-key derivation. Bump it whenever the meaning of
@@ -90,6 +91,19 @@ type Grid struct {
 	Crashes []int    // crash counts; default 3
 	Heals   []string // "off"/"on"; default on for chaos, off otherwise
 
+	// Storms, Tenants and Overloads drive the overload experiment: the
+	// storm-intensity axis (ejection-bandwidth bursts against the hot node),
+	// the tenant-mix axis, and whether the overload-protection layer is
+	// armed. overload=off,on runs every cell in both arms — the paired
+	// collapse comparison the experiment exists for, and its default.
+	// Overloads also applies to contention grids, where arming protection on
+	// an uncongested workload leaves results unchanged in substance (pacing
+	// only engages on CE marks) but not bit-identically — unlike heal=on,
+	// the fabric occupancy tracking does observe the marking threshold.
+	Storms    []int    // storm burst counts; default 2
+	Tenants   []int    // tenant counts; default 2
+	Overloads []string // "off"/"on"; default off,on for overload grids, off otherwise
+
 	Op          string // contention op: vput (default) or fadd
 	PPN         int    // processes per node; default 4 (memscale 12)
 	Iters       int    // iterations per measured process; default 20
@@ -121,8 +135,9 @@ func ParseGrid(spec string) (*Grid, error) {
 		var err error
 		switch key {
 		case "exp":
-			if val != ExpContention && val != ExpMemscale && val != ExpChaos {
-				return nil, fmt.Errorf("sweep: unknown experiment %q (want %s, %s or %s)", val, ExpContention, ExpMemscale, ExpChaos)
+			if val != ExpContention && val != ExpMemscale && val != ExpChaos && val != ExpOverload {
+				return nil, fmt.Errorf("sweep: unknown experiment %q (want %s, %s, %s or %s)",
+					val, ExpContention, ExpMemscale, ExpChaos, ExpOverload)
 			}
 			g.Experiment = val
 		case "op":
@@ -186,6 +201,12 @@ func ParseGrid(spec string) (*Grid, error) {
 			g.Crashes, err = parseIntList(val)
 		case "heal":
 			g.Heals, err = parseOnOffList(key, val)
+		case "storm":
+			g.Storms, err = parseIntList(val)
+		case "tenants":
+			g.Tenants, err = parseIntList(val)
+		case "overload":
+			g.Overloads, err = parseOnOffList(key, val)
 		case "reps":
 			g.Reps, err = strconv.Atoi(val)
 		default:
@@ -245,11 +266,14 @@ func (g Grid) withDefaults() Grid {
 		g.Levels = []string{"none", "11", "20"}
 	}
 	if len(g.Nodes) == 0 {
-		if g.Experiment == ExpChaos {
+		switch g.Experiment {
+		case ExpChaos:
 			// The chaos harness's acceptance scale; paper-scale contention
 			// grids would spend most of their time on heartbeats.
 			g.Nodes = []int{64}
-		} else {
+		case ExpOverload:
+			g.Nodes = []int{64} // the overload harness's calibration scale
+		default:
 			g.Nodes = []int{256}
 		}
 	}
@@ -280,6 +304,21 @@ func (g Grid) withDefaults() Grid {
 			g.Heals = []string{"off"}
 		}
 	}
+	if len(g.Storms) == 0 {
+		g.Storms = []int{2}
+	}
+	if len(g.Tenants) == 0 {
+		g.Tenants = []int{2}
+	}
+	if len(g.Overloads) == 0 {
+		if g.Experiment == ExpOverload {
+			g.Overloads = []string{"off", "on"}
+		} else {
+			// Off by default elsewhere: every pre-existing point (and cache
+			// key) stays untouched.
+			g.Overloads = []string{"off"}
+		}
+	}
 	if len(g.Procs) == 0 {
 		g.Procs = []int{768, 1536, 3072, 6144, 12288}
 	}
@@ -290,7 +329,7 @@ func (g Grid) withDefaults() Grid {
 		switch g.Experiment {
 		case ExpMemscale:
 			g.PPN = 12
-		case ExpChaos:
+		case ExpChaos, ExpOverload:
 			g.PPN = 2
 		default:
 			g.PPN = 4
@@ -346,6 +385,11 @@ type Point struct {
 	// cache-key rule as Agg/Adapt).
 	Crashes int    `json:"crashes,omitempty"`
 	Heal    string `json:"heal,omitempty"`
+	// Storms, Tenants and Overload define an overload point; Overload is the
+	// protection arm ("" off / "on", the usual omitempty cache-key rule).
+	Storms   int    `json:"storms,omitempty"`
+	Tenants  int    `json:"tenants,omitempty"`
+	Overload string `json:"overload,omitempty"`
 }
 
 // Key returns the point's content-addressed identity: the SHA-256 of the
@@ -373,6 +417,9 @@ func (p Point) Label() string {
 	}
 	if p.Heal == "on" {
 		l += "+heal"
+	}
+	if p.Overload == "on" {
+		l += "+protect"
 	}
 	if p.Seed != 0 && p.Seed != 1 {
 		l += fmt.Sprintf("/s%d", p.Seed)
@@ -437,6 +484,38 @@ func (g Grid) Expand() ([]Point, error) {
 				}
 			}
 		}
+	case ExpOverload:
+		for _, storms := range g.Storms {
+			for _, tenants := range g.Tenants {
+				for _, nodes := range g.Nodes {
+					for _, seed := range g.Seeds {
+						for rep := 0; rep < g.Reps; rep++ {
+							for _, ovl := range g.Overloads {
+								for _, topo := range g.Topos {
+									kind, err := core.ParseKind(topo)
+									if err != nil {
+										return nil, err
+									}
+									if _, err := core.New(kind, nodes); err != nil {
+										continue
+									}
+									o := ovl
+									if o == "off" {
+										o = ""
+									}
+									add(Point{
+										Experiment: ExpOverload, Topo: topo,
+										Nodes: nodes, PPN: g.PPN, Iters: g.Iters,
+										Storms: storms, Tenants: tenants, Overload: o,
+										Seed: seed, Rep: rep, Metrics: g.Metrics,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
 	case ExpMemscale:
 		for _, topo := range g.Topos {
 			kind, err := core.ParseKind(topo)
@@ -470,43 +549,48 @@ func (g Grid) Expand() ([]Point, error) {
 								for _, agg := range g.Aggs {
 									for _, adapt := range g.Adapts {
 										for _, heal := range g.Heals {
-											for _, topo := range g.Topos {
-												kind, err := core.ParseKind(topo)
-												if err != nil {
-													return nil, err
+											for _, ovl := range g.Overloads {
+												for _, topo := range g.Topos {
+													kind, err := core.ParseKind(topo)
+													if err != nil {
+														return nil, err
+													}
+													if _, err := core.New(kind, nodes); err != nil {
+														continue
+													}
+													f := fault
+													if f == "none" {
+														f = ""
+													}
+													// "off" canonicalizes to the empty
+													// string so pre-aggregation cache
+													// keys stay valid.
+													a, ad, h, o := agg, adapt, heal, ovl
+													if a == "off" {
+														a = ""
+													}
+													if ad == "off" {
+														ad = ""
+													}
+													if h == "off" {
+														h = ""
+													}
+													if o == "off" {
+														o = ""
+													}
+													add(Point{
+														Experiment: ExpContention, Topo: topo,
+														Nodes: nodes, PPN: g.PPN, Op: g.Op,
+														Level: level, ContenderEvery: every,
+														Iters: g.Iters, SampleEvery: g.SampleEvery,
+														StreamLimit: g.StreamLimit,
+														VecSegs:     g.VecSegs, MsgSize: size,
+														Faults: f, Seed: seed, Rep: rep,
+														Metrics: g.Metrics,
+														Window:  g.Window, Agg: a, Adapt: ad,
+														Heal: h, Overload: o,
+													})
 												}
-												if _, err := core.New(kind, nodes); err != nil {
-													continue
-												}
-												f := fault
-												if f == "none" {
-													f = ""
-												}
-												// "off" canonicalizes to the empty
-												// string so pre-aggregation cache
-												// keys stay valid.
-												a, ad, h := agg, adapt, heal
-												if a == "off" {
-													a = ""
-												}
-												if ad == "off" {
-													ad = ""
-												}
-												if h == "off" {
-													h = ""
-												}
-												add(Point{
-													Experiment: ExpContention, Topo: topo,
-													Nodes: nodes, PPN: g.PPN, Op: g.Op,
-													Level: level, ContenderEvery: every,
-													Iters: g.Iters, SampleEvery: g.SampleEvery,
-													StreamLimit: g.StreamLimit,
-													VecSegs:     g.VecSegs, MsgSize: size,
-													Faults: f, Seed: seed, Rep: rep,
-													Metrics: g.Metrics,
-													Window:  g.Window, Agg: a, Adapt: ad,
-													Heal: h,
-												})
 											}
 										}
 									}
