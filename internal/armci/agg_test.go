@@ -247,19 +247,20 @@ func TestAdaptiveShiftsUnderHotSpot(t *testing.T) {
 	}
 	pool := cfg.PPN * cfg.BufsPerProc
 	ac := rt.Config().Adaptive
-	for _, ns := range rt.nodes {
+	for n := range rt.nodes {
+		ns := &rt.nodes[n]
 		if ns.inCap == nil {
 			continue
 		}
 		total := 0
-		for peer, cap := range ns.inCap {
+		for i, cap := range ns.inCap {
 			total += cap
 			if cap < ac.Floor || cap > ac.Ceiling {
 				t.Errorf("node %d in-edge %d capacity %d outside [%d,%d]",
-					ns.id, peer, cap, ac.Floor, ac.Ceiling)
+					ns.id, ns.nbrs[i], cap, ac.Floor, ac.Ceiling)
 			}
 		}
-		if want := len(ns.inNbrs) * pool; total != want {
+		if want := len(ns.nbrs) * pool; total != want {
 			t.Errorf("node %d total in-edge capacity %d, want %d (memory invariant)",
 				ns.id, total, want)
 		}

@@ -14,11 +14,16 @@ func (ns *nodeState) enqueue(req *request) {
 		// Every arriving request is proof of life from its upstream peer
 		// (no-op unless healing is armed).
 		ns.heard(req.prevNode)
-		ns.pendingBySrc[req.prevNode]++
+		// prevNode is always a direct neighbor (requests only arrive over
+		// edges), so the sorted-neighbor index is its per-edge slot.
+		i := ns.nbrIdx(req.prevNode)
+		if ns.pendingBySrc[i]++; ns.pendingBySrc[i] == 1 {
+			ns.pendingSrcs++
+		}
 		// Adaptive credit management triggers at the receiver: an in-edge
 		// whose every buffer is now occupied is saturated, so try to shift
 		// a buffer toward it from the coldest in-edge (credits.go).
-		if ns.rt.cfg.Adaptive.Enabled && ns.pendingBySrc[req.prevNode] >= ns.inCap[req.prevNode] {
+		if ns.rt.cfg.Adaptive.Enabled && int(ns.pendingBySrc[i]) >= ns.inCap[i] {
 			ns.maybeShift(req.prevNode)
 		}
 	}
@@ -57,7 +62,7 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 		}
 		targetNode := req.target / rt.cfg.PPN
 		moved := ns.serviceBytes(req, targetNode)
-		srcs := len(ns.pendingBySrc)
+		srcs := ns.pendingSrcs
 		if srcs > rt.cfg.CHTPollCap {
 			srcs = rt.cfg.CHTPollCap
 		}
@@ -94,11 +99,9 @@ func (ns *nodeState) chtLoop(p *sim.Proc) {
 				continue
 			}
 			rt.st(ns.id).Forwards++
-			prev := req.prevNode
-			eg.submitForward(req, func() {
-				// The request has left this node: free its buffer.
-				ns.finish(req, prev)
-			})
+			// When the request leaves this node (transmission, possibly after
+			// parking on a credit), finish(req, prev) frees its buffer here.
+			eg.submitForward(req, ns, req.prevNode)
 			continue
 		}
 		if req.kind == opBatch {
@@ -130,7 +133,7 @@ func (ns *nodeState) deliver(p *sim.Proc, req *request) {
 			ns.handleDup(p, req, rec)
 			return
 		}
-		ns.rids[req.rid] = &dupState{}
+		ns.rids[req.rid] = dupState{}
 	}
 	ns.handle(p, req)
 }
@@ -141,7 +144,7 @@ func (ns *nodeState) deliver(p *sim.Proc, req *request) {
 // the original has responded, only the completion is re-sent (with the
 // remembered rmw old value), otherwise the original is still in flight here
 // and the duplicate is simply dropped.
-func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec *dupState) {
+func (ns *nodeState) handleDup(p *sim.Proc, req *request, rec dupState) {
 	ns.rt.st(ns.id).DupDrops++
 	switch req.kind {
 	case opGet, opGetV:
@@ -193,10 +196,9 @@ func (ns *nodeState) finish(req *request, prev int) {
 	if prev < 0 {
 		return // locally injected (same-node mutex path): no buffer held
 	}
-	if n := ns.pendingBySrc[prev]; n <= 1 {
-		delete(ns.pendingBySrc, prev)
-	} else {
-		ns.pendingBySrc[prev] = n - 1
+	i := ns.nbrIdx(prev)
+	if ns.pendingBySrc[i]--; ns.pendingBySrc[i] == 0 {
+		ns.pendingSrcs--
 	}
 	ns.rt.returnCredit(ns.id, prev)
 }
@@ -231,12 +233,12 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 	rt := ns.rt
 	switch req.kind {
 	case opPut:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		copy(mem[req.off:req.off+len(req.data)], req.data)
 		ns.respond(req, nil, 0)
 
 	case opPutV:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		pos := 0
 		for _, s := range req.segs {
 			copy(mem[s.Off:s.Off+s.Len], req.data[pos:pos+s.Len])
@@ -245,7 +247,7 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 		ns.respond(req, nil, 0)
 
 	case opAcc:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		for i := 0; i+8 <= len(req.data); i += 8 {
 			v := GetFloat64(mem, req.off+i) + req.scale*GetFloat64(req.data, i)
 			PutFloat64(mem, req.off+i, v)
@@ -253,13 +255,13 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 		ns.respond(req, nil, 0)
 
 	case opGet:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		out := make([]byte, req.getBytes)
 		copy(out, mem[req.off:req.off+req.getBytes])
 		ns.respond(req, out, 0)
 
 	case opGetV:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		out := make([]byte, segsBytes(req.segs))
 		pos := 0
 		for _, s := range req.segs {
@@ -269,19 +271,19 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 		ns.respond(req, out, 0)
 
 	case opRmw:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		old := GetInt64(mem, req.off)
 		PutInt64(mem, req.off, old+req.delta)
 		ns.respond(req, nil, old)
 
 	case opSwap:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		old := GetInt64(mem, req.off)
 		PutInt64(mem, req.off, req.delta)
 		ns.respond(req, nil, old)
 
 	case opAccV:
-		mem := rt.alloc(req.alloc).mem[req.target]
+		mem := rt.alloc(req.alloc).slab(req.target)
 		pos := 0
 		for _, s := range req.segs {
 			for b := 0; b < s.Len; b += 8 {
@@ -324,8 +326,11 @@ func (ns *nodeState) handle(p *sim.Proc, req *request) {
 	}
 }
 
-// respond completes one chunk at the origin: get payloads are copied into
-// the handle's buffer at the chunk's flat offset, rmw carries the old value.
+// respond completes one chunk at the origin: the response parameters ride
+// the request record itself (respData/respOld/respFrom) through the pooled
+// delivery trampolines (respFn / respLocalFn), and completeResp applies them
+// — get payloads copied into the handle's buffer at the chunk's flat offset,
+// rmw carrying the old value — with no closure allocated per response.
 func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 	rt := ns.rt
 	if ns.rids != nil && req.rid != 0 {
@@ -335,39 +340,20 @@ func (ns *nodeState) respond(req *request, payload []byte, old int64) {
 			// re-applying the operation.
 			rec.responded = true
 			rec.old = old
+			ns.rids[req.rid] = rec
 		}
 	}
-	h, chunk := req.h, req.chunk
-	flat := req.flatOff
+	req.respData = payload
+	req.respOld = old
 	size := respBytes + len(payload)
-	deliver := func() {
-		if h.chunkComplete(chunk) {
-			return // duplicate or raced response: completion is idempotent
-		}
-		if payload != nil {
-			copy(h.data[flat:flat+len(payload)], payload)
-		}
-		if req.kind == opRmw || req.kind == opSwap {
-			h.old = old
-		}
-		rt.st(req.originNode).Completions++
-		h.completeChunkAt(chunk)
-	}
 	if req.originNode == ns.id {
 		// Same-node response through shared memory (stays in this node's
 		// owner context — the handle belongs to one of this node's ranks).
-		rt.eng.AfterOn(ns.id, rt.cfg.LocalLatency, deliver)
+		rt.eng.AfterOnArg(ns.id, rt.cfg.LocalLatency, rt.respLocalFn, req)
 		return
 	}
-	origin := req.originNode
-	rt.net.SendMarked(ns.id, origin, size, func(ce bool) {
-		// Responses count as proof of life too, when origin and target
-		// happen to be neighbors (no-op otherwise).
-		rt.nodes[origin].heard(ns.id)
-		// Echo congestion back to the origin's pacer: the request-path mark
-		// (req.ce) or a mark picked up by the response itself both count
-		// (no-op unless overload protection is armed).
-		rt.nodes[origin].onAck(ns.id, req.ce || ce, req.issued)
-		deliver()
-	})
+	// At the origin, respFn also credits proof of life and echoes congestion
+	// (req.ce or a mark picked up by the response itself) into the pacer.
+	req.respFrom = ns.id
+	rt.net.SendArg(ns.id, req.originNode, size, rt.respFn, req)
 }

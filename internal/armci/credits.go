@@ -19,33 +19,36 @@ func (ns *nodeState) maybeShift(hot int) {
 	rt := ns.rt
 	ac := rt.cfg.Adaptive
 	now := rt.eng.NowOn(ns.id)
-	if t, ok := ns.lastShift[hot]; ok && now-t < ac.Cooldown {
+	hi := ns.nbrIdx(hot)
+	// lastShift entries start at neverShifted, so an edge that has never
+	// shifted is always outside the cooldown window.
+	if now-ns.lastShift[hi] < ac.Cooldown {
 		return
 	}
-	if ns.inCap[hot] >= ac.Ceiling {
+	if ns.inCap[hi] >= ac.Ceiling {
 		return
 	}
-	donor, bestFree := -1, 0
-	for _, peer := range ns.inNbrs {
-		if peer == hot || ns.inCap[peer] <= ac.Floor {
+	donor, di, bestFree := -1, -1, 0
+	for i, peer := range ns.nbrs {
+		if peer == hot || ns.inCap[i] <= ac.Floor {
 			continue
 		}
-		if t, ok := ns.lastShift[peer]; ok && now-t < ac.Cooldown {
+		if now-ns.lastShift[i] < ac.Cooldown {
 			continue
 		}
 		// The donor keeps MinFree free buffers after giving one up.
-		free := ns.inCap[peer] - ns.pendingBySrc[peer]
+		free := ns.inCap[i] - int(ns.pendingBySrc[i])
 		if free >= ac.MinFree+1 && free > bestFree {
-			donor, bestFree = peer, free
+			donor, di, bestFree = peer, i, free
 		}
 	}
 	if donor < 0 {
 		return
 	}
-	ns.inCap[donor]--
-	ns.inCap[hot]++
-	ns.lastShift[donor] = now
-	ns.lastShift[hot] = now
+	ns.inCap[di]--
+	ns.inCap[hi]++
+	ns.lastShift[di] = now
+	ns.lastShift[hi] = now
 	rt.st(ns.id).CreditShifts++
 	// Control messages ride the fabric like credit acks: the donor sender
 	// shrinks its pool (or swallows the next returning credit), the hot
@@ -61,7 +64,7 @@ func (ns *nodeState) maybeShift(hot int) {
 	if o := rt.obs; o != nil && o.tr != nil {
 		o.tr.Instant(fmt.Sprintf("credit shift %d->%d at node %d", donor, hot, ns.id),
 			"credit", o.pid, ns.id, now, map[string]any{
-				"donor_cap": ns.inCap[donor], "hot_cap": ns.inCap[hot],
+				"donor_cap": ns.inCap[di], "hot_cap": ns.inCap[hi],
 			})
 	}
 }

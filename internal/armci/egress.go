@@ -23,6 +23,10 @@ import (
 // dimension order makes the buffer wait-for graph acyclic. A CHT that
 // head-of-line blocked on one stalled forward would couple all of a node's
 // buffer classes and deadlock even under LDF.
+//
+// Egresses live by value in Runtime.egArena, node-major in sorted-neighbor
+// order: a node's out-edge state is one contiguous run of the slab, found by
+// index arithmetic (nodeState.egAt), not a per-node map.
 type egress struct {
 	rt       *Runtime
 	from, to int
@@ -31,6 +35,9 @@ type egress struct {
 	// at start, adjusted by adaptive grant/revoke messages (credits.go).
 	capacity int
 	pending  []*pendingSend
+	// label caches the formatted deadlock-report label for parked origin
+	// sends (formatted at most once per edge, not once per wait).
+	label string
 	// peakInUse is the most buffers ever simultaneously occupied at the
 	// peer over this edge; tracked only when observability is enabled.
 	peakInUse int
@@ -50,18 +57,34 @@ type egress struct {
 	transmits     uint64 // progress signal for the regen check
 }
 
+// pendingSend is one send parked on an egress waiting for a buffer credit.
+// Records recycle through their node's free list (nodeState.psFree), so a
+// congested edge churns no heap objects: an origin send embeds its completion
+// gate by value, a CHT forward instead carries the owner/prev pair finish()
+// needs when the request finally leaves, and freed guards the free list
+// against double release.
 type pendingSend struct {
 	req *request
-	// sent fires when the request is transmitted (nil for forwards, which
-	// signal through onSend instead).
-	sent *sim.Event
-	// onSend runs at transmission time (credit-return for forwards).
-	onSend func()
-	enq    sim.Time
+	// gate is armed (hasGate true) for origin sends: the issuing rank waits
+	// on it and releases the record itself after Wait returns — drain never
+	// recycles a record a parked waiter could still observe.
+	gate    sim.Gate
+	hasGate bool
+	// fwdOwner/fwdPrev are set for CHT forwards: at transmission,
+	// fwdOwner.finish(req, fwdPrev) releases the upstream request buffer.
+	fwdOwner *nodeState
+	fwdPrev  int
+	enq      sim.Time
+	freed    bool
 }
 
-func newEgress(rt *Runtime, from, to, credits int) *egress {
-	return &egress{rt: rt, from: from, to: to, credits: credits, capacity: credits}
+// creditLabel returns the deadlock-report label for sends parked on this
+// edge, formatting it on first use.
+func (eg *egress) creditLabel() string {
+	if eg.label == "" {
+		eg.label = fmt.Sprintf("credits %d->%d", eg.from, eg.to)
+	}
+	return eg.label
 }
 
 // submitRank transmits an origin request, blocking the rank's process until
@@ -75,30 +98,75 @@ func (eg *egress) submitRank(p *sim.Proc, req *request) {
 		return
 	}
 	eg.rt.st(eg.from).CreditWaits++
-	ps := &pendingSend{
-		req:  req,
-		sent: sim.NewEvent(eg.rt.eng, fmt.Sprintf("credits %d->%d", eg.from, eg.to)),
-		enq:  eg.rt.eng.NowOn(eg.from),
-	}
+	ns := &eg.rt.nodes[eg.from]
+	ps := ns.getPS()
+	ps.req = req
+	ps.hasGate = true
+	ps.gate.Init(eg.rt.eng, eg.creditLabel())
+	ps.enq = eg.rt.eng.NowOn(eg.from)
 	eg.pending = append(eg.pending, ps)
 	eg.maybeArmRegen()
-	ps.sent.Wait(p) // wait time is accounted in release()
+	ps.gate.Wait(p) // wait time is accounted in drain()
+	ns.putPS(ps)    // the waiter owns the release — see putPS
 }
 
-// submitForward transmits a CHT forward without blocking; onSend runs when
-// the request actually leaves this node (releasing the upstream buffer).
-func (eg *egress) submitForward(req *request, onSend func()) {
+// submitForward transmits a CHT forward without blocking. owner (with prev)
+// identifies the upstream buffer to release when the request actually leaves
+// this node — owner.finish(req, prev) runs at transmission; a nil owner (the
+// retransmission path) skips it.
+func (eg *egress) submitForward(req *request, owner *nodeState, prev int) {
 	if len(eg.pending) == 0 && eg.credits > 0 {
 		eg.transmit(req)
 		if o := eg.rt.obs; o != nil {
 			o.creditWait.Observe(0)
 		}
-		onSend()
+		if owner != nil {
+			owner.finish(req, prev)
+		}
 		return
 	}
 	eg.rt.st(eg.from).CreditWaits++
-	eg.pending = append(eg.pending, &pendingSend{req: req, onSend: onSend, enq: eg.rt.eng.NowOn(eg.from)})
+	ps := eg.rt.nodes[eg.from].getPS()
+	ps.req = req
+	ps.fwdOwner = owner
+	ps.fwdPrev = prev
+	ps.enq = eg.rt.eng.NowOn(eg.from)
+	eg.pending = append(eg.pending, ps)
 	eg.maybeArmRegen()
+}
+
+// submitParked re-submits a send that already holds its pendingSend record —
+// the healing path replaying a parked send through a replacement forwarder
+// (membership.go). It counts like a fresh submission (CreditWaits, enq) so a
+// healed run's accounting matches one that never parked on the dead edge.
+func (eg *egress) submitParked(ps *pendingSend) {
+	if len(eg.pending) == 0 && eg.credits > 0 {
+		eg.transmit(ps.req)
+		if o := eg.rt.obs; o != nil {
+			o.creditWait.Observe(0)
+		}
+		eg.rt.nodes[eg.from].completeParked(ps)
+		return
+	}
+	eg.rt.st(eg.from).CreditWaits++
+	ps.enq = eg.rt.eng.NowOn(eg.from)
+	eg.pending = append(eg.pending, ps)
+	eg.maybeArmRegen()
+}
+
+// completeParked runs a parked send's post-transmission (or abort) duties:
+// release the upstream buffer for forwards, wake the waiting rank for origin
+// sends. The record returns to the pool here only when no waiter can still
+// observe it — a gated record is released by its own waiter (submitRank).
+func (ns *nodeState) completeParked(ps *pendingSend) {
+	if ps.fwdOwner != nil {
+		ps.fwdOwner.finish(ps.req, ps.fwdPrev)
+	}
+	if ps.hasGate {
+		ps.gate.Fire()
+	} else {
+		ns.putPS(ps)
+	}
 }
 
 // release returns one buffer credit and drains the pending FIFO. A credit
@@ -126,12 +194,16 @@ func (eg *egress) release() {
 // reboots after its own crash and when the peer rejoins (its buffers were
 // reallocated from scratch). Capacity is kept — adaptive grants and revokes
 // describe the receiver's pool partition, which memory, not the crash,
-// owns.
+// owns. Forward records return to the pool; a gated record stays out (its
+// rank may still be parked on the gate — the crash path fires those).
 func (eg *egress) reset() {
 	eg.credits = eg.capacity
 	eg.revokeDebt = 0
 	eg.regenDebt = 0
-	for i := range eg.pending {
+	for i, ps := range eg.pending {
+		if !ps.hasGate {
+			eg.rt.nodes[eg.from].putPS(ps)
+		}
 		eg.pending[i] = nil
 	}
 	eg.pending = eg.pending[:0]
@@ -158,18 +230,14 @@ func (eg *egress) drain() {
 		}
 		eg.transmit(req)
 		now := eg.rt.eng.NowOn(eg.from)
+		owner := &eg.rt.nodes[eg.from]
 		for _, g := range group {
 			waited := now - g.enq
 			eg.rt.st(eg.from).CreditWaited += waited
 			if o := eg.rt.obs; o != nil {
 				o.creditWait.Observe(waited.Micros())
 			}
-			if g.onSend != nil {
-				g.onSend()
-			}
-			if g.sent != nil {
-				g.sent.Fire()
-			}
+			owner.completeParked(g)
 		}
 	}
 }
@@ -268,7 +336,9 @@ func (eg *egress) regenCheck(lastSeen uint64) {
 }
 
 // transmit consumes a credit and injects the request into the fabric toward
-// the peer's CHT.
+// the peer's CHT. Delivery rides the runtime's pooled trampoline (enqueueFn)
+// with the request itself as the argument — prevNode/nextNode stamped here
+// are the delivery context a closure used to capture.
 func (eg *egress) transmit(req *request) {
 	if eg.credits <= 0 {
 		panic(fmt.Sprintf("armci: egress %d->%d transmitting without credit", eg.from, eg.to))
@@ -288,17 +358,9 @@ func (eg *egress) transmit(req *request) {
 		}
 	}
 	req.prevNode = eg.from
-	dst := eg.rt.nodes[eg.to]
+	req.nextNode = eg.to
 	eg.rt.st(eg.from).Requests++
-	// A CE mark picked up on any hop of the walk sticks to the request and
-	// rides it to the target, where the response echoes it to the origin
-	// (respond). With CongestionThreshold unset nothing ever marks.
-	eg.rt.net.SendMarked(eg.from, eg.to, req.wire, func(ce bool) {
-		if ce {
-			req.ce = true
-		}
-		dst.enqueue(req)
-	})
+	eg.rt.net.SendArg(eg.from, eg.to, req.wire, eg.rt.enqueueFn, req)
 }
 
 // inUse reports credits currently consumed (buffers occupied at the peer).

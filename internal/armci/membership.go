@@ -152,7 +152,7 @@ func (ns *nodeState) monitorTick() {
 // swallowed as stale by release).
 func (ns *nodeState) rejoin(peer int) {
 	ns.rt.st(ns.id).Rejoins++
-	ns.egress[peer].reset()
+	ns.egAt(ns.nbrIdx(peer)).reset()
 	ns.rt.noteMembership("rejoin", ns.id, peer)
 }
 
@@ -162,7 +162,7 @@ func (ns *nodeState) rejoin(peer int) {
 // cannot overflow the pool).
 func (ns *nodeState) healDeadNeighbor(dead int) {
 	rt := ns.rt
-	eg := ns.egress[dead]
+	eg := ns.egAt(ns.nbrIdx(dead))
 	parked := eg.pending
 	eg.pending = nil
 	for _, ps := range parked {
@@ -184,20 +184,12 @@ func (ns *nodeState) healDeadNeighbor(dead int) {
 func (ns *nodeState) replayParked(ps *pendingSend, dead int) {
 	rt := ns.rt
 	req := ps.req
-	fire := func() {
-		if ps.onSend != nil {
-			ps.onSend()
-		}
-		if ps.sent != nil {
-			ps.sent.Fire()
-		}
-	}
 	targetNode := req.target / rt.cfg.PPN
 	hop, ok := core.ReplacementHop(rt.topo, ns.id, targetNode, ns.mv.isDead)
 	if !ok {
 		rt.st(ns.id).HealFails++
 		ns.failSubs(req, &NodeFailedError{Node: dead})
-		fire()
+		ns.completeParked(ps)
 		return
 	}
 	eg, err := rt.egressFor(ns.id, hop)
@@ -205,11 +197,11 @@ func (ns *nodeState) replayParked(ps *pendingSend, dead int) {
 		rt.st(ns.id).NoRoutes++
 		rt.st(ns.id).HealFails++
 		ns.failSubs(req, err)
-		fire()
+		ns.completeParked(ps)
 		return
 	}
 	rt.st(ns.id).HealReplays++
-	eg.submitForward(req, fire)
+	eg.submitParked(ps)
 }
 
 // recordDetection measures confirmation latency against the injector's
@@ -260,24 +252,29 @@ func (ns *nodeState) crashStop() {
 	rt := ns.rt
 	rt.noteMembership("crash", ns.id, ns.id)
 	ns.inbox.Clear()
-	for k := range ns.pendingBySrc {
-		delete(ns.pendingBySrc, k)
+	for i := range ns.pendingBySrc {
+		ns.pendingBySrc[i] = 0
 	}
-	for _, eg := range ns.egress {
-		for i, ps := range eg.pending {
+	ns.pendingSrcs = 0
+	for i := range ns.nbrs {
+		eg := ns.egAt(i)
+		for j, ps := range eg.pending {
 			// Unblock any of this node's ranks parked on a credit; their
-			// handles fail below. Forward onSend callbacks are dropped —
-			// the buffers they would release died with this node.
-			if ps.sent != nil {
-				ps.sent.Fire()
+			// handles fail below. Forward finish callbacks are dropped —
+			// the buffers they would release died with this node — and
+			// waiterless records go straight back to the pool.
+			if ps.hasGate {
+				ps.gate.Fire()
+			} else {
+				ns.putPS(ps)
 			}
-			eg.pending[i] = nil
+			eg.pending[j] = nil
 		}
 		eg.pending = eg.pending[:0]
 	}
 	err := &NodeFailedError{Node: ns.id}
 	for r := ns.id * rt.cfg.PPN; r < (ns.id+1)*rt.cfg.PPN; r++ {
-		rk := rt.ranks[r]
+		rk := &rt.ranks[r]
 		rk.agg = nil // buffered aggregation dies unflushed
 		for _, h := range rk.outstanding {
 			h.failAll(err)
@@ -291,8 +288,8 @@ func (ns *nodeState) crashStop() {
 // silence accumulated while it was down.
 func (ns *nodeState) recoverNode() {
 	rt := ns.rt
-	for _, eg := range ns.egress {
-		eg.reset()
+	for i := range ns.nbrs {
+		ns.egAt(i).reset()
 	}
 	if ns.mv != nil {
 		ns.mv.refresh(rt.eng.Now())

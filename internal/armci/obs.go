@@ -51,8 +51,8 @@ func newObsState(rt *Runtime) *obsState {
 			o.detectLat = o.reg.Histogram("armci_membership_detect_latency_us", obs.TimeBuckets)
 		}
 		rt.net.Instrument(o.reg)
-		for _, ns := range rt.nodes {
-			ns.inbox.OnDepth(func(d int) { o.inboxDepth.Observe(float64(d)) })
+		for i := range rt.nodes {
+			rt.nodes[i].inbox.OnDepth(func(d int) { o.inboxDepth.Observe(float64(d)) })
 		}
 	}
 	if o.tr != nil {
@@ -210,9 +210,10 @@ func (rt *Runtime) FillMetrics() {
 	// edge of the virtual topology, as a distribution plus the pool size.
 	peak := reg.Histogram("armci_edge_buffer_peak", obs.CountBuckets)
 	edges := reg.Counter("armci_edges_total")
-	for _, ns := range rt.nodes {
-		for _, eg := range ns.egress {
-			peak.Observe(float64(eg.peakInUse))
+	for n := range rt.nodes {
+		ns := &rt.nodes[n]
+		for i := range ns.nbrs {
+			peak.Observe(float64(ns.egAt(i).peakInUse))
 			edges.Inc()
 		}
 	}

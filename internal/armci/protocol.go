@@ -83,6 +83,7 @@ type request struct {
 	flatOff    int     // get: this chunk's offset into the assembled result
 	wire       int     // message size on the fabric
 	prevNode   int     // upstream node owed a buffer credit (-1: none)
+	nextNode   int     // hop in flight: delivery target (stamped by transmit)
 	h          *Handle // origin-side completion handle
 	// subs carries the aggregated sub-operations of an opBatch packet, in
 	// issue (rid) order; nil for every other kind. Each sub keeps its own
@@ -93,6 +94,18 @@ type request struct {
 	// its way to the target (fabric ECN marking); the response echoes it to
 	// the origin's pacer. Never set unless Fabric.CongestionThreshold > 0.
 	ce bool
+
+	// Response parameters, stamped by the target's respond: the request
+	// record itself rides the response message back to the origin, where
+	// completeResp applies them (no per-response closure, no separate
+	// response record). respFrom is the responding node.
+	respData []byte
+	respOld  int64
+	respFrom int
+
+	// freed marks the record as parked on its origin node's free list
+	// (see Runtime.getReq/nodeState.putReq); a double release panics.
+	freed bool
 
 	// Resilience fields, populated only when Config.RequestTimeout > 0.
 	chunk   int      // index into the handle's chunkDone bitset
@@ -106,27 +119,31 @@ type request struct {
 // Rank.Wait.
 type Handle struct {
 	pending int
-	done    *sim.Event
+	// done is embedded by value (sim.Event.Init) so a handle is one heap
+	// object, not two.
+	done sim.Event
 	// Get results are assembled here in chunk order.
 	data []byte
 	// Rmw old value.
 	old int64
 	// issued total chunks, for diagnostics.
 	chunks int
-	// chunkDone marks chunks already completed (or failed), making
-	// completion idempotent under retransmission: a retried chunk whose
-	// original response arrives late must not over-complete the handle.
-	chunkDone []bool
+	// doneBits marks chunks already completed (or failed), making completion
+	// idempotent under retransmission: a retried chunk whose original
+	// response arrives late must not over-complete the handle. Operations
+	// span a handful of chunks, so an inline 64-bit set covers all but
+	// pathological ops; doneOv is the overflow bitset past 64 chunks.
+	doneBits uint64
+	doneOv   []bool
 	// err is the first failure recorded against any chunk.
 	err error
 }
 
 func newHandle(eng *sim.Engine, chunks int, dataBytes int) *Handle {
-	h := &Handle{
-		pending:   chunks,
-		chunks:    chunks,
-		chunkDone: make([]bool, chunks),
-		done:      sim.NewEvent(eng, "op"),
+	h := &Handle{pending: chunks, chunks: chunks}
+	h.done.Init(eng, "op")
+	if chunks > 64 {
+		h.doneOv = make([]bool, chunks)
 	}
 	if dataBytes > 0 {
 		h.data = make([]byte, dataBytes)
@@ -153,7 +170,7 @@ func (h *Handle) completeChunkAt(i int) {
 	if h.chunkComplete(i) {
 		return
 	}
-	h.chunkDone[i] = true
+	h.markChunk(i)
 	h.completeChunk()
 }
 
@@ -163,7 +180,7 @@ func (h *Handle) failChunk(i int, err error) {
 	if h.chunkComplete(i) {
 		return
 	}
-	h.chunkDone[i] = true
+	h.markChunk(i)
 	if h.err == nil {
 		h.err = err
 	}
@@ -173,14 +190,28 @@ func (h *Handle) failChunk(i int, err error) {
 // failAll fails every chunk not yet complete with err, for crash-stop
 // aborts; chunks that already completed or failed are untouched.
 func (h *Handle) failAll(err error) {
-	for i := range h.chunkDone {
+	for i := 0; i < h.chunks; i++ {
 		h.failChunk(i, err)
 	}
 }
 
 // chunkComplete reports whether chunk i has already completed or failed.
 func (h *Handle) chunkComplete(i int) bool {
-	return i >= 0 && i < len(h.chunkDone) && h.chunkDone[i]
+	if i < 0 || i >= h.chunks {
+		return false
+	}
+	if h.doneOv != nil {
+		return h.doneOv[i]
+	}
+	return h.doneBits&(1<<uint(i)) != 0
+}
+
+func (h *Handle) markChunk(i int) {
+	if h.doneOv != nil {
+		h.doneOv[i] = true
+	} else {
+		h.doneBits |= 1 << uint(i)
+	}
 }
 
 // Err returns the first failure recorded against the operation (nil on
@@ -228,7 +259,8 @@ func (c Config) chunkContig(off, n int, emit func(off, ln int)) int {
 
 // chunkSegsAligned is chunkSegs with splits constrained to multiples of
 // align bytes, for element-typed operations (accumulate) whose values must
-// not straddle chunks.
+// not straddle chunks. Like chunkSegs, the group slice passed to emit is
+// reused across flushes: emit must copy.
 func (c Config) chunkSegsAligned(segs []Seg, align int, emit func(group []Seg, payload, flatOff int)) int {
 	chunks := 0
 	var group []Seg
@@ -241,7 +273,7 @@ func (c Config) chunkSegsAligned(segs []Seg, align int, emit func(group []Seg, p
 		}
 		emit(group, groupBytes, flatStart)
 		chunks++
-		group = nil
+		group = group[:0]
 		groupBytes = 0
 		flatStart = flat
 	}
@@ -275,7 +307,8 @@ func (c Config) chunkSegsAligned(segs []Seg, align int, emit func(group []Seg, p
 // chunkSegs packs vector segments into request-buffer-sized groups,
 // splitting oversized segments. emit receives each group's segments along
 // with their cumulative payload length and the offset into the original
-// flattened payload.
+// flattened payload. The group slice is reused across flushes (one backing
+// array per call, not one per chunk): emit must copy what it keeps.
 func (c Config) chunkSegs(segs []Seg, emit func(group []Seg, payload, flatOff int)) int {
 	chunks := 0
 	var group []Seg
@@ -288,7 +321,7 @@ func (c Config) chunkSegs(segs []Seg, emit func(group []Seg, payload, flatOff in
 		}
 		emit(group, groupBytes, flatStart)
 		chunks++
-		group = nil
+		group = group[:0]
 		groupBytes = 0
 		flatStart = flat
 	}

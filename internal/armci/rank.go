@@ -30,6 +30,12 @@ type Rank struct {
 	collSent map[int]int64
 	collRecv map[int]int64
 
+	// reqScratch is the rank's reusable chunk list: the Nb* methods collect
+	// a fresh operation's request records here before submit. submit (and
+	// the aggregation layer underneath) only iterates the slice, so one
+	// backing array per rank serves every operation.
+	reqScratch []*request
+
 	// Overload-protection stamps applied to subsequently issued operations
 	// (SetOpClass / SetOpDeadline in overload.go); consulted only at
 	// admission, never carried on the wire.
@@ -142,17 +148,19 @@ func (r *Rank) NbPut(dst int, alloc string, off int, data []byte) *Handle {
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(len(data))
-		copy(a.mem[dst][off:], data)
+		copy(a.slab(dst)[off:], data)
 		return newHandle(rt.eng, 0, 0)
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	rt.cfg.chunkContig(off, len(data), func(o, ln int) {
-		reqs = append(reqs, &request{
-			kind: opPut, origin: r.rank, originNode: r.node, target: dst,
-			alloc: alloc, off: o, data: data[o-off : o-off+ln],
-			wire: headerBytes + ln,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opPut, r.rank, r.node, dst
+		req.alloc, req.off = alloc, o
+		req.data = data[o-off : o-off+ln]
+		req.wire = headerBytes + ln
+		reqs = append(reqs, req)
 	})
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, len(reqs), 0)
 	r.submit(reqs, h)
 	return r.track(h)
@@ -173,17 +181,19 @@ func (r *Rank) NbGet(src int, alloc string, off, n int) *Handle {
 		rt.st(r.node).LocalOps++
 		r.localDelay(n)
 		h := newHandle(rt.eng, 0, n)
-		copy(h.data, a.mem[src][off:off+n])
+		copy(h.data, a.slab(src)[off:off+n])
 		return h
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	rt.cfg.chunkContig(off, n, func(o, ln int) {
-		reqs = append(reqs, &request{
-			kind: opGet, origin: r.rank, originNode: r.node, target: src,
-			alloc: alloc, off: o, getBytes: ln, flatOff: o - off,
-			wire: headerBytes,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opGet, r.rank, r.node, src
+		req.alloc, req.off = alloc, o
+		req.getBytes, req.flatOff = ln, o-off
+		req.wire = headerBytes
+		reqs = append(reqs, req)
 	})
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, len(reqs), n)
 	r.submit(reqs, h)
 	return r.track(h)
@@ -209,13 +219,13 @@ func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(len(data))
-		mem := a.mem[dst]
+		mem := a.slab(dst)
 		for i := range vals {
 			PutFloat64(mem, off+8*i, GetFloat64(mem, off+8*i)+scale*vals[i])
 		}
 		return newHandle(rt.eng, 0, 0)
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	// Chunk on 8-byte boundaries so no float64 straddles two chunks.
 	per := rt.cfg.payloadPerChunk(0) &^ 7
 	for done := 0; done < len(data); done += per {
@@ -223,12 +233,14 @@ func (r *Rank) NbAcc(dst int, alloc string, off int, scale float64, vals []float
 		if ln > per {
 			ln = per
 		}
-		reqs = append(reqs, &request{
-			kind: opAcc, origin: r.rank, originNode: r.node, target: dst,
-			alloc: alloc, off: off + done, data: data[done : done+ln], scale: scale,
-			wire: headerBytes + ln,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opAcc, r.rank, r.node, dst
+		req.alloc, req.off = alloc, off+done
+		req.data, req.scale = data[done:done+ln], scale
+		req.wire = headerBytes + ln
+		reqs = append(reqs, req)
 	}
+	r.reqScratch = reqs[:0]
 	if len(reqs) == 0 {
 		return newHandle(rt.eng, 0, 0)
 	}
@@ -260,7 +272,7 @@ func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(total)
-		mem := a.mem[dst]
+		mem := a.slab(dst)
 		pos := 0
 		for _, s := range segs {
 			copy(mem[s.Off:s.Off+s.Len], data[pos:pos+s.Len])
@@ -268,14 +280,17 @@ func (r *Rank) NbPutV(dst int, alloc string, segs []Seg, data []byte) *Handle {
 		}
 		return newHandle(rt.eng, 0, 0)
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	rt.cfg.chunkSegs(segs, func(group []Seg, payload, flatOff int) {
-		reqs = append(reqs, &request{
-			kind: opPutV, origin: r.rank, originNode: r.node, target: dst,
-			alloc: alloc, segs: group, data: data[flatOff : flatOff+payload],
-			wire: headerBytes + len(group)*segDescBytes + payload,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opPutV, r.rank, r.node, dst
+		req.alloc = alloc
+		req.segs = append(req.segs[:0], group...) // chunker reuses group: copy
+		req.data = data[flatOff : flatOff+payload]
+		req.wire = headerBytes + len(group)*segDescBytes + payload
+		reqs = append(reqs, req)
 	})
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, len(reqs), 0)
 	r.submit(reqs, h)
 	return r.track(h)
@@ -300,7 +315,7 @@ func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
 		rt.st(r.node).LocalOps++
 		r.localDelay(total)
 		h := newHandle(rt.eng, 0, total)
-		mem := a.mem[src]
+		mem := a.slab(src)
 		pos := 0
 		for _, s := range segs {
 			copy(h.data[pos:pos+s.Len], mem[s.Off:s.Off+s.Len])
@@ -308,15 +323,17 @@ func (r *Rank) NbGetV(src int, alloc string, segs []Seg) *Handle {
 		}
 		return h
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	rt.cfg.chunkSegs(segs, func(group []Seg, payload, flatOff int) {
-		gcopy := append([]Seg(nil), group...)
-		reqs = append(reqs, &request{
-			kind: opGetV, origin: r.rank, originNode: r.node, target: src,
-			alloc: alloc, segs: gcopy, flatOff: flatOff,
-			wire: headerBytes + len(group)*segDescBytes,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opGetV, r.rank, r.node, src
+		req.alloc = alloc
+		req.segs = append(req.segs[:0], group...) // chunker reuses group: copy
+		req.flatOff = flatOff
+		req.wire = headerBytes + len(group)*segDescBytes
+		reqs = append(reqs, req)
 	})
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, len(reqs), total)
 	r.submit(reqs, h)
 	return r.track(h)
@@ -366,19 +383,21 @@ func (r *Rank) NbFetchAdd(dst int, alloc string, off int, delta int64) *Handle {
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(8)
-		mem := a.mem[dst]
+		mem := a.slab(dst)
 		old := GetInt64(mem, off)
 		PutInt64(mem, off, old+delta)
 		h := newHandle(rt.eng, 0, 0)
 		h.old = old
 		return h
 	}
-	req := &request{
-		kind: opRmw, origin: r.rank, originNode: r.node, target: dst,
-		alloc: alloc, off: off, delta: delta, wire: headerBytes + 8,
-	}
+	req := rt.getReq(r.node)
+	req.kind, req.origin, req.originNode, req.target = opRmw, r.rank, r.node, dst
+	req.alloc, req.off, req.delta = alloc, off, delta
+	req.wire = headerBytes + 8
+	reqs := append(r.reqScratch[:0], req)
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, 1, 0)
-	r.submit([]*request{req}, h)
+	r.submit(reqs, h)
 	return r.track(h)
 }
 
@@ -440,7 +459,7 @@ func (r *Rank) lockOp(m int, kind opKind) {
 		// authority for the mutex) but over shared memory: no credits.
 		rt.st(r.node).LocalOps++
 		req.prevNode = -1
-		node := rt.nodes[ownerNode]
+		node := &rt.nodes[ownerNode]
 		rt.eng.AfterOn(ownerNode, rt.cfg.LocalLatency, func() { node.enqueue(req) })
 	} else {
 		r.send(req)

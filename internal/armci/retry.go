@@ -30,7 +30,7 @@ func (rt *Runtime) armTimeout(req *request, targetNode int) {
 	if rt.cfg.RequestTimeout <= 0 {
 		return
 	}
-	ns := rt.nodes[req.originNode]
+	ns := &rt.nodes[req.originNode]
 	ns.ridSeq++
 	req.rid = uint64(req.originNode+1)<<32 | ns.ridSeq
 	req.issued = rt.eng.NowOn(req.originNode)
@@ -89,7 +89,7 @@ func (rt *Runtime) scheduleTimeout(req *request, targetNode int, timeout sim.Tim
 		// Non-blocking submission: the timer runs in engine context and the
 		// issuing rank is typically parked in Wait. Credit starvation here
 		// is recovered by the edge's regen machinery, not by blocking.
-		eg.submitForward(&clone, func() {})
+		eg.submitForward(&clone, nil, -1)
 		rt.scheduleTimeout(req, targetNode, sim.Time(float64(timeout)*rt.cfg.RetryBackoff))
 	})
 }

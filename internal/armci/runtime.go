@@ -15,12 +15,22 @@ import (
 // request-buffer credit pools per virtual-topology edge, and a physical
 // torus underneath.
 type Runtime struct {
-	cfg   Config
-	eng   *sim.Engine
-	topo  core.Topology
-	net   *fabric.Network
-	nodes []*nodeState
-	ranks []*Rank
+	cfg  Config
+	eng  *sim.Engine
+	topo core.Topology
+	net  *fabric.Network
+	// nodes and ranks are value slices: per-node and per-rank hot state lives
+	// in two contiguous index-addressed arrays instead of N heap objects, so
+	// a 64k-node job costs two allocations here, not 128k, and neighboring
+	// nodes share cache lines. Pointers into the slices (taken freely — the
+	// slices are never reallocated after New) stay valid for the runtime's
+	// lifetime.
+	nodes []nodeState
+	ranks []Rank
+	// egArena backs every node's egress state in one contiguous slab, laid
+	// out node-major: node n's out-edges occupy egArena[nodes[n].egBase:]
+	// in sorted-neighbor order (see nodeState.nbrs).
+	egArena []egress
 
 	allocs map[string]*allocation
 	// allocsMu guards the allocs map: Malloc may be called concurrently from
@@ -55,6 +65,22 @@ type Runtime struct {
 	// membership monitors stop re-arming when it reaches zero so the event
 	// queue can drain (the same termination rule sim.Watchdog uses).
 	liveRanks int
+
+	// poolReqs arms the per-node request free lists (see getReq/putReq):
+	// request records recycle through their origin node's pool once the
+	// response completes them. Pooling requires that nothing retains a
+	// request past completion, so it is disabled whenever retransmission
+	// clones (RequestTimeout), aggregation sub-op aliasing (Agg), or fault
+	// paths could hold one.
+	poolReqs bool
+
+	// Preallocated event/delivery trampolines, bound once in New so the hot
+	// protocol paths schedule pooled records through fabric.SendArg and the
+	// engine's *Arg variants without allocating a closure per message.
+	enqueueFn   func(arg any, ce bool) // request arrives at its next hop's CHT
+	ackFn       func(arg any, ce bool) // credit ack arrives back at the sender
+	respFn      func(arg any, ce bool) // response arrives at the origin node
+	respLocalFn func(arg any)          // same-node response (no heard/onAck)
 }
 
 // Stats aggregates runtime-level counters used by tests and reports.
@@ -117,20 +143,28 @@ type nodeState struct {
 	id    int
 	rt    *Runtime
 	inbox *sim.Queue[*request]
-	// egress[peer] manages this node's sends over the peer edge: the
-	// buffer credits (capacity PPN * BufsPerProc) plus the FIFO of sends
-	// waiting for one.
-	egress map[int]*egress
-	// pendingBySrc counts buffered requests per upstream peer, driving the
-	// CHT poll-cost model.
-	pendingBySrc map[int]int
+	// nbrs lists this node's virtual-topology neighbors in sorted order. It
+	// is the index space for every per-edge array below: neighbor nbrs[i]
+	// owns egress slot rt.egArena[egBase+i], pending count pendingBySrc[i],
+	// and (with adaptive credits) inCap[i]/lastShift[i]. Lookup is a binary
+	// search (nbrIdx) — degree is logarithmic on the scalable topologies, so
+	// the search beats a per-node map in both bytes and cycles.
+	nbrs []int
+	// egBase is the index of this node's first egress in rt.egArena.
+	egBase int
+	// pendingBySrc counts buffered requests per upstream neighbor (indexed
+	// like nbrs), driving the CHT poll-cost model; pendingSrcs is the number
+	// of distinct neighbors with a nonzero count (the CHT polls one buffer
+	// set per connected peer).
+	pendingBySrc []int32
+	pendingSrcs  int
 	chtProc      *sim.Proc
 	// rids deduplicates retransmitted requests at the target (allocated
 	// only when request timeouts are enabled). Entries survive the node's
 	// own crash/recovery: a rebooted node keeping its dedup table is the
 	// stable-storage simplification that preserves at-most-once apply for
 	// requests retried across the outage.
-	rids map[uint64]*dupState
+	rids map[uint64]dupState
 	// mv is this node's membership view of its virtual-topology neighbors
 	// (nil unless healing is armed); see membership.go.
 	mv *memberView
@@ -144,22 +178,58 @@ type nodeState struct {
 	notifies *notifyState
 
 	// Adaptive credit state (allocated only with Config.Adaptive.Enabled):
-	// the node's current buffer capacity per in-edge (sum is invariant),
-	// its in-neighbors in sorted order for deterministic donor scans, and
-	// the last shift instant per in-edge for cooldown.
-	inNbrs    []int
-	inCap     map[int]int
-	lastShift map[int]sim.Time
+	// the node's current buffer capacity per in-edge and the last shift
+	// instant per in-edge for cooldown, both indexed like nbrs (sum of
+	// inCap is invariant).
+	inCap     []int
+	lastShift []sim.Time
 
 	// pacers holds this node's AIMD injection pacer per destination node
 	// (allocated only with Config.Overload.Enabled; see overload.go). Both
 	// updates (response arrivals) and reads (rank admission) run in this
-	// node's owner context.
+	// node's owner context. It stays a map: pacers are keyed by final
+	// destination, not by edge, and most pairs never talk.
 	pacers map[int]*pacer
+
+	// Free lists (owner-context discipline: every take and put runs in this
+	// node's owner context, so no lock is needed and sharded runs stay
+	// deterministic). psFree recycles pendingSend records parked on this
+	// node's egresses; reqFree recycles request records originated by this
+	// node's ranks (armed only when Runtime.poolReqs — see getReq).
+	psFree  []*pendingSend
+	reqFree []*request
 }
+
+// nbrIdx returns the index of peer in ns.nbrs (the per-edge array index for
+// every flattened per-neighbor structure), or -1 when peer is not a neighbor.
+func (ns *nodeState) nbrIdx(peer int) int {
+	lo, hi := 0, len(ns.nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns.nbrs[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns.nbrs) && ns.nbrs[lo] == peer {
+		return lo
+	}
+	return -1
+}
+
+// egAt returns the egress toward neighbor ns.nbrs[i].
+func (ns *nodeState) egAt(i int) *egress { return &ns.rt.egArena[ns.egBase+i] }
+
+// neverShifted marks an in-edge that has never shifted a credit: far enough
+// in the past that no cooldown window can cover it (a zero Time would make
+// every edge look freshly shifted at simulation start).
+const neverShifted = sim.Time(-1) << 40
 
 // dupState is what the target remembers about a request id: whether it has
 // responded, and the rmw old value it must re-send for a lost response.
+// Stored by value in nodeState.rids — an entry is 16 bytes in the map, not a
+// separate heap object per deduplicated request.
 type dupState struct {
 	responded bool
 	old       int64
@@ -168,7 +238,23 @@ type dupState struct {
 type allocation struct {
 	name  string
 	bytes int
-	mem   [][]byte // per rank
+	mem   [][]byte // per rank; slabs materialize lazily (see slab)
+}
+
+// slab returns rank's backing slab, materializing it on first touch. Alloc
+// registers only the index table: a 64k-rank job whose workload addresses a
+// handful of ranks pays for a handful of slabs, not 64k (the collective
+// scratch region alone would otherwise dominate the entire live footprint).
+// Each rank's slab is only ever touched from its node's owner context — the
+// same discipline that makes allocation contents lock-free — so lazy
+// materialization is race-free under sharding.
+func (a *allocation) slab(rank int) []byte {
+	s := a.mem[rank]
+	if s == nil {
+		s = make([]byte, a.bytes)
+		a.mem[rank] = s
+	}
+	return s
 }
 
 // barrierState counts arrivals of the current world barrier. It is mutated
@@ -218,51 +304,82 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 	for m := range rt.mutexes {
 		rt.mutexes[m].owner = -1
 	}
-	rt.nodes = make([]*nodeState, cfg.Nodes)
+	// Per-node state is flattened into three contiguous arenas (nodes, the
+	// neighbor-id backing array, and egArena) plus one neighbor scan. The
+	// sorted neighbor list doubles as the index space for every per-edge
+	// array, so the maps a 64k-node job would otherwise hold per node
+	// (egress, pending counts, adaptive capacities) collapse into slices.
+	rt.nodes = make([]nodeState, cfg.Nodes)
 	poolCap := cfg.PPN * cfg.BufsPerProc
+	edges := 0
+	degrees := make([]int, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		ns := &nodeState{
+		degrees[n] = rt.topo.Degree(n)
+		edges += degrees[n]
+	}
+	nbrArena := make([]int, edges)
+	rt.egArena = make([]egress, edges)
+	pendArena := make([]int32, edges)
+	var capArena []int
+	var shiftArena []sim.Time
+	if cfg.Adaptive.Enabled {
+		capArena = make([]int, edges)
+		shiftArena = make([]sim.Time, edges)
+	}
+	base := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		ns := &rt.nodes[n]
+		deg := degrees[n]
+		nbrs := nbrArena[base : base : base+deg]
+		nbrs = append(nbrs, rt.topo.Neighbors(n)...)
+		sort.Ints(nbrs)
+		*ns = nodeState{
 			id:           n,
 			rt:           rt,
 			inbox:        sim.NewQueue[*request](eng, fmt.Sprintf("cht%d", n)),
-			egress:       map[int]*egress{},
-			pendingBySrc: map[int]int{},
+			nbrs:         nbrs,
+			egBase:       base,
+			pendingBySrc: pendArena[base : base+deg : base+deg],
+		}
+		for i, peer := range nbrs {
+			rt.egArena[base+i] = egress{rt: rt, from: n, to: peer, credits: poolCap, capacity: poolCap}
 		}
 		if cfg.RequestTimeout > 0 {
-			ns.rids = map[uint64]*dupState{}
+			ns.rids = map[uint64]dupState{}
 		}
 		if cfg.Overload.Enabled {
 			ns.pacers = map[int]*pacer{}
 		}
-		for _, peer := range rt.topo.Neighbors(n) {
-			ns.egress[peer] = newEgress(rt, n, peer, poolCap)
-		}
 		if cfg.Adaptive.Enabled {
-			nbrs := append([]int(nil), rt.topo.Neighbors(n)...)
-			sort.Ints(nbrs)
-			ns.inNbrs = nbrs
-			ns.inCap = make(map[int]int, len(nbrs))
-			for _, peer := range nbrs {
-				ns.inCap[peer] = poolCap
+			ns.inCap = capArena[base : base+deg : base+deg]
+			ns.lastShift = shiftArena[base : base+deg : base+deg]
+			for i := range ns.inCap {
+				ns.inCap[i] = poolCap
+				ns.lastShift[i] = neverShifted
 			}
-			ns.lastShift = map[int]sim.Time{}
 		}
-		rt.nodes[n] = ns
+		base += deg
 	}
-	rt.ranks = make([]*Rank, cfg.Nodes*cfg.PPN)
+	rt.ranks = make([]Rank, cfg.Nodes*cfg.PPN)
 	rt.world = make([]int, len(rt.ranks))
 	for r := range rt.ranks {
-		rt.ranks[r] = &Rank{rt: rt, rank: r, node: r / cfg.PPN}
+		rt.ranks[r] = Rank{rt: rt, rank: r, node: r / cfg.PPN}
 		rt.world[r] = r
 	}
+	rt.bindDispatch()
+	// Request pooling is safe only when nothing can retain a request past
+	// its completion: retransmission clones alias the original's state,
+	// aggregation parks sub-ops in batch packets, and fault paths abort
+	// chunks without a response ever freeing the record.
+	rt.poolReqs = cfg.RequestTimeout <= 0 && !cfg.Agg.Enabled && rt.faultInj == nil
 	// Crash-stop semantics arm whenever the schedule contains node faults;
 	// membership + healing additionally require Heal.Enabled, so runs
 	// without node faults (and heal-off ablations) are bit-identical.
 	if cfg.Faults.HasNodeFaults() {
 		rt.healArmed = cfg.Heal.Enabled
 		if rt.healArmed {
-			for _, ns := range rt.nodes {
-				ns.mv = newMemberView(rt.topo.Neighbors(ns.id))
+			for n := range rt.nodes {
+				rt.nodes[n].mv = newMemberView(rt.nodes[n].nbrs)
 			}
 		}
 		cfg.Faults.OnNodeChange(rt.onNodeChange)
@@ -272,6 +389,125 @@ func New(eng *sim.Engine, cfg Config) (*Runtime, error) {
 		rt.obs = newObsState(rt)
 	}
 	return rt, nil
+}
+
+// bindDispatch builds the runtime's preallocated delivery trampolines. Each
+// replaces a closure the hot path used to allocate per message: the record in
+// flight (request or egress) is the argument, and the trampoline reconstructs
+// the delivery context from its fields.
+func (rt *Runtime) bindDispatch() {
+	// Request delivery at its next hop: the CE mark picked up on any hop of
+	// the walk sticks to the request and rides it to the target, where the
+	// response echoes it to the origin (respond). With CongestionThreshold
+	// unset nothing ever marks.
+	rt.enqueueFn = func(arg any, ce bool) {
+		req := arg.(*request)
+		if ce {
+			req.ce = true
+		}
+		rt.nodes[req.nextNode].enqueue(req)
+	}
+	// Credit ack back at the sender: the egress record itself travels as the
+	// argument. The ack doubles as a membership heartbeat at the receiver
+	// (heard is a no-op unless healing is armed).
+	rt.ackFn = func(arg any, ce bool) {
+		eg := arg.(*egress)
+		rt.nodes[eg.from].heard(eg.to)
+		eg.release()
+	}
+	// Response arrival at the origin node: completion bookkeeping plus the
+	// congestion echo into the origin's pacer (see respond).
+	rt.respFn = func(arg any, ce bool) {
+		req := arg.(*request)
+		origin := req.originNode
+		rt.nodes[origin].heard(req.respFrom)
+		rt.nodes[origin].onAck(req.respFrom, req.ce || ce, req.issued)
+		rt.completeResp(req)
+	}
+	// Same-node response through shared memory: no heartbeat, no pacer echo
+	// (local traffic never crosses the fabric).
+	rt.respLocalFn = func(arg any) {
+		rt.completeResp(arg.(*request))
+	}
+}
+
+// completeResp applies one response at the origin: get payloads are copied
+// into the handle's buffer at the chunk's flat offset, rmw carries the old
+// value, and the request record returns to its origin's free list.
+func (rt *Runtime) completeResp(req *request) {
+	h, chunk := req.h, req.chunk
+	if !h.chunkComplete(chunk) { // duplicate or raced response: idempotent
+		if req.respData != nil {
+			copy(h.data[req.flatOff:req.flatOff+len(req.respData)], req.respData)
+		}
+		if req.kind == opRmw || req.kind == opSwap {
+			h.old = req.respOld
+		}
+		rt.st(req.originNode).Completions++
+		h.completeChunkAt(chunk)
+	}
+	rt.nodes[req.originNode].putReq(req)
+}
+
+// getReq returns a request record for an operation originated on node,
+// recycled from the node's free list when pooling is armed. Call sites must
+// assign every field they rely on: a recycled record is zeroed at release,
+// but the compiler cannot check a field-assignment block the way it checks a
+// composite literal.
+func (rt *Runtime) getReq(node int) *request {
+	if rt.poolReqs {
+		ns := &rt.nodes[node]
+		if n := len(ns.reqFree); n > 0 {
+			req := ns.reqFree[n-1]
+			ns.reqFree[n-1] = nil
+			ns.reqFree = ns.reqFree[:n-1]
+			req.freed = false
+			return req
+		}
+	}
+	return &request{}
+}
+
+// putReq recycles req into this node's free list (no-op unless pooling is
+// armed). The record is zeroed except for the segs backing array, which is
+// retained for the next vectored operation. Releasing a record twice panics:
+// an aliased free would hand two in-flight operations the same storage.
+func (ns *nodeState) putReq(req *request) {
+	if !ns.rt.poolReqs {
+		return
+	}
+	if req.freed {
+		panic("armci: request record released twice")
+	}
+	segs := req.segs[:0]
+	*req = request{segs: segs, freed: true}
+	ns.reqFree = append(ns.reqFree, req)
+}
+
+// getPS returns a pendingSend record for a send parked on one of this node's
+// egresses, recycled from the node's free list.
+func (ns *nodeState) getPS() *pendingSend {
+	if n := len(ns.psFree); n > 0 {
+		ps := ns.psFree[n-1]
+		ns.psFree[n-1] = nil
+		ns.psFree = ns.psFree[:n-1]
+		ps.freed = false
+		return ps
+	}
+	return &pendingSend{}
+}
+
+// putPS recycles ps into this node's free list, zeroed. Releasing a record
+// twice panics. Records with a parked gate waiter are never released here —
+// the waiting rank releases its own record after Gate.Wait returns (see
+// egress.submitRank), which is what keeps recycling safe: a record is only
+// zeroed once nothing can still observe it.
+func (ns *nodeState) putPS(ps *pendingSend) {
+	if ps.freed {
+		panic("armci: pendingSend record released twice")
+	}
+	*ps = pendingSend{freed: true}
+	ns.psFree = append(ns.psFree, ps)
 }
 
 // worldMembers returns the member list of world collectives (all ranks).
@@ -354,8 +590,8 @@ func (rt *Runtime) Stats() Stats {
 			s.MaxCHTBacklog = n.MaxCHTBacklog
 		}
 	}
-	for _, ns := range rt.nodes {
-		if m := ns.inbox.MaxLen(); m > s.MaxCHTBacklog {
+	for i := range rt.nodes {
+		if m := rt.nodes[i].inbox.MaxLen(); m > s.MaxCHTBacklog {
 			s.MaxCHTBacklog = m
 		}
 	}
@@ -389,17 +625,16 @@ func (rt *Runtime) Alloc(name string, bytes int) {
 		}
 		return
 	}
-	a := &allocation{name: name, bytes: bytes, mem: make([][]byte, len(rt.ranks))}
-	for i := range a.mem {
-		a.mem[i] = make([]byte, bytes)
-	}
-	rt.allocs[name] = a
+	// Only the index table is allocated here; each rank's slab materializes
+	// on first touch (see allocation.slab), so registering an allocation on a
+	// 64k-rank job does not by itself cost 64k slabs.
+	rt.allocs[name] = &allocation{name: name, bytes: bytes, mem: make([][]byte, len(rt.ranks))}
 }
 
 // Memory returns rank's local slice of the named allocation (direct access,
 // as a process would touch its own partition of the global address space).
 func (rt *Runtime) Memory(rank int, name string) []byte {
-	return rt.alloc(name).mem[rank]
+	return rt.alloc(name).slab(rank)
 }
 
 func (rt *Runtime) alloc(name string) *allocation {
@@ -430,13 +665,13 @@ func (rt *Runtime) Shutdown() { rt.eng.Shutdown() }
 func (rt *Runtime) Start(body func(r *Rank)) {
 	// Every process and recurring event is pinned to its node's scheduling
 	// owner, so in sharded mode all of a node's activity runs on one shard.
-	for _, ns := range rt.nodes {
-		ns := ns
+	for i := range rt.nodes {
+		ns := &rt.nodes[i]
 		ns.chtProc = rt.eng.SpawnDaemonOn(ns.id, fmt.Sprintf("cht%d", ns.id), ns.chtLoop)
 	}
 	rt.liveRanks = len(rt.ranks)
-	for _, r := range rt.ranks {
-		r := r
+	for i := range rt.ranks {
+		r := &rt.ranks[i]
 		r.proc = rt.eng.SpawnOn(r.node, fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
 			body(r)
 			// Aggregated operations still buffered when the body returns
@@ -448,8 +683,8 @@ func (rt *Runtime) Start(body func(r *Rank)) {
 		})
 	}
 	if rt.healArmed {
-		for _, ns := range rt.nodes {
-			ns := ns
+		for i := range rt.nodes {
+			ns := &rt.nodes[i]
 			rt.eng.AfterOn(ns.id, rt.cfg.Heal.HeartbeatInterval, ns.monitorTick)
 		}
 	}
@@ -519,11 +754,12 @@ func (rt *Runtime) hopAvoided(src, node int) bool {
 
 // egressTo returns node's egress over the direct edge to peer.
 func (rt *Runtime) egressTo(node, peer int) *egress {
-	eg := rt.nodes[node].egress[peer]
-	if eg == nil {
+	ns := &rt.nodes[node]
+	i := ns.nbrIdx(peer)
+	if i < 0 {
 		panic(fmt.Sprintf("armci: no edge %d->%d in %v", node, peer, rt.topo))
 	}
-	return eg
+	return ns.egAt(i)
 }
 
 // egressFor is egressTo with a typed error instead of a panic, for the CHT
@@ -531,21 +767,19 @@ func (rt *Runtime) egressTo(node, peer int) *egress {
 // origin, not crash the simulation or vanish.
 func (rt *Runtime) egressFor(node, peer int) (*egress, error) {
 	if peer >= 0 && peer < len(rt.nodes) {
-		if eg := rt.nodes[node].egress[peer]; eg != nil {
-			return eg, nil
+		ns := &rt.nodes[node]
+		if i := ns.nbrIdx(peer); i >= 0 {
+			return ns.egAt(i), nil
 		}
 	}
 	return nil, &NoRouteError{From: node, To: peer}
 }
 
 // returnCredit sends an ack from node back to peer releasing one buffer
-// credit for the peer->node edge. The ack doubles as a membership heartbeat
-// at the receiver (heard is a no-op unless healing is armed).
+// credit for the peer->node edge; the pooled delivery trampoline (ackFn)
+// carries the egress record itself, so no per-ack closure is allocated.
 func (rt *Runtime) returnCredit(node, peer int) {
-	rt.net.Send(node, peer, ackBytes, func() {
-		rt.nodes[peer].heard(node)
-		rt.egressTo(peer, node).release()
-	})
+	rt.net.SendArg(node, peer, ackBytes, rt.ackFn, rt.egressTo(peer, node))
 }
 
 // CheckCreditInvariants verifies the buffer-accounting invariants the
@@ -556,8 +790,10 @@ func (rt *Runtime) returnCredit(node, peer int) {
 // chaos harness and property tests call it after every run.
 func (rt *Runtime) CheckCreditInvariants() error {
 	poolCap := rt.cfg.PPN * rt.cfg.BufsPerProc
-	for _, ns := range rt.nodes {
-		for peer, eg := range ns.egress {
+	for n := range rt.nodes {
+		ns := &rt.nodes[n]
+		for i, peer := range ns.nbrs {
+			eg := ns.egAt(i)
 			if eg.credits < 0 || eg.credits > eg.capacity {
 				return fmt.Errorf("armci: egress %d->%d credits %d outside [0,%d]",
 					ns.id, peer, eg.credits, eg.capacity)
@@ -569,14 +805,14 @@ func (rt *Runtime) CheckCreditInvariants() error {
 		}
 		if ns.inCap != nil {
 			total := 0
-			for peer, c := range ns.inCap {
+			for i, c := range ns.inCap {
 				if c < 1 {
 					return fmt.Errorf("armci: node %d in-edge %d capacity %d below floor 1",
-						ns.id, peer, c)
+						ns.id, ns.nbrs[i], c)
 				}
 				total += c
 			}
-			if want := len(ns.inNbrs) * poolCap; total != want {
+			if want := len(ns.nbrs) * poolCap; total != want {
 				return fmt.Errorf("armci: node %d in-edge capacities sum to %d, want %d",
 					ns.id, total, want)
 			}

@@ -1,0 +1,66 @@
+package armci
+
+// Documentation-drift check for docs/SCALING.md, the memory model of record
+// for the large-N runtime: the per-node byte-budget table must state the
+// actual sizes of the hot structures (checked against unsafe.Sizeof, so a
+// field added to nodeState without updating the budget fails here), and the
+// knob spellings and schema id consumers depend on must appear verbatim.
+// The BENCH_scale.json record itself is validated by the root package's
+// bench_scale_record_test.go.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func readScalingDoc(t *testing.T) string {
+	t.Helper()
+	doc, err := os.ReadFile("../../docs/SCALING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(doc)
+}
+
+func TestScalingDocsByteBudgetMatchesStructs(t *testing.T) {
+	doc := readScalingDoc(t)
+	for _, row := range []struct {
+		name string
+		size uintptr
+	}{
+		{"nodeState", unsafe.Sizeof(nodeState{})},
+		{"egress", unsafe.Sizeof(egress{})},
+		{"Rank", unsafe.Sizeof(Rank{})},
+		{"pendingSend", unsafe.Sizeof(pendingSend{})},
+		{"request", unsafe.Sizeof(request{})},
+		{"dupState", unsafe.Sizeof(dupState{})},
+	} {
+		want := fmt.Sprintf("| `%s` | %d B |", row.name, row.size)
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/SCALING.md byte budget is stale for %s: expected the row %q (actual size %d bytes)",
+				row.name, want, row.size)
+		}
+	}
+}
+
+func TestScalingDocsPinTheKnobs(t *testing.T) {
+	doc := readScalingDoc(t)
+	for _, want := range []string{
+		// memscale's scale-point mode and the record-regeneration flag.
+		"`-scale`", "`-measure`", "`-max-live-mb`", "`-json`",
+		"-update-bench-scale",
+		// The record schema id and the two allocation-contract numbers.
+		"armcivt-bench-scale/v1",
+		"32 allocs/op",
+		"190.6",
+		// The double-release guard the pooling contract promises.
+		"released twice",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/SCALING.md does not state %q", want)
+		}
+	}
+}

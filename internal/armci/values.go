@@ -39,15 +39,15 @@ func (r *Rank) Swap(dst int, alloc string, off int, v int64) int64 {
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(8)
-		mem := a.mem[dst]
+		mem := a.slab(dst)
 		old := GetInt64(mem, off)
 		PutInt64(mem, off, v)
 		return old
 	}
-	req := &request{
-		kind: opSwap, origin: r.rank, originNode: r.node, target: dst,
-		alloc: alloc, off: off, delta: v, wire: headerBytes + 8,
-	}
+	req := rt.getReq(r.node)
+	req.kind, req.origin, req.originNode, req.target = opSwap, r.rank, r.node, dst
+	req.alloc, req.off, req.delta = alloc, off, v
+	req.wire = headerBytes + 8
 	h := newHandle(rt.eng, 1, 0)
 	req.h = h
 	r.send(req)
@@ -76,7 +76,7 @@ func (r *Rank) NbAccV(dst int, alloc string, segs []Seg, scale float64, vals []f
 	if r.nodeOf(dst) == r.node {
 		rt.st(r.node).LocalOps++
 		r.localDelay(total)
-		mem := a.mem[dst]
+		mem := a.slab(dst)
 		pos := 0
 		for _, s := range segs {
 			for b := 0; b < s.Len; b += 8 {
@@ -87,14 +87,17 @@ func (r *Rank) NbAccV(dst int, alloc string, segs []Seg, scale float64, vals []f
 		}
 		return newHandle(rt.eng, 0, 0)
 	}
-	var reqs []*request
+	reqs := r.reqScratch[:0]
 	rt.cfg.chunkSegsAligned(segs, 8, func(group []Seg, payload, flatOff int) {
-		reqs = append(reqs, &request{
-			kind: opAccV, origin: r.rank, originNode: r.node, target: dst,
-			alloc: alloc, segs: group, data: data[flatOff : flatOff+payload], scale: scale,
-			wire: headerBytes + len(group)*segDescBytes + payload,
-		})
+		req := rt.getReq(r.node)
+		req.kind, req.origin, req.originNode, req.target = opAccV, r.rank, r.node, dst
+		req.alloc = alloc
+		req.segs = append(req.segs[:0], group...) // chunker reuses group: copy
+		req.data, req.scale = data[flatOff:flatOff+payload], scale
+		req.wire = headerBytes + len(group)*segDescBytes + payload
+		reqs = append(reqs, req)
 	})
+	r.reqScratch = reqs[:0]
 	h := newHandle(rt.eng, len(reqs), 0)
 	for i, req := range reqs {
 		req.h, req.chunk = h, i

@@ -169,7 +169,7 @@ func (g *grid) NextHop(src, dst int) int {
 		return src
 	}
 	k := len(g.shape)
-	var sbuf, tbuf [8]int
+	var sbuf, tbuf [16]int // 16 dims covers a 64k-node hypercube allocation-free
 	var s, t []int
 	if k <= len(sbuf) {
 		s, t = sbuf[:k], tbuf[:k]

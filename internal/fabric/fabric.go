@@ -176,6 +176,17 @@ type Network struct {
 	// the Stats doc comment.
 	stats []Stats
 
+	// msgFree[pos] is position pos's free list of recycled message records.
+	// Like stats, each entry is touched only by events owned by that
+	// position (records are taken in the sender's context and released in
+	// the context of the position where the message ends), so shard workers
+	// recycle without locks.
+	msgFree [][]*msg
+	// Stored step functions for the pooled walk: allocated once here so the
+	// per-hop schedule calls (AtFromArg and friends) carry a long-lived func
+	// value plus a *msg and allocate nothing.
+	stepFn, injectFn, loopFn, ejectFn, stallFn func(any)
+
 	// Observability (nil when disabled): per-port queue-wait histograms,
 	// resolved once at Instrument time so the hot path pays one nil check.
 	reg       *obs.Registry
@@ -233,10 +244,16 @@ func New(e *sim.Engine, n int, cfg Config) *Network {
 		ej:        make([]link, n),
 		ejSources: make([]map[int]int, n),
 		stats:     make([]Stats, capacity),
+		msgFree:   make([][]*msg, capacity),
 	}
 	for i := range nw.ejSources {
 		nw.ejSources[i] = make(map[int]int)
 	}
+	nw.stepFn = func(a any) { nw.step(a.(*msg)) }
+	nw.injectFn = func(a any) { nw.inject(a.(*msg)) }
+	nw.loopFn = func(a any) { nw.loop(a.(*msg)) }
+	nw.ejectFn = func(a any) { nw.eject(a.(*msg)) }
+	nw.stallFn = func(a any) { m := a.(*msg); nw.stallAt(m.path[m.i]/6, m, m.arrive) }
 	return nw
 }
 
@@ -323,13 +340,16 @@ func (nw *Network) Hops(a, b int) int {
 	return total
 }
 
-// route returns the sequence of (node, dim, dir) link indices from src to
-// dst under dimension-order torus routing.
-func (nw *Network) route(src, dst int) []int {
+// route appends to buf the sequence of (node, dim, dir) link indices from
+// src to dst under dimension-order torus routing, returning the extended
+// slice. Callers on the hot path hand back a recycled buffer (buf[:0]) so
+// routing allocates only until the buffer has grown to the workload's
+// longest path.
+func (nw *Network) route(src, dst int, buf []int) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
-	var out []int
+	out := buf
 	cur := nw.Coord(src)
 	tgt := nw.Coord(dst)
 	strides := [3]int{1, nw.shape[0], nw.shape[0] * nw.shape[1]}
@@ -395,12 +415,12 @@ func (nw *Network) arcBlocked(start, d, dir, dist int) bool {
 // shorter one but taking the long way round when only the short arc crosses
 // a failed link. Choosing per dimension (never mid-arc) keeps routes minimal
 // per dimension and rules out ping-pong livelock. With no active faults it
-// returns exactly the same path as route.
-func (nw *Network) routeFaultAware(src, dst int) []int {
+// returns exactly the same path as route. Like route it appends to buf.
+func (nw *Network) routeFaultAware(src, dst int, buf []int) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
-	var out []int
+	out := buf
 	cur := nw.Coord(src)
 	tgt := nw.Coord(dst)
 	strides := [3]int{1, nw.shape[0], nw.shape[0] * nw.shape[1]}
@@ -435,13 +455,77 @@ func (nw *Network) routeFaultAware(src, dst int) []int {
 	return out
 }
 
+// msg is a pooled in-flight message record. One is taken from the sender
+// position's free list per Send, advanced hop by hop by the stored step
+// functions (stepFn and friends) instead of a fresh closure per hop, and
+// released to the free list of the position where the message ends —
+// delivery, drop, or stall-limit expiry. The path buffer is retained across
+// recycles, so a steady-state workload routes without allocating.
+type msg struct {
+	path       []int    // reused route buffer (link indices)
+	i          int      // next path index to traverse
+	arrive     sim.Time // when the message reaches the next step (or retries a stall)
+	serLink    sim.Time // per-link serialization time
+	serNIC     sim.Time // NIC serialization time
+	stallSince sim.Time // when the message first parked at a failed link
+	src, dst   int
+	ce         bool // congestion-experienced mark accumulated so far
+	freed      bool // double-release guard
+	// Exactly one delivery callback is set, matching the Send variant used.
+	deliver     func(ce bool)          // SendMarked
+	deliverNoCE func()                 // Send
+	deliverArg  func(arg any, ce bool) // SendArg
+	darg        any
+}
+
+// getMsg takes a recycled record from position pos's free list (allocating
+// when empty). It must run in pos's owner context or with workers quiesced.
+func (nw *Network) getMsg(pos int) *msg {
+	fl := nw.msgFree[pos]
+	if n := len(fl); n > 0 {
+		m := fl[n-1]
+		nw.msgFree[pos] = fl[:n-1]
+		m.freed = false
+		return m
+	}
+	return &msg{}
+}
+
+// putMsg zeroes m (keeping its path buffer) and releases it to position
+// pos's free list. Releasing twice panics.
+func (nw *Network) putMsg(pos int, m *msg) {
+	if m.freed {
+		panic("fabric: message record released twice")
+	}
+	path := m.path[:0]
+	*m = msg{path: path, freed: true}
+	nw.msgFree[pos] = append(nw.msgFree[pos], m)
+}
+
+// finish releases m to pos's free list and then invokes its delivery
+// callback — in that order, so a delivery that immediately Sends from pos
+// reuses the record it just completed.
+func (nw *Network) finish(pos int, m *msg) {
+	ce := m.ce
+	dCE, d0, dA, darg := m.deliver, m.deliverNoCE, m.deliverArg, m.darg
+	nw.putMsg(pos, m)
+	switch {
+	case dCE != nil:
+		dCE(ce)
+	case d0 != nil:
+		d0()
+	default:
+		dA(darg, ce)
+	}
+}
+
 // Send injects a message of size bytes from node src to node dst and calls
 // deliver (in engine context, as owner dst) when the last byte is ejected at
 // dst. It must be called from src's owner context (a process or event of
 // node src) or from coordinator/serial context. Loopback (src == dst) pays
 // only the software overhead.
 func (nw *Network) Send(src, dst, size int, deliver func()) {
-	nw.SendMarked(src, dst, size, func(bool) { deliver() })
+	nw.send(src, dst, size, nil, deliver, nil, nil)
 }
 
 // SendMarked is Send with ECN-style congestion signaling: deliver receives
@@ -451,6 +535,19 @@ func (nw *Network) Send(src, dst, size int, deliver func()) {
 // arrived. With the threshold unset (zero) the mark is always false and the
 // schedule is bit-identical to Send.
 func (nw *Network) SendMarked(src, dst, size int, deliver func(ce bool)) {
+	nw.send(src, dst, size, deliver, nil, nil, nil)
+}
+
+// SendArg is the allocation-free form of SendMarked: deliver must be a
+// long-lived func value (stored once by the caller, not built per send) and
+// arg the per-message state, already pointer-shaped so the any conversion
+// does not allocate. Timing, marking, and fault behaviour are identical to
+// SendMarked.
+func (nw *Network) SendArg(src, dst, size int, deliver func(arg any, ce bool), arg any) {
+	nw.send(src, dst, size, nil, nil, deliver, arg)
+}
+
+func (nw *Network) send(src, dst, size int, dCE func(bool), d0 func(), dA func(any, bool), darg any) {
 	if src < 0 || src >= nw.n || dst < 0 || dst >= nw.n {
 		panic(fmt.Sprintf("fabric: Send %d->%d out of range [0,%d)", src, dst, nw.n))
 	}
@@ -460,45 +557,52 @@ func (nw *Network) SendMarked(src, dst, size int, deliver func(ce bool)) {
 	st := &nw.stats[src]
 	st.Messages++
 	st.Bytes += uint64(size)
+	m := nw.getMsg(src)
+	m.src, m.dst = src, dst
+	m.deliver, m.deliverNoCE, m.deliverArg, m.darg = dCE, d0, dA, darg
 	if src == dst {
-		if nw.cfg.Faults != nil {
-			nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() {
-				if nw.cfg.Faults.NodeDown(src) {
-					nw.stats[src].NodeDrops++
-					return
-				}
-				deliver(false)
-			})
-			return
-		}
-		nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() { deliver(false) })
+		nw.eng.AfterOnArg(src, nw.cfg.SoftwareOverhead, nw.loopFn, m)
 		return
 	}
-	serLink := sim.Time(float64(size) / nw.cfg.LinkBandwidth)
-	serNIC := sim.Time(float64(size) / nw.cfg.NICBandwidth)
+	m.serLink = sim.Time(float64(size) / nw.cfg.LinkBandwidth)
+	m.serNIC = sim.Time(float64(size) / nw.cfg.NICBandwidth)
+	nw.eng.AfterOnArg(src, nw.cfg.SoftwareOverhead, nw.injectFn, m)
+}
 
-	// Injection: software overhead then NIC serialization. The route is
-	// resolved at injection time so it reflects the fault state then, not at
-	// the Send call.
-	nw.eng.AfterOn(src, nw.cfg.SoftwareOverhead, func() {
-		var path []int
-		if nw.cfg.Faults != nil {
-			// A crashed source NIC injects nothing: anything its software
-			// stack had queued dies with the node.
-			if nw.cfg.Faults.NodeDown(src) {
-				nw.stats[src].NodeDrops++
-				return
-			}
-			path = nw.routeFaultAware(src, dst)
-		} else {
-			path = nw.route(src, dst)
+// loop completes a loopback message after the software overhead.
+func (nw *Network) loop(m *msg) {
+	src := m.src
+	if nw.cfg.Faults != nil && nw.cfg.Faults.NodeDown(src) {
+		nw.stats[src].NodeDrops++
+		nw.putMsg(src, m)
+		return
+	}
+	nw.finish(src, m)
+}
+
+// inject runs at src after the software overhead: it resolves the route —
+// at injection time so it reflects the fault state then, not at the Send
+// call — reserves the injection NIC, and schedules the first walk step.
+func (nw *Network) inject(m *msg) {
+	src, dst := m.src, m.dst
+	if nw.cfg.Faults != nil {
+		// A crashed source NIC injects nothing: anything its software
+		// stack had queued dies with the node.
+		if nw.cfg.Faults.NodeDown(src) {
+			nw.stats[src].NodeDrops++
+			nw.putMsg(src, m)
+			return
 		}
-		now := nw.eng.NowOn(src)
-		start := nw.inj[src].reserve(now, serNIC)
-		nw.noteWait(src, start-now, nw.waitInj)
-		arrive := start + serNIC + nw.cfg.HopLatency
-		nw.walk(path, 0, src, arrive, serLink, serNIC, src, dst, false, deliver)
-	})
+		m.path = nw.routeFaultAware(src, dst, m.path[:0])
+	} else {
+		m.path = nw.route(src, dst, m.path[:0])
+	}
+	m.i = 0
+	now := nw.eng.NowOn(src)
+	start := nw.inj[src].reserve(now, m.serNIC)
+	nw.noteWait(src, start-now, nw.waitInj)
+	m.arrive = start + m.serNIC + nw.cfg.HopLatency
+	nw.scheduleStep(src, m)
 }
 
 // marked reports whether a queue delay of wait at position pos crosses the
@@ -512,118 +616,136 @@ func (nw *Network) marked(pos int, wait sim.Time) bool {
 	return false
 }
 
-// walk schedules the message's next step — traversal of link path[i], or
-// ejection at dst once the path is exhausted — at time arrive. It must be
+// scheduleStep schedules m's next step — traversal of link path[i], or
+// ejection at dst once the path is exhausted — at m.arrive. It must be
 // called in the context of owner `from` (the torus position the message is
 // leaving); each step's event is owned by the position whose link or port it
 // reserves, so shard workers only ever touch their own links. Every step is
 // scheduled at least HopLatency ahead, the bound Lookahead() reports.
-func (nw *Network) walk(path []int, i, from int, arrive sim.Time, serLink, serNIC sim.Time, src, dst int, ce bool, deliver func(ce bool)) {
-	hop := dst
-	if i < len(path) {
-		hop = path[i] / 6
+func (nw *Network) scheduleStep(from int, m *msg) {
+	hop := m.dst
+	if m.i < len(m.path) {
+		hop = m.path[m.i] / 6
 	}
-	nw.eng.AtFrom(from, hop, arrive, func() {
-		now := arrive
-		if i < len(path) {
-			ser := serLink
-			if fi := nw.cfg.Faults; fi != nil {
-				a, b := nw.linkEnds(path[i])
-				if fi.LinkDown(a, b) {
-					nw.stats[hop].LinkStalls++
-					nw.stallAt(path, i, hop, now, now, serLink, serNIC, src, dst, ce, deliver)
-					return
-				}
-				if f := fi.LinkFactor(a, b); f < 1 {
-					ser = sim.Time(float64(serLink) / f)
-				}
-			}
-			start := nw.links[path[i]].reserve(now, ser)
-			nw.noteWait(hop, start-now, nw.waitLink)
-			ce = nw.marked(hop, start-now) || ce
-			nw.walk(path, i+1, hop, start+ser+nw.cfg.HopLatency, serLink, serNIC, src, dst, ce, deliver)
-			return
-		}
-		// A crashed destination NIC ejects nothing: the message has
-		// traversed the torus (SeaStar routers forward in hardware) but
-		// dies at the dead node's ejection port.
-		if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
-			nw.stats[dst].NodeDrops++
-			return
-		}
-		// Ejection with the stream-overload model: the port slows down
-		// when more distinct sources than StreamLimit are queued, the
-		// BEER-throttling behaviour hot-spot nodes exhibit on the XT5.
-		st := &nw.stats[dst]
-		srcs := nw.ejSources[dst]
-		srcs[src]++
-		if n := len(srcs); n > st.MaxStreams {
-			st.MaxStreams = n
-		}
-		ser := serNIC
-		if excess := len(srcs) - nw.cfg.StreamLimit; excess > 0 {
-			ser += sim.Time(float64(serNIC) * nw.cfg.StreamPenalty * float64(excess))
-		}
-		// RED-style early marking: the port's deterministic occupancy
-		// tracking stamps congestion-experienced once more than half the
-		// stream limit's worth of distinct sources are resident. Marking at
-		// half the penalty cliff — rather than at it — leaves origins a
-		// reaction round trip to widen their injection gaps before the
-		// stream-overload penalty engages; a signal that only fires once the
-		// penalty is already being paid arrives too late to prevent it.
-		if nw.cfg.CongestionThreshold > 0 && 2*len(srcs) > nw.cfg.StreamLimit {
-			st.CEMarks++
-			ce = true
-		}
-		// A storm fault saturates the node's ejection path with burst
-		// traffic from outside the model; every real transfer serializes
-		// slower while the burst window is open.
-		if fi := nw.cfg.Faults; fi != nil {
-			if f := fi.StormFactor(dst); f > 1 {
-				ser = sim.Time(float64(ser) * f)
-			}
-		}
-		start := nw.ej[dst].reserve(now, ser)
-		nw.noteWait(dst, start-now, nw.waitEj)
-		ce = nw.marked(dst, start-now) || ce
-		nw.eng.AtOn(dst, start+ser, func() {
-			if srcs[src] <= 1 {
-				delete(srcs, src)
-			} else {
-				srcs[src]--
-			}
-			// The node can crash mid-ejection; the partially ejected
-			// message is lost with it.
-			if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
-				nw.stats[dst].NodeDrops++
-				return
-			}
-			deliver(ce)
-		})
-	})
+	nw.eng.AtFromArg(from, hop, m.arrive, nw.stepFn, m)
 }
 
-// stallAt parks a message in front of the hard-failed link path[i] (whose
-// from-position pos owns these events), re-probing every LinkRetry until the
-// link repairs — at which point the walk resumes and the total stall time is
-// recorded — or LinkStallLimit elapses and the message is dropped. Dropping
-// instead of waiting forever keeps the event queue finite; the runtime's
-// request timeouts retransmit the payload.
-func (nw *Network) stallAt(path []int, i, pos int, now, since sim.Time, serLink, serNIC sim.Time, src, dst int, ce bool, deliver func(ce bool)) {
-	a, b := nw.linkEnds(path[i])
+// step executes one walk step at its owning position: a link traversal when
+// path remains, the ejection-port reservation otherwise.
+func (nw *Network) step(m *msg) {
+	now := m.arrive
+	if m.i < len(m.path) {
+		li := m.path[m.i]
+		hop := li / 6
+		ser := m.serLink
+		if fi := nw.cfg.Faults; fi != nil {
+			a, b := nw.linkEnds(li)
+			if fi.LinkDown(a, b) {
+				nw.stats[hop].LinkStalls++
+				m.stallSince = now
+				nw.stallAt(hop, m, now)
+				return
+			}
+			if f := fi.LinkFactor(a, b); f < 1 {
+				ser = sim.Time(float64(m.serLink) / f)
+			}
+		}
+		start := nw.links[li].reserve(now, ser)
+		nw.noteWait(hop, start-now, nw.waitLink)
+		m.ce = nw.marked(hop, start-now) || m.ce
+		m.i++
+		m.arrive = start + ser + nw.cfg.HopLatency
+		nw.scheduleStep(hop, m)
+		return
+	}
+	src, dst := m.src, m.dst
+	// A crashed destination NIC ejects nothing: the message has
+	// traversed the torus (SeaStar routers forward in hardware) but
+	// dies at the dead node's ejection port.
+	if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
+		nw.stats[dst].NodeDrops++
+		nw.putMsg(dst, m)
+		return
+	}
+	// Ejection with the stream-overload model: the port slows down
+	// when more distinct sources than StreamLimit are queued, the
+	// BEER-throttling behaviour hot-spot nodes exhibit on the XT5.
+	st := &nw.stats[dst]
+	srcs := nw.ejSources[dst]
+	srcs[src]++
+	if n := len(srcs); n > st.MaxStreams {
+		st.MaxStreams = n
+	}
+	ser := m.serNIC
+	if excess := len(srcs) - nw.cfg.StreamLimit; excess > 0 {
+		ser += sim.Time(float64(m.serNIC) * nw.cfg.StreamPenalty * float64(excess))
+	}
+	// RED-style early marking: the port's deterministic occupancy
+	// tracking stamps congestion-experienced once more than half the
+	// stream limit's worth of distinct sources are resident. Marking at
+	// half the penalty cliff — rather than at it — leaves origins a
+	// reaction round trip to widen their injection gaps before the
+	// stream-overload penalty engages; a signal that only fires once the
+	// penalty is already being paid arrives too late to prevent it.
+	if nw.cfg.CongestionThreshold > 0 && 2*len(srcs) > nw.cfg.StreamLimit {
+		st.CEMarks++
+		m.ce = true
+	}
+	// A storm fault saturates the node's ejection path with burst
+	// traffic from outside the model; every real transfer serializes
+	// slower while the burst window is open.
+	if fi := nw.cfg.Faults; fi != nil {
+		if f := fi.StormFactor(dst); f > 1 {
+			ser = sim.Time(float64(ser) * f)
+		}
+	}
+	start := nw.ej[dst].reserve(now, ser)
+	nw.noteWait(dst, start-now, nw.waitEj)
+	m.ce = nw.marked(dst, start-now) || m.ce
+	nw.eng.AtOnArg(dst, start+ser, nw.ejectFn, m)
+}
+
+// eject completes ejection at dst: the source's stream-occupancy entry is
+// retired and the message delivered (or lost, if dst crashed mid-ejection).
+func (nw *Network) eject(m *msg) {
+	src, dst := m.src, m.dst
+	srcs := nw.ejSources[dst]
+	if srcs[src] <= 1 {
+		delete(srcs, src)
+	} else {
+		srcs[src]--
+	}
+	// The node can crash mid-ejection; the partially ejected
+	// message is lost with it.
+	if fi := nw.cfg.Faults; fi != nil && fi.NodeDown(dst) {
+		nw.stats[dst].NodeDrops++
+		nw.putMsg(dst, m)
+		return
+	}
+	nw.finish(dst, m)
+}
+
+// stallAt parks a message in front of the hard-failed link m.path[m.i]
+// (whose from-position pos owns these events), re-probing every LinkRetry
+// until the link repairs — at which point the walk resumes and the total
+// stall time is recorded — or LinkStallLimit elapses and the message is
+// dropped. Dropping instead of waiting forever keeps the event queue finite;
+// the runtime's request timeouts retransmit the payload.
+func (nw *Network) stallAt(pos int, m *msg, now sim.Time) {
+	a, b := nw.linkEnds(m.path[m.i])
 	if !nw.cfg.Faults.LinkDown(a, b) {
-		nw.noteWait(pos, now-since, nw.waitStall)
-		nw.walk(path, i, pos, now, serLink, serNIC, src, dst, ce, deliver)
+		nw.noteWait(pos, now-m.stallSince, nw.waitStall)
+		m.arrive = now
+		nw.scheduleStep(pos, m)
 		return
 	}
-	if now-since >= nw.cfg.LinkStallLimit {
+	if now-m.stallSince >= nw.cfg.LinkStallLimit {
 		nw.stats[pos].Dropped++
+		nw.putMsg(pos, m)
 		return
 	}
-	retry := now + nw.cfg.LinkRetry
-	nw.eng.AtOn(pos, retry, func() {
-		nw.stallAt(path, i, pos, retry, since, serLink, serNIC, src, dst, ce, deliver)
-	})
+	m.arrive = now + nw.cfg.LinkRetry
+	nw.eng.AtOnArg(pos, m.arrive, nw.stallFn, m)
 }
 
 func (nw *Network) noteWait(pos int, w sim.Time, h *obs.Histogram) {

@@ -71,7 +71,7 @@ func TestRouteLengthMatchesHops(t *testing.T) {
 	_, nw := netFor(t, 60, Config{Shape: [3]int{4, 4, 4}})
 	for a := 0; a < 60; a += 7 {
 		for b := 0; b < 60; b += 5 {
-			if got := len(nw.route(a, b)); got != nw.Hops(a, b) {
+			if got := len(nw.route(a, b, nil)); got != nw.Hops(a, b) {
 				t.Errorf("route(%d,%d) length %d != Hops %d", a, b, got, nw.Hops(a, b))
 			}
 		}

@@ -27,7 +27,7 @@ func TestFaultFreeRoutesIdentical(t *testing.T) {
 	faulted := New(e, 60, Config{Shape: [3]int{4, 4, 4}, Faults: inj})
 	for a := 0; a < 60; a += 7 {
 		for b := 0; b < 60; b += 5 {
-			p, q := plain.route(a, b), faulted.routeFaultAware(a, b)
+			p, q := plain.route(a, b, nil), faulted.routeFaultAware(a, b, nil)
 			if len(p) != len(q) {
 				t.Fatalf("route(%d,%d) lengths differ: %d vs %d", a, b, len(p), len(q))
 			}

@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestScaleDefaultsAndShape: the harness fills its documented defaults, runs
+// a small point end to end, and produces the fields BENCH_scale.json records.
+func TestScaleDefaultsAndShape(t *testing.T) {
+	res, err := Scale(ScaleConfig{Nodes: 256, Measure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 256 || res.Actives != 64 {
+		t.Errorf("nodes/actives = %d/%d, want 256/64", res.Nodes, res.Actives)
+	}
+	if want := 64 * 16; res.Ops != want {
+		t.Errorf("ops = %d, want %d", res.Ops, want)
+	}
+	if res.VirtualTime <= 0 {
+		t.Error("virtual time did not advance")
+	}
+	if res.MallocsDelta == 0 || res.AllocsPerOp <= 0 || res.LiveBytes == 0 {
+		t.Errorf("measurement fields empty: %+v", res)
+	}
+	if res.Fingerprint == 0 {
+		t.Error("fingerprint is zero")
+	}
+	if res.MasterRSS <= 0 {
+		t.Error("analytic MasterRSS not filled")
+	}
+}
+
+// TestScaleRejectsNonPowerOfTwo: the harness runs on a Hypercube, so a
+// non-power-of-two node count must fail loudly, not round silently.
+func TestScaleRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := Scale(ScaleConfig{Nodes: 1000}); err == nil {
+		t.Error("nodes=1000 did not error")
+	}
+}
+
+// TestScaleDeterminism16k is the large-N determinism smoke from
+// docs/SCALING.md: the 16k-node Fig 6 point must produce a bit-identical
+// completion-time fingerprint on the serial kernel and at shard counts 2 and
+// 8 — the flattened arenas, free lists, and lazy slabs must be invisible to
+// virtual time. ~2s total; skipped under -short.
+func TestScaleDeterminism16k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 16k-node runs")
+	}
+	const nodes = 16384
+	serial, err := Scale(ScaleConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		res, err := Scale(ScaleConfig{Nodes: nodes, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fingerprint != serial.Fingerprint {
+			t.Errorf("shards=%d fingerprint %016x != serial %016x",
+				shards, res.Fingerprint, serial.Fingerprint)
+		}
+	}
+}

@@ -11,6 +11,7 @@ type Queue[T any] struct {
 	items   []T
 	head    int
 	waiters []*Proc
+	whead   int
 	puts    uint64
 	maxLen  int
 	onDepth func(depth int)
@@ -48,18 +49,24 @@ func (q *Queue[T]) Put(x T) {
 	if q.onDepth != nil {
 		q.onDepth(n)
 	}
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	if q.whead < len(q.waiters) {
+		w := q.waiters[q.whead]
+		q.waiters[q.whead] = nil // release reference for GC
+		q.whead++
+		if q.whead == len(q.waiters) {
+			q.waiters, q.whead = q.waiters[:0], 0
+		}
 		w.wake()
 	}
 }
+
+func (q *Queue[T]) blockLabel(int64) string { return "queue " + q.name }
 
 // Get dequeues the oldest item, blocking p until one is available.
 func (q *Queue[T]) Get(p *Proc) T {
 	for q.Len() == 0 {
 		q.waiters = append(q.waiters, p)
-		p.park(fmt.Sprintf("queue %s", q.name))
+		p.parkOn(q, 0)
 	}
 	x := q.items[q.head]
 	var zero T
@@ -163,7 +170,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	start := p.Now()
 	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
 	for {
-		p.park(fmt.Sprintf("resource %s (want %d, avail %d)", r.name, n, r.avail))
+		p.parkOn(r, int64(n))
 		if len(r.waiters) > 0 && r.waiters[0].p == p && r.avail >= n {
 			r.waiters = r.waiters[1:]
 			r.take(n)
@@ -193,6 +200,10 @@ func (r *Resource) Release(n int) {
 	r.wakeHead()
 }
 
+func (r *Resource) blockLabel(arg int64) string {
+	return fmt.Sprintf("resource %s (want %d, avail %d)", r.name, arg, r.avail)
+}
+
 func (r *Resource) take(n int) {
 	r.avail -= n
 	r.acquires++
@@ -219,6 +230,16 @@ type Event struct {
 // NewEvent creates an unfired event.
 func NewEvent(e *Engine, name string) *Event { return &Event{e: e, name: name} }
 
+// Init (re)initializes an Event in place — for events embedded by value in a
+// larger record (e.g. an operation handle), sparing the separate allocation
+// NewEvent implies. It must not be called while waiters are parked.
+func (ev *Event) Init(e *Engine, name string) {
+	if len(ev.waiters) != 0 {
+		panic("sim: Event.Init with parked waiters")
+	}
+	ev.e, ev.name, ev.fired = e, name, false
+}
+
 // Fired reports whether Fire has been called.
 func (ev *Event) Fired() bool { return ev.fired }
 
@@ -239,9 +260,63 @@ func (ev *Event) Fire() {
 func (ev *Event) Wait(p *Proc) {
 	for !ev.fired {
 		ev.waiters = append(ev.waiters, p)
-		p.park(fmt.Sprintf("event %s", ev.name))
+		p.parkOn(ev, 0)
 	}
 }
+
+func (ev *Event) blockLabel(int64) string { return "event " + ev.name }
+
+// Gate is a single-waiter, reusable completion signal: the free-list cousin
+// of Event for pooled protocol records (e.g. a send parked on a buffer
+// credit). Unlike Event it holds no waiter slice and formats no label unless
+// a deadlock report asks, so a Gate embedded by value in a pooled record
+// costs nothing to recycle. Init rearms it; at most one process may Wait per
+// arming (a second concurrent waiter panics).
+type Gate struct {
+	e      *Engine
+	label  string
+	fired  bool
+	waiter *Proc
+}
+
+// Init (re)arms the gate: unfired, no waiter, with the given label shown in
+// deadlock reports while a process waits. It must not be called while a
+// waiter is parked.
+func (g *Gate) Init(e *Engine, label string) {
+	if g.waiter != nil {
+		panic("sim: Gate.Init with a parked waiter")
+	}
+	g.e, g.label, g.fired = e, label, false
+}
+
+// Fired reports whether Fire has been called since the last Init.
+func (g *Gate) Fired() bool { return g.fired }
+
+// Fire marks the gate complete and wakes its waiter, if any. Firing twice
+// between Inits is a no-op.
+func (g *Gate) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	if w := g.waiter; w != nil {
+		w.wake()
+	}
+}
+
+// Wait blocks p until the gate fires (immediately if it already has).
+func (g *Gate) Wait(p *Proc) {
+	for !g.fired {
+		if g.waiter != nil && g.waiter != p {
+			panic("sim: Gate supports a single waiter")
+		}
+		g.waiter = p
+		p.parkOn(g, 0)
+	}
+	g.waiter = nil
+}
+
+func (g *Gate) blockLabel(int64) string { return g.label }
 
 // WaitGroup counts outstanding work items in virtual time, mirroring
 // sync.WaitGroup for simulated processes.
@@ -279,6 +354,10 @@ func (w *WaitGroup) Count() int { return w.count }
 func (w *WaitGroup) Wait(p *Proc) {
 	for w.count != 0 {
 		w.waiters = append(w.waiters, p)
-		p.park(fmt.Sprintf("waitgroup %s (count %d)", w.name, w.count))
+		p.parkOn(w, 0)
 	}
+}
+
+func (w *WaitGroup) blockLabel(int64) string {
+	return fmt.Sprintf("waitgroup %s (count %d)", w.name, w.count)
 }

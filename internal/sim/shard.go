@@ -215,7 +215,7 @@ func (ln *lane) work() {
 			ln.now = ev.t
 			ln.ctxOwner = int(ev.owner)
 			ln.executed++
-			ev.fn()
+			ln.e.exec(&ev)
 		}
 		ln.ctxOwner = GlobalOwner
 		ln.e.laneDone <- ln
@@ -296,7 +296,7 @@ func (e *Engine) runInstant(t Time) {
 		ev := h.popEvent()
 		e.ctxOwner = int(ev.owner)
 		e.executed++
-		ev.fn()
+		e.exec(&ev)
 		e.ctxOwner = GlobalOwner
 	}
 	for _, ln := range e.lanes {

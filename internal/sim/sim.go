@@ -65,12 +65,33 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // may touch any owner's state.
 const GlobalOwner = -1
 
+// Event payload kinds. The hot paths of a large simulation — process
+// switches, wakes, fabric hops, protocol deliveries — used to allocate one
+// closure per event; kind dispatch replaces them with preallocated fields on
+// the event record itself, so scheduling allocates nothing beyond amortized
+// heap growth (the allocs/op contract of docs/SCALING.md).
+const (
+	// evFn runs a plain closure (the general-purpose cold path).
+	evFn uint8 = iota
+	// evArg runs a preallocated callback with its argument. Callers pass a
+	// long-lived func value (e.g. a method value stored once at setup) plus
+	// a pointer-shaped arg, so neither boxes a new allocation per event.
+	evArg
+	// evSwitch resumes the process in arg (Sleep wake-ups, spawn starts).
+	evSwitch
+	// evWake is evSwitch plus clearing the process's wake-pending flag.
+	evWake
+)
+
 type event struct {
 	t      Time
 	seq    uint64
 	origin int32
 	owner  int32
+	kind   uint8
 	fn     func()
+	afn    func(any)
+	arg    any
 }
 
 // keyLess orders events by the determinism-contract key (time, seq, origin).
@@ -159,9 +180,14 @@ type Proc struct {
 	// parkedTo is the channel of whichever runner (coordinator or shard
 	// worker) last resumed the process; park and the exit path signal it to
 	// hand control back.
-	parkedTo    chan struct{}
-	state       procState
+	parkedTo chan struct{}
+	state    procState
+	// blockedOn is the static blocking-point label (cold paths); hot-path
+	// primitives park with a lazy blocker+blockArg pair instead, so a park
+	// formats no string unless a deadlock report or tracer reads one.
 	blockedOn   string
+	blockedAt   blocker
+	blockArg    int64
 	daemon      bool
 	wakePending bool
 	killed      bool
@@ -189,7 +215,20 @@ func (p *Proc) Now() Time { return p.e.NowOn(p.owner) }
 
 // BlockedOn reports the label of the blocking point the process is currently
 // parked at ("" if running or done). Used by the deadlock reporter.
-func (p *Proc) BlockedOn() string { return p.blockedOn }
+func (p *Proc) BlockedOn() string {
+	if p.blockedAt != nil {
+		return p.blockedAt.blockLabel(p.blockArg)
+	}
+	return p.blockedOn
+}
+
+// blocker supplies a parked process's blocking-point label on demand. The
+// synchronization primitives implement it so the hot paths never pay for
+// fmt.Sprintf: the label is materialized only when a deadlock report, a
+// scheduling tracer, or a BlockedOn caller actually asks for it.
+type blocker interface {
+	blockLabel(arg int64) string
+}
 
 // Engine drives a simulation. Create one with New, add processes with Spawn
 // (or GoAt), then call Run.
@@ -274,10 +313,46 @@ func (e *Engine) ctxFor(from int) (*lane, Time, int) {
 	return nil, e.now, e.ctxOwner
 }
 
-// schedule creates an event at time t (clamped to the creating context's
-// now) executing as owner, attributed to origin, and routes it to the right
-// heap or cross-shard outbox. src is the creating lane (nil = coordinator).
+// exec dispatches one popped event by kind. It replaces direct fn() calls in
+// the run loops so the hot event kinds carry no closure.
+func (e *Engine) exec(ev *event) {
+	switch ev.kind {
+	case evFn:
+		ev.fn()
+	case evArg:
+		ev.afn(ev.arg)
+	case evSwitch:
+		e.switchTo(ev.arg.(*Proc))
+	default: // evWake
+		p := ev.arg.(*Proc)
+		p.wakePending = false
+		e.switchTo(p)
+	}
+}
+
+// schedule creates a closure event at time t; it is the evFn-kind shorthand
+// for scheduleEv.
 func (e *Engine) schedule(src *lane, now Time, origin, owner int, t Time, fn func()) {
+	e.scheduleEv(src, now, origin, owner, t, event{kind: evFn, fn: fn})
+}
+
+// scheduleArg creates an evArg event running fn(arg) at time t.
+func (e *Engine) scheduleArg(src *lane, now Time, origin, owner int, t Time, fn func(any), arg any) {
+	e.scheduleEv(src, now, origin, owner, t, event{kind: evArg, afn: fn, arg: arg})
+}
+
+// scheduleProc creates an evSwitch or evWake event resuming p at time t.
+func (e *Engine) scheduleProc(src *lane, now Time, origin, owner int, t Time, kind uint8, p *Proc) {
+	e.scheduleEv(src, now, origin, owner, t, event{kind: kind, arg: p})
+}
+
+// scheduleEv stamps ev's ordering key — time t clamped to the creating
+// context's now, the next seq of origin's creation stream — and routes it to
+// the right heap or cross-shard outbox. src is the creating lane (nil =
+// coordinator). Payload representation (closure vs kind record) plays no part
+// in the key, which is what lets hot paths switch representations without
+// disturbing the bit-identity contract.
+func (e *Engine) scheduleEv(src *lane, now Time, origin, owner int, t Time, ev event) {
 	if t < now {
 		t = now
 	}
@@ -291,7 +366,7 @@ func (e *Engine) schedule(src *lane, now Time, origin, owner int, t Time, fn fun
 		e.seqs = grown
 	}
 	e.seqs[idx]++
-	ev := event{t: t, seq: e.seqs[idx], origin: int32(origin), owner: int32(owner), fn: fn}
+	ev.t, ev.seq, ev.origin, ev.owner = t, e.seqs[idx], int32(origin), int32(owner)
 	var dst *lane
 	if owner >= 0 && e.nshards > 1 {
 		dst = e.lanes[e.shardOf[owner]]
@@ -353,6 +428,31 @@ func (e *Engine) AfterOn(owner int, d Time, fn func()) {
 func (e *Engine) AtFrom(from, to int, t Time, fn func()) {
 	src, now, origin := e.ctxFor(from)
 	e.schedule(src, now, origin, to, t, fn)
+}
+
+// AtOnArg is AtOn without the closure: it schedules fn(arg) at absolute time
+// t executing as owner. Pass a long-lived func value (typically a method
+// value stored once at setup) and a pointer-shaped arg — then the event
+// allocates nothing, which is why the fabric and protocol hot paths use the
+// Arg forms (see docs/SCALING.md). Timing, ordering and sharding semantics
+// are exactly AtOn's.
+func (e *Engine) AtOnArg(owner int, t Time, fn func(any), arg any) {
+	e.AtFromArg(owner, owner, t, fn, arg)
+}
+
+// AfterOnArg is AfterOn without the closure: fn(arg) runs as owner d after
+// owner's current time. See AtOnArg for the allocation contract.
+func (e *Engine) AfterOnArg(owner int, d Time, fn func(any), arg any) {
+	src, now, origin := e.ctxFor(owner)
+	e.scheduleArg(src, now, origin, owner, now+d, fn, arg)
+}
+
+// AtFromArg is AtFrom without the closure: fn(arg) runs at absolute time t
+// as owner `to`, created from owner `from`'s context. See AtOnArg for the
+// allocation contract and AtFrom for the cross-shard timing rule.
+func (e *Engine) AtFromArg(from, to int, t Time, fn func(any), arg any) {
+	src, now, origin := e.ctxFor(from)
+	e.scheduleArg(src, now, origin, to, t, fn, arg)
 }
 
 // AtGlobal schedules fn on the global lane one lookahead after the caller's
@@ -427,11 +527,11 @@ func (e *Engine) spawnAt(owner int, t Time, name string, body func(p *Proc), dae
 			runBody(body, p)
 		}
 		p.state = procDone
-		p.blockedOn = ""
+		p.blockedOn, p.blockedAt = "", nil
 		e.trace(TraceExit, p, "")
 		p.parkedTo <- struct{}{}
 	}()
-	e.schedule(nil, e.now, e.ctxOwner, owner, t, func() { e.switchTo(p) })
+	e.scheduleProc(nil, e.now, e.ctxOwner, owner, t, evSwitch, p)
 	return p
 }
 
@@ -462,7 +562,7 @@ func (e *Engine) switchTo(p *Proc) {
 		prev := ln.current
 		ln.current = p
 		p.state = procRunning
-		p.blockedOn = ""
+		p.blockedOn, p.blockedAt = "", nil
 		ln.resumes++
 		p.parkedTo = ln.parked
 		p.resume <- struct{}{}
@@ -473,7 +573,7 @@ func (e *Engine) switchTo(p *Proc) {
 	prev := e.current
 	e.current = p
 	p.state = procRunning
-	p.blockedOn = ""
+	p.blockedOn, p.blockedAt = "", nil
 	e.resumes++
 	e.trace(TraceResume, p, "")
 	p.parkedTo = e.parked
@@ -485,16 +585,32 @@ func (e *Engine) switchTo(p *Proc) {
 // park is called from process context: it returns control to the current
 // runner and blocks until the process is resumed by a future switchTo.
 func (p *Proc) park(label string) {
+	p.blockedOn, p.blockedAt = label, nil
+	p.parkWait(label)
+}
+
+// parkOn is park with a lazily formatted label (see blocker). With a tracer
+// installed the label is still materialized at park time, so traces are
+// identical either way.
+func (p *Proc) parkOn(b blocker, arg int64) {
+	p.blockedOn, p.blockedAt, p.blockArg = "", b, arg
+	label := ""
+	if p.e.tracer != nil {
+		label = b.blockLabel(arg)
+	}
+	p.parkWait(label)
+}
+
+func (p *Proc) parkWait(traceLabel string) {
 	p.state = procBlocked
-	p.blockedOn = label
-	p.e.trace(TracePark, p, label)
+	p.e.trace(TracePark, p, traceLabel)
 	p.parkedTo <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(killSignal{})
 	}
 	p.state = procRunning
-	p.blockedOn = ""
+	p.blockedOn, p.blockedAt = "", nil
 }
 
 // wake schedules the process to be resumed at the current virtual time. It
@@ -508,10 +624,7 @@ func (p *Proc) wake() {
 	p.wakePending = true
 	e := p.e
 	src, now, origin := e.ctxFor(p.owner)
-	e.schedule(src, now, origin, p.owner, now, func() {
-		p.wakePending = false
-		e.switchTo(p)
-	})
+	e.scheduleProc(src, now, origin, p.owner, now, evWake, p)
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations are
@@ -522,9 +635,15 @@ func (p *Proc) Sleep(d Time) {
 	}
 	e := p.e
 	src, now, origin := e.ctxFor(p.owner)
-	e.schedule(src, now, origin, p.owner, now+d, func() { e.switchTo(p) })
-	p.park(fmt.Sprintf("sleep(%v)", d))
+	e.scheduleProc(src, now, origin, p.owner, now+d, evSwitch, p)
+	p.parkOn(sleepLabel{}, int64(d))
 }
+
+// sleepLabel formats a sleeping process's blocking label on demand; the
+// zero-size value boxes into the blocker interface without allocating.
+type sleepLabel struct{}
+
+func (sleepLabel) blockLabel(arg int64) string { return fmt.Sprintf("sleep(%v)", Time(arg)) }
 
 // Yield gives other ready processes and events at the current instant a
 // chance to run before continuing.
@@ -583,7 +702,7 @@ func (e *Engine) run(limit Time) error {
 		e.now = ev.t
 		e.ctxOwner = int(ev.owner)
 		e.executed++
-		ev.fn()
+		e.exec(&ev)
 	}
 	e.ctxOwner = GlobalOwner
 	if blocked := e.blockedNonDaemons(); len(blocked) > 0 {
@@ -596,7 +715,7 @@ func (e *Engine) blockedNonDaemons() []string {
 	var blocked []string
 	for _, p := range e.procs {
 		if p.state == procBlocked && !p.daemon {
-			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.BlockedOn()))
 		}
 	}
 	sort.Strings(blocked)
@@ -672,7 +791,7 @@ func (e *Engine) BlockedDaemons() []string {
 	var out []string
 	for _, p := range e.procs {
 		if p.state == procBlocked && p.daemon {
-			out = append(out, fmt.Sprintf("%s: %s", p.name, p.blockedOn))
+			out = append(out, fmt.Sprintf("%s: %s", p.name, p.BlockedOn()))
 		}
 	}
 	sort.Strings(out)
