@@ -5,10 +5,12 @@
 //
 // It provides, from scratch and in pure Go:
 //
-//   - The paper's virtual topologies — FCG, MFCG, CFCG, Hypercube — with
+//   - The paper's virtual topologies — FCG, MFCG, CFCG, Hypercube — plus
+//     the generalized HyperX (k-ary n-flat) and Dragonfly families, all with
 //     deadlock-free Lowest-Dimension-First (LDF) forwarding, including the
-//     extended rule for partially populated meshes and cubes (any node
-//     count).
+//     extended rule for partially populated meshes, cubes and flats (any
+//     node count). Parameterized family members are selected with a
+//     TopologySpec ("hyperx:8x8x4", "dragonfly:g=9,a=4,h=2"; see ParseSpec).
 //   - An ARMCI-style one-sided runtime (per-node communication helper
 //     threads, per-edge request-buffer credit pools, request forwarding,
 //     put/get/accumulate/vectored/strided/fetch-&-add/lock operations).
@@ -62,6 +64,19 @@ const (
 	Hypercube = core.Hypercube
 )
 
+// The generalized families. Both subsume the paper's four as special cases
+// and take optional parameters through a TopologySpec.
+const (
+	// HyperX is the k-ary n-flat: all-to-all links along every axis of an
+	// arbitrary shape, with generalized LDF routing and partial population.
+	// FCG, MFCG, CFCG and Hypercube are its 1-D, 2-D, 3-D and 2-ary points.
+	HyperX = core.HyperX
+	// Dragonfly groups routers into all-to-all local groups joined by
+	// global links; deadlock-free without virtual channels via peak-ordered
+	// routing (at most 3 hops: global, then descending local).
+	Dragonfly = core.Dragonfly
+)
+
 // Topology is a virtual resource-allocation graph with LDF routing.
 type Topology = core.Topology
 
@@ -71,6 +86,20 @@ func NewTopology(kind Kind, n int) (Topology, error) { return core.New(kind, n) 
 
 // ParseKind converts a topology name ("FCG", "mfcg", "cube", ...) to a Kind.
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// TopologySpec is a parameterized topology selection: a Kind plus an
+// optional explicit shape (grid families) or Dragonfly group parameters.
+// The zero TopologySpec means "unset" and defers to Options.Topology.
+type TopologySpec = core.Spec
+
+// ParseSpec parses the topology-spec grammar shared by every -topo flag:
+// bare kind names ("mfcg"), explicit shapes ("hyperx:8x8x4", "mfcg:32x32"),
+// or Dragonfly parameters ("dragonfly:g=9,a=4,h=2").
+func ParseSpec(s string) (TopologySpec, error) { return core.ParseSpec(s) }
+
+// ParseSpecList parses a comma-separated list of topology specs; Dragonfly
+// parameter fragments ("a=4") attach to the spec before them.
+func ParseSpecList(s string) ([]TopologySpec, error) { return core.ParseSpecList(s) }
 
 // Rank is one simulated application process; all one-sided operations hang
 // off it. See the methods of armci.Rank: Put/Get/Acc, PutV/GetV, PutS/GetS,
@@ -156,6 +185,10 @@ type RecommendOptions struct {
 	PPN int
 	// Workload classifies the job's communication (default Neighborly).
 	Workload Workload
+	// Spec, when non-zero, pins the candidate: Recommend evaluates exactly
+	// this spec against the budget instead of searching, and the returned
+	// Advice carries the verdict in its Reason.
+	Spec TopologySpec
 	// MemBudget is bytes of communication memory available per node;
 	// 0 means unlimited.
 	MemBudget int64
@@ -169,7 +202,10 @@ type RecommendOptions struct {
 // Recommend picks a virtual topology for a job following the paper's
 // conclusions: FCG only when memory allows and no hot-spots are expected,
 // MFCG as the general recommendation, CFCG/Hypercube under growing memory
-// pressure.
+// pressure — and, when none of the paper's four fits the budget, the
+// generalized HyperX/Dragonfly frontier (higher-dimensional flats trade
+// forwarding hops for smaller pools). With o.Spec set it evaluates that one
+// candidate instead (see EvaluateSpec).
 func Recommend(o RecommendOptions) Advice {
 	if o.BufsPerProc == 0 {
 		o.BufsPerProc = 4
@@ -177,7 +213,29 @@ func Recommend(o RecommendOptions) Advice {
 	if o.BufSize == 0 {
 		o.BufSize = 16 << 10
 	}
+	if !o.Spec.IsZero() {
+		a, err := core.Evaluate(o.Spec, o.Nodes, o.PPN, o.MemBudget, o.BufsPerProc, o.BufSize)
+		if err != nil {
+			return Advice{Kind: o.Spec.Kind, Spec: o.Spec,
+				Reason: "requested spec is infeasible: " + err.Error()}
+		}
+		return a
+	}
 	return core.Recommend(o.Nodes, o.PPN, o.MemBudget, o.Workload, o.BufsPerProc, o.BufSize)
+}
+
+// EvaluateSpec reports the Advice for one explicit topology spec — its
+// buffer footprint, hop bound, and whether it fits the budget — instead of
+// searching the families. The error is non-nil when the spec cannot host
+// o.Nodes at all.
+func EvaluateSpec(spec TopologySpec, o RecommendOptions) (Advice, error) {
+	if o.BufsPerProc == 0 {
+		o.BufsPerProc = 4
+	}
+	if o.BufSize == 0 {
+		o.BufSize = 16 << 10
+	}
+	return core.Evaluate(spec, o.Nodes, o.PPN, o.MemBudget, o.BufsPerProc, o.BufSize)
 }
 
 // Options configures a simulated cluster. Zero fields take defaults
@@ -189,7 +247,11 @@ type Options struct {
 	PPN int
 	// Topology selects the virtual topology (default FCG).
 	Topology Kind
-	// CustomTopology overrides Topology with an explicit instance (e.g. a
+	// Spec, when non-zero, selects a parameterized family member
+	// ("hyperx:8x8x4", "dragonfly:g=9,a=4,h=2") and takes precedence over
+	// Topology. Parse one from the shared grammar with ParseSpec.
+	Spec TopologySpec
+	// CustomTopology overrides both with an explicit instance (e.g. a
 	// skewed mesh from core.NewMesh).
 	CustomTopology Topology
 	// BufSize is the request buffer size in bytes (default 16 KB).
@@ -229,7 +291,11 @@ func NewCluster(opt Options) (*Cluster, error) {
 	if opt.CustomTopology != nil {
 		cfg.Topology = opt.CustomTopology
 	} else {
-		topo, err := core.New(opt.Topology, opt.Nodes)
+		spec := opt.Spec
+		if spec.IsZero() {
+			spec = core.Spec{Kind: opt.Topology}
+		}
+		topo, err := spec.Build(opt.Nodes)
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,7 @@
 // Usage:
 //
 //	contention -op vput|fadd [-level none|11|20|all] [-nodes 256] [-ppn 4]
-//	           [-iters 20] [-sample 8] [-topos fcg,mfcg,cfcg,hypercube]
+//	           [-iters 20] [-sample 8] [-topos fcg,mfcg,hyperx:8x8x4,...]
 //	           [-j N] [-cache DIR] [-csv] [-metrics]
 //	           [-trace FILE [-trace-sched]] [-faults SPEC] [-heal]
 //	           [-window N] [-agg] [-adaptive] [-overload]
@@ -47,7 +47,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"armcivt/internal/core"
 	"armcivt/internal/faults"
@@ -64,7 +63,7 @@ func main() {
 	ppn := flag.Int("ppn", 4, "processes per node")
 	iters := flag.Int("iters", 20, "iterations per measured process")
 	sample := flag.Int("sample", 8, "measure every k-th rank")
-	topos := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topologies to run")
+	topos := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topology specs to run: bare kinds (fcg,...,hyperx,dragonfly) or parameterized (hyperx:8x8x4, dragonfly:g=9,a=4,h=2)")
 	jobs := flag.Int("j", 1, "worker-pool size for the (topology x level) grid")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory ('' disables)")
 	csv := flag.Bool("csv", false, "emit CSV")
@@ -87,14 +86,10 @@ func main() {
 		}
 	}
 
-	var kinds []core.Kind
-	for _, name := range strings.Split(*topos, ",") {
-		k, err := core.ParseKind(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		kinds = append(kinds, k)
+	specs, err := core.ParseSpecList(*topos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	var figName string
 	switch *op {
@@ -137,12 +132,12 @@ func main() {
 		Heals:       []string{onOff(*heal)},
 		Overloads:   []string{onOff(*overload)},
 	}
-	for _, kind := range kinds {
-		if _, err := core.New(kind, *nodes); err != nil {
-			fmt.Fprintf(os.Stderr, "skipping %v: %v\n", kind, err)
+	for _, spec := range specs {
+		if _, err := spec.Build(*nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %v: %v\n", spec, err)
 			continue
 		}
-		grid.Topos = append(grid.Topos, kind.String())
+		grid.Topos = append(grid.Topos, spec.String())
 	}
 	points, err := grid.Expand()
 	if err != nil {
@@ -237,12 +232,12 @@ func onOff(b bool) string {
 // executeWithSched mirrors sweep.Execute for the -trace-sched path: it
 // rebuilds the contention config with scheduler-slice tracing enabled.
 func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
-	kind, err := core.ParseKind(p.Topo)
+	spec, err := core.ParseSpec(p.Topo)
 	if err != nil {
 		return sweep.Result{Point: p, Label: p.Label(), Err: err.Error()}
 	}
 	cfg := figures.ContentionConfig{
-		Kind: kind, Nodes: p.Nodes, PPN: p.PPN, Iters: p.Iters,
+		Kind: spec.Kind, Topo: spec, Nodes: p.Nodes, PPN: p.PPN, Iters: p.Iters,
 		ContenderEvery: p.ContenderEvery, VecSegs: p.VecSegs,
 		VecSegLen: p.MsgSize, SampleEvery: p.SampleEvery,
 		StreamLimit: p.StreamLimit, Seed: p.EffectiveSeed(),
@@ -254,11 +249,11 @@ func executeWithSched(p sweep.Point, opts sweep.ExecOptions) sweep.Result {
 		cfg.Op = figures.OpFetchAdd
 	}
 	if p.Faults != "" {
-		spec, err := faults.ParseSpec(p.Faults)
+		fspec, err := faults.ParseSpec(p.Faults)
 		if err != nil {
 			return sweep.Result{Point: p, Label: p.Label(), Err: err.Error()}
 		}
-		cfg.Faults = spec
+		cfg.Faults = fspec
 	}
 	res := sweep.Result{Point: p, Label: p.Label()}
 	s, err := figures.Contention(cfg)

@@ -20,6 +20,7 @@
 // Usage:
 //
 //	memscale [-ppn 12] [-procs 768,1536,3072,6144,12288] [-j N] [-csv]
+//	         [-topos fcg,mfcg,cfcg,hypercube,hyperx:8x8x8,...]
 //	memscale -scale N [-shards K] [-measure] [-max-live-mb M] [-json]
 package main
 
@@ -106,6 +107,7 @@ func parseInts(s string) ([]int, error) {
 func main() {
 	ppn := flag.Int("ppn", 12, "processes per node")
 	procsFlag := flag.String("procs", "768,1536,3072,6144,12288", "comma-separated process counts")
+	toposFlag := flag.String("topos", "fcg,mfcg,cfcg,hypercube", "topology specs for the Fig 5 table: bare kinds or parameterized (hyperx:8x8x8, dragonfly:g=32,a=16,h=2)")
 	jobs := flag.Int("j", 1, "worker-pool size for the (topology x processes) grid")
 	shards := flag.Int("shards", 1, "conservative-parallel kernel shards per run (1 = serial; results are bit-identical, see docs/PARALLELISM.md)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -131,7 +133,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	specs, err := core.ParseSpecList(*toposFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	grid := sweep.Grid{Experiment: sweep.ExpMemscale, PPN: *ppn, Procs: procs}
+	for _, spec := range specs {
+		grid.Topos = append(grid.Topos, spec.String())
+	}
 	points, err := grid.Expand()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -140,14 +150,14 @@ func main() {
 	runner := &sweep.Runner{Workers: *jobs, Shards: *shards}
 	results, _ := runner.Run(points)
 
-	// One series per topology kind in canonical order — kinds whose every
-	// cell was skipped still get their (empty) column, exactly as Fig5
-	// renders them.
+	// One series per topology spec in flag order — specs whose every cell
+	// was skipped still get their (empty) column, exactly as Fig5 renders
+	// them.
 	byKind := map[string]*stats.Series{}
 	var series []*stats.Series
-	for _, kind := range core.Kinds {
-		s := &stats.Series{Label: kind.String()}
-		byKind[kind.String()] = s
+	for _, spec := range specs {
+		s := &stats.Series{Label: spec.String()}
+		byKind[spec.String()] = s
 		series = append(series, s)
 	}
 	for _, r := range results {

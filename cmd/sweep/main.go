@@ -14,6 +14,9 @@
 //	sweep -preset fig6 -j 8           reproduce Figure 6 (vectored put)
 //	sweep -preset fig7 -j 8           reproduce Figure 7 (fetch-&-add)
 //	sweep -preset fig6-ci             the reduced grid CI runs per PR
+//	sweep -preset fig6-family         the reduced grid across all six
+//	                                  topology families (incl. hyperx and
+//	                                  dragonfly specs) CI smokes
 //	sweep -preset fig6-agg-ci -assert-agg
 //	                                  aggregation off/on paired grid; fails
 //	                                  if aggregation regressed latency
@@ -41,7 +44,7 @@
 //
 // Usage:
 //
-//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-agg-ci|chaos|chaos-ci|overload|overload-ci]
+//	sweep [-preset fig5|fig6|fig7|fig6-ci|fig6-family|fig6-agg-ci|chaos|chaos-ci|overload|overload-ci]
 //	      [-grid SPEC] [-j N]
 //	      [-cache DIR] [-bench FILE] [-csv] [-metrics] [-trace FILE]
 //	      [-progress] [-list] [-assert-agg]
@@ -67,6 +70,10 @@ var presets = map[string]string{
 	"fig6":    "exp=contention;op=vput;nodes=256;ppn=4;iters=20;sample=8;levels=none,11,20",
 	"fig7":    "exp=contention;op=fadd;nodes=256;ppn=4;iters=20;sample=8;levels=none,11,20",
 	"fig6-ci": "exp=contention;op=vput;topos=fcg,mfcg,cfcg;nodes=64;ppn=2;iters=5;sample=8;stream=8;levels=none,11,20",
+	// fig6-family runs the hot-spot point across every topology family,
+	// including the generalized HyperX and Dragonfly specs, at the reduced
+	// CI scale: the cross-family contention comparison of EXPERIMENTS.md.
+	"fig6-family": "exp=contention;op=vput;topos=fcg,mfcg,cfcg,hypercube,hyperx,dragonfly;nodes=64;ppn=2;iters=5;sample=8;stream=8;levels=20",
 	// fig6-agg-ci pairs every cell with aggregation off and on: a pipelined
 	// (window=8) hot-spot grid of small vectored puts (64B segments keep the
 	// payload under the aggregation threshold). CI runs it with -assert-agg,
@@ -89,7 +96,7 @@ var presets = map[string]string{
 }
 
 func main() {
-	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci")
+	preset := flag.String("preset", "", "named grid: fig5, fig6, fig7, fig6-ci, fig6-family, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci")
 	gridSpec := flag.String("grid", "", "grid spec (see docs/SWEEP.md); overrides -preset")
 	j := flag.Int("j", runtime.NumCPU(), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", ".sweep-cache", "result cache directory ('' disables caching)")
@@ -111,7 +118,7 @@ func main() {
 		}
 		var ok bool
 		if spec, ok = presets[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown preset %q (want fig5, fig6, fig7, fig6-ci, fig6-family, fig6-agg-ci, chaos, chaos-ci, overload, or overload-ci)\n", name)
 			os.Exit(2)
 		}
 	}

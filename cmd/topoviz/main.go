@@ -1,10 +1,13 @@
 // Command topoviz prints the structural properties of the paper's virtual
-// topologies (Figures 1-4): edge counts, degrees, request-path trees into a
-// root, and LDF routes — plus the buffer-dependency deadlock check.
+// topologies (Figures 1-4) and the generalized HyperX/Dragonfly families:
+// edge counts, degrees, request-path trees into a root, and LDF routes —
+// plus the buffer-dependency deadlock check.
 //
 // Usage:
 //
-//	topoviz -n 27 [-root 0] [-topo all|fcg|mfcg|cfcg|hypercube]
+//	topoviz -n 27 [-root 0] [-topo all|fcg|mfcg|cfcg|hypercube|hyperx|dragonfly]
+//	topoviz -n 32 -topo hyperx:4x4x2
+//	topoviz -n 36 -topo dragonfly:g=9,a=4,h=2
 package main
 
 import (
@@ -20,28 +23,35 @@ import (
 func main() {
 	n := flag.Int("n", 16, "number of nodes")
 	root := flag.Int("root", 0, "root node for the request-path tree")
-	topoFlag := flag.String("topo", "all", "topology: all, fcg, mfcg, cfcg, hypercube")
+	topoFlag := flag.String("topo", "all", "topology spec: all, a bare kind (fcg, ..., hyperx, dragonfly), or parameterized (hyperx:4x4x2, dragonfly:g=9,a=4,h=2)")
 	routes := flag.Bool("routes", false, "print every LDF route to the root")
 	flag.Parse()
 
-	kinds := core.Kinds
-	if *topoFlag != "all" {
-		k, err := core.ParseKind(*topoFlag)
+	var specs []core.Spec
+	if *topoFlag == "all" {
+		for _, k := range core.AllKinds {
+			specs = append(specs, core.Spec{Kind: k})
+		}
+	} else {
+		var err error
+		specs, err = core.ParseSpecList(*topoFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		kinds = []core.Kind{k}
 	}
+	// build memoizes topology construction per spec label so the three
+	// sections below agree on instances.
+	build := func(spec core.Spec) (core.Topology, error) { return spec.Build(*n) }
 
 	tbl := &stats.Table{
 		Title:  fmt.Sprintf("Virtual topology structure, %d nodes (paper Figs 1-4)", *n),
-		Header: []string{"topology", "shape", "degree(0)", "total edges", "tree height", "root fan-in", "avg hops", "diameter", "fwd share", "deadlock-free"},
+		Header: []string{"topology", "shape", "max degree", "total edges", "tree height", "root fan-in", "avg hops", "diameter", "fwd share", "deadlock-free"},
 	}
-	for _, kind := range kinds {
-		t, err := core.New(kind, *n)
+	for _, spec := range specs {
+		t, err := build(spec)
 		if err != nil {
-			tbl.AddRow(kind.String(), "-", "-", "-", "-", "-", "-", "-", "-", fmt.Sprintf("n/a (%v)", err))
+			tbl.AddRow(spec.String(), "-", "-", "-", "-", "-", "-", "-", "-", fmt.Sprintf("n/a (%v)", err))
 			continue
 		}
 		pt := core.BuildPathTree(t, *root)
@@ -56,7 +66,7 @@ func main() {
 			}
 			shape += fmt.Sprint(s)
 		}
-		tbl.AddRow(kind.String(), shape, t.Degree(0), core.TotalEdges(t),
+		tbl.AddRow(spec.String(), shape, core.MaxDegree(t), core.TotalEdges(t),
 			pt.Height(), pt.RootFanIn(), core.AvgHops(t), core.Diameter(t),
 			core.ForwarderShare(t, *root), df)
 
@@ -76,12 +86,12 @@ func main() {
 	// structure and run metrics can be diffed side by side (names are
 	// documented in docs/OBSERVABILITY.md).
 	reg := obs.NewRegistry()
-	for _, kind := range kinds {
-		t, err := core.New(kind, *n)
+	for _, spec := range specs {
+		t, err := build(spec)
 		if err != nil {
 			continue
 		}
-		topo := obs.L("topo", kind.String())
+		topo := obs.L("topo", spec.String())
 		reg.Gauge("core_diameter_hops", topo).Set(float64(core.Diameter(t)))
 		reg.Gauge("core_avg_hops", topo).Set(core.AvgHops(t))
 		reg.Gauge("core_forwarder_share", topo).Set(core.ForwarderShare(t, *root))
@@ -93,12 +103,12 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("Depth histograms of the request-path tree (paper Fig 4):")
-	for _, kind := range kinds {
-		t, err := core.New(kind, *n)
+	for _, spec := range specs {
+		t, err := build(spec)
 		if err != nil {
 			continue
 		}
 		pt := core.BuildPathTree(t, *root)
-		fmt.Printf("  %-10s %v\n", kind.String(), pt.NodesAtDepth())
+		fmt.Printf("  %-22s %v\n", spec.String(), pt.NodesAtDepth())
 	}
 }

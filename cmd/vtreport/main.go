@@ -258,8 +258,8 @@ func check(err error) {
 }
 
 func structure(w io.Writer, n int) {
-	tbl := &stats.Table{Header: []string{"topology", "degree(0)", "tree height", "root fan-in", "depth histogram", "LDF deadlock-free"}}
-	for _, kind := range core.Kinds {
+	tbl := &stats.Table{Header: []string{"topology", "max degree", "tree height", "root fan-in", "depth histogram", "deadlock-free"}}
+	for _, kind := range core.AllKinds {
 		t, err := core.New(kind, n)
 		if err != nil {
 			tbl.AddRow(kind.String(), "-", "-", "-", "-", "n/a")
@@ -270,7 +270,7 @@ func structure(w io.Writer, n int) {
 		if core.CheckDeadlockFree(t) != nil {
 			df = "NO"
 		}
-		tbl.AddRow(kind.String(), t.Degree(0), pt.Height(), pt.RootFanIn(),
+		tbl.AddRow(kind.String(), core.MaxDegree(t), pt.Height(), pt.RootFanIn(),
 			fmt.Sprint(pt.NodesAtDepth()), df)
 	}
 	tbl.Write(w)
@@ -286,7 +286,7 @@ func summary(w io.Writer, series []*stats.Series) {
 }
 
 func advisor(w io.Writer) {
-	tbl := &stats.Table{Header: []string{"nodes", "ppn", "budget MB/node", "workload", "advice", "buffers MB"}}
+	tbl := &stats.Table{Header: []string{"nodes", "ppn", "budget MB/node", "workload", "advice", "max hops", "buffers MB"}}
 	for _, c := range []struct {
 		nodes, ppn int
 		budgetMB   int64
@@ -297,10 +297,14 @@ func advisor(w io.Writer) {
 		{1024, 12, 0, core.Dynamic, "dynamic"},
 		{1024, 12, 256, core.Bulk, "bulk"},
 		{4096, 12, 64, core.Dynamic, "dynamic"},
+		// 729 nodes: no hypercube exists and 16 MB/node excludes the other
+		// paper topologies, so the advisor's frontier search answers with a
+		// HyperX flat shape instead.
+		{729, 12, 16, core.Dynamic, "dynamic"},
 		{4096, 12, 4, core.Dynamic, "dynamic"},
 	} {
 		a := core.Recommend(c.nodes, c.ppn, c.budgetMB<<20, c.w, 4, 16<<10)
-		tbl.AddRow(c.nodes, c.ppn, c.budgetMB, c.wname, a.Kind.String(),
+		tbl.AddRow(c.nodes, c.ppn, c.budgetMB, c.wname, a.Spec.String(), a.MaxHops,
 			float64(a.BufferBytesPerNode)/(1<<20))
 	}
 	tbl.Write(w)

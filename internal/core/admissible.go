@@ -1,5 +1,12 @@
 package core
 
+// admissibleHopper is implemented by topologies whose admissible-hop set is
+// not the grid family's dimension corrections (Dragonfly's class-ordered
+// gateways). AdmissibleHops delegates to it when present.
+type admissibleHopper interface {
+	AdmissibleHops(src, dst int) []int
+}
+
 // AdmissibleHops returns every next hop from src toward dst that one
 // LDF-style dimension correction can reach: for each dimension where the two
 // nodes' virtual coordinates differ, the node with src's coordinate in that
@@ -9,7 +16,14 @@ package core
 // the hop NextHop itself picks (lowest correctable dimension first), and the
 // rest are the fallbacks — the next populated row/column — a runtime can
 // reroute through when the preferred intermediate is unavailable.
+//
+// Topologies that are not coordinate-correction grids provide their own set
+// with the same contract (true neighbors, hop bound and deadlock discipline
+// preserved, preferred hop first) via the optional AdmissibleHops method.
 func AdmissibleHops(t Topology, src, dst int) []int {
+	if ah, ok := t.(admissibleHopper); ok {
+		return ah.AdmissibleHops(src, dst)
+	}
 	if src == dst {
 		return nil
 	}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// HyperX is the generalization the paper's four topologies are all points
+// of: a k-ary n-flat. FCG is the 1-flat, MFCG the 2-flat, CFCG the 3-flat
+// and Hypercube the 2-ary log2(N)-flat; arbitrary dimension counts and
+// per-dimension extents fill in the rest of the buffer-memory vs. max-hops
+// frontier. The shared grid implementation already routes any such shape
+// with extended LDF: pick the lowest differing dimension whose correction
+// lands on a populated node. Because the population is always a
+// lexicographic prefix (lowest dimensions fill first), such a dimension
+// always exists, each hop fully corrects one dimension, and the monotone
+// dimension order keeps the buffer wait-for graph acyclic — the generalized
+// D <= M rule CheckDeadlockFree proves per configuration.
+
+// NewHyperX builds a HyperX topology with an explicit shape (extent per
+// dimension, lowest first) over n nodes. n may be anything from 1 to the
+// shape's capacity: partial population fills the lowest dimensions first,
+// exactly as MFCG/CFCG do.
+func NewHyperX(shape []int, n int) (Topology, error) {
+	return newGrid(HyperX, append([]int(nil), shape...), n)
+}
+
+// HyperXShape returns the default HyperX shape for n nodes: a near-balanced
+// 4-dimensional flat, continuing the paper's FCG(1-D)/MFCG(2-D)/CFCG(3-D)
+// progression. Use NewHyperX for explicit shapes.
+func HyperXShape(n int) []int { return FlatShape(n, 4) }
+
+// FlatShape returns a near-balanced k-dimensional shape covering n nodes,
+// generalizing MeshShape and CubeShape: each extent is the ceiling k'-th
+// root of the nodes still to be covered, so extents are non-increasing and
+// the product is at least n.
+func FlatShape(n, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	shape := make([]int, k)
+	rem := n
+	if rem < 1 {
+		rem = 1
+	}
+	for i := 0; i < k; i++ {
+		left := k - i
+		e := int(math.Ceil(math.Pow(float64(rem), 1/float64(left))))
+		if e < 1 {
+			e = 1
+		}
+		// Guard against floating-point overshoot (e.g. 27^(1/3) = 3.0000...1):
+		// shrink while the smaller extent still covers the remainder.
+		for e > 1 && powAtLeast(e-1, left, rem) {
+			e--
+		}
+		shape[i] = e
+		rem = (rem + e - 1) / e
+	}
+	return shape
+}
+
+// powAtLeast reports base^exp >= target without overflowing.
+func powAtLeast(base, exp, target int) bool {
+	p := 1
+	for i := 0; i < exp; i++ {
+		p *= base
+		if p >= target {
+			return true
+		}
+	}
+	return p >= target
+}
+
+// DragonflyShape factors n into the default Dragonfly dimensions: a is the
+// largest divisor of n no larger than sqrt(n) (routers per group), g = n/a
+// the group count. Prime n degenerates to one router per group, where the
+// hub rail makes the topology a full mesh over groups.
+func DragonflyShape(n int) (groups, routersPerGroup int) {
+	if n < 1 {
+		return 1, 1
+	}
+	a := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			a = d
+		}
+	}
+	return n / a, a
+}
+
+// shapeString renders a shape as "8x8x4" for errors, specs and advice.
+func shapeString(shape []int) string {
+	s := ""
+	for i, e := range shape {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(e)
+	}
+	return s
+}

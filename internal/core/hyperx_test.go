@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// hyperxShapes is the property-test grid: mixed extents, dimension counts
+// from 1 to 5, including degenerate extents of 1.
+var hyperxShapes = [][]int{
+	{6},
+	{3, 3},
+	{4, 2, 3},
+	{2, 2, 2, 2},
+	{3, 3, 3, 3},
+	{5, 4, 3, 2},
+	{1, 4, 1, 3},
+	{2, 2, 2, 2, 2},
+	{8, 8, 4},
+}
+
+// populations yields representative node counts for a capacity: full,
+// one-short, just over half, about a third, and a single node.
+func populations(capacity int) []int {
+	set := map[int]bool{}
+	var out []int
+	for _, n := range []int{capacity, capacity - 1, capacity/2 + 1, capacity / 3, 1} {
+		if n >= 1 && n <= capacity && !set[n] {
+			set[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func capacityOf(shape []int) int {
+	c := 1
+	for _, e := range shape {
+		c *= e
+	}
+	return c
+}
+
+// TestHyperXDeadlockFreeGrid proves extended LDF deadlock-free across the
+// shape x population grid, including partially populated flats, and checks
+// structural consistency: every route terminates within Dims hops, every
+// hop is a real edge, and neighbor lists agree with Connected/Degree.
+func TestHyperXDeadlockFreeGrid(t *testing.T) {
+	for _, shape := range hyperxShapes {
+		for _, n := range populations(capacityOf(shape)) {
+			t.Run(fmt.Sprintf("%s/n=%d", shapeString(shape), n), func(t *testing.T) {
+				topo, err := NewHyperX(shape, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckDeadlockFree(topo); err != nil {
+					t.Fatalf("not deadlock-free: %v", err)
+				}
+				for src := 0; src < n; src++ {
+					nbrs := topo.Neighbors(src)
+					if len(nbrs) != topo.Degree(src) {
+						t.Fatalf("degree(%d) = %d but %d neighbors", src, topo.Degree(src), len(nbrs))
+					}
+					for _, v := range nbrs {
+						if !topo.Connected(src, v) || !topo.Connected(v, src) {
+							t.Fatalf("neighbor %d-%d not Connected both ways", src, v)
+						}
+					}
+					for dst := 0; dst < n; dst++ {
+						if src == dst {
+							continue
+						}
+						path := Route(topo, src, dst)
+						if len(path)-1 > topo.Dims() {
+							t.Fatalf("route %d->%d took %d hops > %d dims", src, dst, len(path)-1, topo.Dims())
+						}
+						for i := 1; i < len(path); i++ {
+							if !topo.Connected(path[i-1], path[i]) {
+								t.Fatalf("route %d->%d hops a non-edge %d-%d", src, dst, path[i-1], path[i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHyperXMixedOrderCycles reproduces the failure LDF prevents: a router
+// that corrects the highest dimension first for odd destinations creates a
+// buffer-dependency cycle on HyperX flats, which the checker reports as a
+// CycleError. Partial population included.
+func TestHyperXMixedOrderCycles(t *testing.T) {
+	for _, tc := range []struct {
+		shape []int
+		n     int
+	}{
+		{[]int{3, 3}, 9},
+		{[]int{3, 3, 3}, 27},
+		{[]int{4, 2, 3}, 24},
+		{[]int{3, 3, 3}, 23}, // partially populated
+	} {
+		t.Run(fmt.Sprintf("%s/n=%d", shapeString(tc.shape), tc.n), func(t *testing.T) {
+			topo, err := NewHyperX(tc.shape, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = CheckRouterDeadlockFree(topo.Nodes(), MixedOrderNextHop(topo), topo.Dims()+2)
+			var cyc *CycleError
+			if !errors.As(err, &cyc) {
+				t.Fatalf("mixed-order routing on %v: want *CycleError, got %v", topo, err)
+			}
+			if len(cyc.Edges) < 3 {
+				t.Fatalf("cycle too short to be real: %v", cyc)
+			}
+		})
+	}
+}
+
+func TestHyperXDefaultShape(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 27, 64, 100, 729, 4096} {
+		topo, err := New(HyperX, n)
+		if err != nil {
+			t.Fatalf("New(HyperX, %d): %v", n, err)
+		}
+		if topo.Dims() != 4 {
+			t.Errorf("default HyperX over %d nodes has %d dims, want 4", n, topo.Dims())
+		}
+		if topo.Nodes() != n {
+			t.Errorf("Nodes() = %d, want %d", topo.Nodes(), n)
+		}
+		if err := CheckDeadlockFree(topo); err != nil {
+			t.Errorf("default HyperX over %d nodes: %v", n, err)
+		}
+	}
+}
+
+func TestFlatShapeCoversAndBalances(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 27, 64, 729, 1000, 4096, 100000} {
+		for k := 1; k <= 8; k++ {
+			shape := FlatShape(n, k)
+			if len(shape) != k {
+				t.Fatalf("FlatShape(%d,%d) has %d dims", n, k, len(shape))
+			}
+			if c := capacityOf(shape); c < n {
+				t.Errorf("FlatShape(%d,%d) = %v capacity %d < n", n, k, shape, c)
+			}
+			for i := 1; i < len(shape); i++ {
+				if shape[i] > shape[i-1] {
+					t.Errorf("FlatShape(%d,%d) = %v extents not non-increasing", n, k, shape)
+				}
+			}
+		}
+	}
+	// Exact powers factor exactly.
+	if s := FlatShape(729, 6); shapeString(s) != "3x3x3x3x3x3" {
+		t.Errorf("FlatShape(729,6) = %v, want 3^6", s)
+	}
+	if s := FlatShape(4096, 4); shapeString(s) != "8x8x8x8" {
+		t.Errorf("FlatShape(4096,4) = %v, want 8^4", s)
+	}
+}
+
+// TestHyperXSubsumesPaperFamily checks the family claim: the paper's grid
+// topologies are HyperX points, with identical routing.
+func TestHyperXSubsumesPaperFamily(t *testing.T) {
+	n := 64
+	for _, tc := range []struct {
+		kind  Kind
+		shape []int
+	}{
+		{FCG, []int{64}},
+		{MFCG, []int{8, 8}},
+		{CFCG, []int{4, 4, 4}},
+		{Hypercube, []int{2, 2, 2, 2, 2, 2}},
+	} {
+		classic := MustNew(tc.kind, n)
+		hx, err := NewHyperX(tc.shape, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				if got, want := hx.NextHop(src, dst), classic.NextHop(src, dst); got != want {
+					t.Fatalf("%v: HyperX %v NextHop(%d,%d) = %d, classic = %d",
+						tc.kind, tc.shape, src, dst, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parameterized topology specification: a Kind plus the optional
+// shape (grid family) or group parameters (Dragonfly). It is the unit the
+// sweep grids, cmd -topo flags and the root armcivt API thread around
+// instead of a bare Kind, so "which topology" and "which point of the
+// family" travel together. The zero Spec is plain FCG.
+//
+// The textual grammar, shared by every -topo flag and the sweep topos= axis
+// (see ParseSpec):
+//
+//	fcg | mfcg | cfcg | hypercube | hyperx | dragonfly   (default shapes)
+//	mfcg:32x32          explicit mesh shape (2 extents)
+//	cfcg:8x8x8          explicit cube shape (3 extents)
+//	hyperx:8x8x4        explicit k-ary n-flat shape (any number of extents)
+//	dragonfly:g=9,a=4,h=2   groups, routers/group, global links/router
+type Spec struct {
+	// Kind selects the topology family.
+	Kind Kind
+	// Shape is an explicit grid shape for MFCG (2 extents), CFCG (3) or
+	// HyperX (any). Nil picks the default shape for the node count.
+	Shape []int
+	// Groups, RoutersPerGroup and GlobalPerRouter are the Dragonfly
+	// parameters g, a and h. All zero picks DragonflyShape defaults with
+	// h = 1; when g and a are set, h = 0 keeps the hub rail only.
+	Groups, RoutersPerGroup, GlobalPerRouter int
+}
+
+// IsZero reports whether the spec is the zero value (plain FCG with no
+// parameters), the "unset" sentinel config structs use for fallbacks.
+func (s Spec) IsZero() bool {
+	return s.Kind == FCG && len(s.Shape) == 0 &&
+		s.Groups == 0 && s.RoutersPerGroup == 0 && s.GlobalPerRouter == 0
+}
+
+// String renders the canonical form: the bare kind name for specs without
+// parameters (identical to Kind.String(), which keeps every pre-existing
+// sweep label and cache key unchanged), the lowercase grammar form
+// otherwise. ParseSpec(s.String()) round-trips.
+func (s Spec) String() string {
+	switch {
+	case len(s.Shape) > 0:
+		return strings.ToLower(s.Kind.String()) + ":" + shapeString(s.Shape)
+	case s.Kind == Dragonfly && (s.Groups != 0 || s.RoutersPerGroup != 0 || s.GlobalPerRouter != 0):
+		return fmt.Sprintf("dragonfly:g=%d,a=%d,h=%d", s.Groups, s.RoutersPerGroup, s.GlobalPerRouter)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// validate checks the parameter arity for the kind without building.
+func (s Spec) validate() error {
+	if len(s.Shape) > 0 {
+		switch s.Kind {
+		case MFCG:
+			if len(s.Shape) != 2 {
+				return fmt.Errorf("core: mfcg shape needs 2 extents, got %d", len(s.Shape))
+			}
+		case CFCG:
+			if len(s.Shape) != 3 {
+				return fmt.Errorf("core: cfcg shape needs 3 extents, got %d", len(s.Shape))
+			}
+		case HyperX:
+			// any number of extents
+		default:
+			return fmt.Errorf("core: %v does not take an explicit shape", s.Kind)
+		}
+		for _, e := range s.Shape {
+			if e < 1 {
+				return fmt.Errorf("core: shape extent %d must be >= 1", e)
+			}
+		}
+	}
+	if s.Kind != Dragonfly && (s.Groups != 0 || s.RoutersPerGroup != 0 || s.GlobalPerRouter != 0) {
+		return fmt.Errorf("core: %v does not take dragonfly parameters", s.Kind)
+	}
+	return nil
+}
+
+// Build constructs the topology over n nodes. Parameterless specs use the
+// default shape for n (New); explicit shapes admit any n up to their
+// capacity via partial population; explicit Dragonfly parameters must host
+// exactly n = g*a nodes.
+func (s Spec) Build(n int) (Topology, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.Kind == Dragonfly {
+		g, a, h := s.Groups, s.RoutersPerGroup, s.GlobalPerRouter
+		if g == 0 && a == 0 {
+			g, a = DragonflyShape(n)
+			if h == 0 {
+				h = 1
+			}
+		}
+		if g*a != n {
+			return nil, fmt.Errorf("core: dragonfly g=%d,a=%d hosts %d nodes, not %d", g, a, g*a, n)
+		}
+		return NewDragonfly(g, a, h)
+	}
+	if len(s.Shape) == 0 {
+		return New(s.Kind, n)
+	}
+	return newGrid(s.Kind, append([]int(nil), s.Shape...), n)
+}
+
+// ParseSpecList parses a comma-separated list of topology specs (the form
+// -topos flags and the sweep topos= axis take). Dragonfly parameter
+// fragments reuse the list comma — "dragonfly:g=9,a=4,h=2,fcg" is the
+// dragonfly spec followed by fcg — so a fragment containing "=" but no ":"
+// attaches to the spec before it.
+func ParseSpecList(val string) ([]Spec, error) {
+	var parts []string
+	for _, s := range strings.Split(val, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		if len(parts) > 0 && !strings.Contains(s, ":") && strings.Contains(s, "=") {
+			parts[len(parts)-1] += "," + s
+			continue
+		}
+		parts = append(parts, s)
+	}
+	var out []Spec
+	for _, p := range parts {
+		spec, err := ParseSpec(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// ParseSpec parses the topology-spec grammar documented on Spec. Bare kind
+// names (everything ParseKind accepts, any case) parse to parameterless
+// specs, so every pre-existing -topo value keeps working.
+func ParseSpec(str string) (Spec, error) {
+	head, params, hasParams := strings.Cut(strings.TrimSpace(str), ":")
+	kind, err := ParseKind(head)
+	if err != nil {
+		return Spec{}, err
+	}
+	s := Spec{Kind: kind}
+	if !hasParams {
+		return s, nil
+	}
+	if kind == Dragonfly {
+		s.GlobalPerRouter = 1 // default h when the spec omits it
+		seen := map[string]bool{}
+		for _, field := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("core: dragonfly parameter %q is not key=value", field)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || v < 0 {
+				return Spec{}, fmt.Errorf("core: bad dragonfly parameter %q", field)
+			}
+			key = strings.TrimSpace(key)
+			if seen[key] {
+				return Spec{}, fmt.Errorf("core: duplicate dragonfly parameter %q", key)
+			}
+			seen[key] = true
+			switch key {
+			case "g":
+				s.Groups = v
+			case "a":
+				s.RoutersPerGroup = v
+			case "h":
+				s.GlobalPerRouter = v
+			default:
+				return Spec{}, fmt.Errorf("core: unknown dragonfly parameter %q (want g, a or h)", key)
+			}
+		}
+		if s.Groups < 1 || s.RoutersPerGroup < 1 {
+			return Spec{}, fmt.Errorf("core: dragonfly spec %q needs g>=1 and a>=1", str)
+		}
+		return s, nil
+	}
+	for _, part := range strings.Split(params, "x") {
+		e, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || e < 1 {
+			return Spec{}, fmt.Errorf("core: bad shape extent %q in %q", part, str)
+		}
+		s.Shape = append(s.Shape, e)
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

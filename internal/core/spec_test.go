@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrips(t *testing.T) {
+	for _, tc := range []struct {
+		in        string
+		canonical string
+		kind      Kind
+	}{
+		{"fcg", "FCG", FCG},
+		{"MFCG", "MFCG", MFCG},
+		{"cfcg", "CFCG", CFCG},
+		{"hypercube", "Hypercube", Hypercube},
+		{"hc", "Hypercube", Hypercube},
+		{"HYPERX", "HyperX", HyperX},
+		{"hx", "HyperX", HyperX},
+		{"dragonfly", "Dragonfly", Dragonfly},
+		{"dfly", "Dragonfly", Dragonfly},
+		{"hyperx:8x8x4", "hyperx:8x8x4", HyperX},
+		{"hyperx:6", "hyperx:6", HyperX},
+		{"mfcg:32x32", "mfcg:32x32", MFCG},
+		{"cfcg:8x8x8", "cfcg:8x8x8", CFCG},
+		{"dragonfly:g=9,a=4,h=2", "dragonfly:g=9,a=4,h=2", Dragonfly},
+		{"dragonfly:g=9,a=4", "dragonfly:g=9,a=4,h=1", Dragonfly}, // h defaults to 1
+		{"dragonfly:a=4,h=0,g=9", "dragonfly:g=9,a=4,h=0", Dragonfly},
+		{" hyperx:4x4x2 ", "hyperx:4x4x2", HyperX},
+	} {
+		s, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if s.Kind != tc.kind {
+			t.Errorf("ParseSpec(%q).Kind = %v, want %v", tc.in, s.Kind, tc.kind)
+		}
+		if got := s.String(); got != tc.canonical {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.canonical)
+		}
+		// Canonical form re-parses to the same spec.
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q) round-trip: %v", s.String(), err)
+			continue
+		}
+		if s2.String() != s.String() {
+			t.Errorf("round trip %q -> %q", s.String(), s2.String())
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"torus",              // unknown family
+		"mfcg:8",             // wrong arity
+		"mfcg:8x8x8",         // wrong arity
+		"cfcg:8x8",           // wrong arity
+		"fcg:64",             // fcg takes no shape
+		"hypercube:2x2",      // hypercube takes no shape
+		"hyperx:8x0x4",       // zero extent
+		"hyperx:8xx4",        // empty extent
+		"dragonfly:g=9",      // missing a
+		"dragonfly:g=9,a=0",  // a < 1
+		"dragonfly:g=9,q=4",  // unknown key
+		"dragonfly:g=9,g=9",  // duplicate key
+		"dragonfly:g=9,a",    // not key=value
+		"dragonfly:g=-1,a=4", // negative
+		"dragonfly:g=x,a=4",  // non-numeric
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", in)
+		}
+	}
+	// The unknown-kind error advertises all six families.
+	_, err := ParseSpec("torus")
+	if err == nil || !strings.Contains(err.Error(), "HyperX") || !strings.Contains(err.Error(), "Dragonfly") {
+		t.Errorf("unknown-kind error should list the new families, got %v", err)
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	// Zero spec is plain FCG.
+	var zero Spec
+	if !zero.IsZero() {
+		t.Error("zero Spec should report IsZero")
+	}
+	topo, err := zero.Build(16)
+	if err != nil || topo.Kind() != FCG || topo.Nodes() != 16 {
+		t.Fatalf("zero Spec Build = %v, %v", topo, err)
+	}
+
+	// Explicit shape admits partial population up to capacity.
+	s := Spec{Kind: HyperX, Shape: []int{3, 3, 3}}
+	if topo, err = s.Build(23); err != nil || topo.Nodes() != 23 {
+		t.Fatalf("hyperx:3x3x3 over 23 nodes = %v, %v", topo, err)
+	}
+	if _, err = s.Build(28); err == nil {
+		t.Error("hyperx:3x3x3 over 28 nodes should exceed capacity")
+	}
+
+	// Explicit dragonfly parameters must match the node count exactly.
+	df := Spec{Kind: Dragonfly, Groups: 8, RoutersPerGroup: 4, GlobalPerRouter: 1}
+	if topo, err = df.Build(32); err != nil || topo.Nodes() != 32 {
+		t.Fatalf("dragonfly g=8,a=4 over 32 nodes = %v, %v", topo, err)
+	}
+	if _, err = df.Build(31); err == nil {
+		t.Error("dragonfly g=8,a=4 over 31 nodes should fail")
+	}
+
+	// Parameterless dragonfly picks DragonflyShape defaults.
+	if topo, err = (Spec{Kind: Dragonfly}).Build(64); err != nil || topo.Nodes() != 64 {
+		t.Fatalf("default dragonfly over 64 nodes = %v, %v", topo, err)
+	}
+
+	// Non-grid kinds reject shapes, non-dragonfly kinds reject g/a/h.
+	if _, err = (Spec{Kind: Hypercube, Shape: []int{2, 2}}).Build(4); err == nil {
+		t.Error("hypercube with shape should fail validation")
+	}
+	if _, err = (Spec{Kind: MFCG, Groups: 2}).Build(4); err == nil {
+		t.Error("mfcg with dragonfly parameters should fail validation")
+	}
+}
+
+// TestSpecStringPreservesLegacyLabels pins the property the sweep cache
+// depends on: bare specs render exactly as the classic Kind names.
+func TestSpecStringPreservesLegacyLabels(t *testing.T) {
+	for _, k := range Kinds {
+		if got := (Spec{Kind: k}).String(); got != k.String() {
+			t.Errorf("bare Spec{%v}.String() = %q, want %q", k, got, k.String())
+		}
+	}
+}

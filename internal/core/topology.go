@@ -32,16 +32,30 @@ import (
 // Kind identifies one of the paper's virtual topologies.
 type Kind int
 
-// The four virtual topologies evaluated in the paper.
+// The four virtual topologies evaluated in the paper, plus the two
+// generalized families built on top of them.
 const (
 	FCG Kind = iota
 	MFCG
 	CFCG
 	Hypercube
+	// HyperX is the k-ary n-flat family the paper's four topologies are all
+	// points of: a grid with arbitrary dimension count and per-dimension
+	// extents, all-to-all along every axis, partially populated under the
+	// same lowest-dimension-first ordering (generalized D <= M rule).
+	HyperX
+	// Dragonfly groups routers into fully connected groups joined by global
+	// links, routed group-local -> global -> group-local in at most 3 hops.
+	Dragonfly
 )
 
-// Kinds lists all topology kinds in presentation order.
+// Kinds lists the paper's four topology kinds in presentation order. The
+// figure drivers that reproduce the paper's plots iterate exactly these.
 var Kinds = []Kind{FCG, MFCG, CFCG, Hypercube}
+
+// AllKinds lists every topology family, the paper's four plus the
+// generalized HyperX and Dragonfly families.
+var AllKinds = []Kind{FCG, MFCG, CFCG, Hypercube, HyperX, Dragonfly}
 
 // String returns the paper's name for the topology kind.
 func (k Kind) String() string {
@@ -54,12 +68,17 @@ func (k Kind) String() string {
 		return "CFCG"
 	case Hypercube:
 		return "Hypercube"
+	case HyperX:
+		return "HyperX"
+	case Dragonfly:
+		return "Dragonfly"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// ParseKind converts a (case-insensitive) topology name to its Kind.
+// ParseKind converts a (case-insensitive) topology name to its Kind. For
+// names with parameters ("hyperx:8x8x4") see ParseSpec.
 func ParseKind(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "fcg", "flat":
@@ -70,8 +89,12 @@ func ParseKind(s string) (Kind, error) {
 		return CFCG, nil
 	case "hypercube", "hcube", "hc":
 		return Hypercube, nil
+	case "hyperx", "hx":
+		return HyperX, nil
+	case "dragonfly", "dfly":
+		return Dragonfly, nil
 	default:
-		return 0, fmt.Errorf("core: unknown topology %q (want FCG, MFCG, CFCG, or Hypercube)", s)
+		return 0, fmt.Errorf("core: unknown topology %q (want FCG, MFCG, CFCG, Hypercube, HyperX, or Dragonfly)", s)
 	}
 }
 
@@ -143,6 +166,11 @@ func New(kind Kind, n int) (Topology, error) {
 			shape = []int{1}
 		}
 		return newGrid(Hypercube, shape, n)
+	case HyperX:
+		return newGrid(HyperX, HyperXShape(n), n)
+	case Dragonfly:
+		g, a := DragonflyShape(n)
+		return NewDragonfly(g, a, 1)
 	default:
 		return nil, fmt.Errorf("core: unknown kind %v", kind)
 	}

@@ -36,7 +36,10 @@ const chaosHorizon = 2 * sim.Millisecond
 
 // ChaosConfig sizes one chaos run.
 type ChaosConfig struct {
-	Kind  core.Kind
+	Kind core.Kind
+	// Topo, when non-zero, selects a parameterized topology spec and takes
+	// precedence over Kind (zero Spec defers to Kind; see ContentionConfig).
+	Topo  core.Spec
 	Nodes int // default 64
 	PPN   int // default 2
 	// OpsPerRank is how many accumulate operations every surviving rank
@@ -111,7 +114,11 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 	c = c.withDefaults()
 	eng := simEngine()
 	eng.Seed(c.Seed)
-	topo, err := core.New(c.Kind, c.Nodes)
+	spec := c.Topo
+	if spec.IsZero() {
+		spec = core.Spec{Kind: c.Kind}
+	}
+	topo, err := spec.Build(c.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +161,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 		if c.Heal {
 			heal = "heal on"
 		}
-		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("chaos %v %d nodes, %d crashes, %s", c.Kind, c.Nodes, c.Crashes, heal))
+		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("chaos %v %d nodes, %d crashes, %s", spec, c.Nodes, c.Crashes, heal))
 	}
 	// A chaotic schedule that wedges the protocol must become an error, not
 	// a hang: the watchdog converts a stuck event queue into a
@@ -232,15 +239,15 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 		}
 		if applied < float64(completed[o]) {
 			return nil, fmt.Errorf("chaos %v seed %d: rank %d lost operations: %d completed but only %g applied",
-				c.Kind, c.Seed, o, completed[o], applied)
+				spec, c.Seed, o, completed[o], applied)
 		}
 		if applied > float64(completed[o]+failed[o]) {
 			return nil, fmt.Errorf("chaos %v seed %d: rank %d double-applied: %g applied exceeds %d issued",
-				c.Kind, c.Seed, o, applied, completed[o]+failed[o])
+				spec, c.Seed, o, applied, completed[o]+failed[o])
 		}
 		if issued[o] != completed[o]+failed[o] {
 			return nil, fmt.Errorf("chaos %v seed %d: rank %d accounting broken: %d issued != %d completed + %d failed",
-				c.Kind, c.Seed, o, issued[o], completed[o], failed[o])
+				spec, c.Seed, o, issued[o], completed[o], failed[o])
 		}
 		res.Issued += issued[o]
 		res.Completed += completed[o]
@@ -252,7 +259,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 			o := v*c.PPN + p
 			for t := 0; t < n; t++ {
 				if got := armci.GetFloat64(rt.Memory(t, "chaos"), 8*o); got != 0 {
-					return nil, fmt.Errorf("chaos %v seed %d: idle victim rank %d's slot is %g at rank %d", c.Kind, c.Seed, o, got, t)
+					return nil, fmt.Errorf("chaos %v seed %d: idle victim rank %d's slot is %g at rank %d", spec, c.Seed, o, got, t)
 				}
 			}
 		}
@@ -261,7 +268,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 	// adaptive credits are on, every receiver's partition still sums to its
 	// budget with floor >= 1).
 	if err := rt.CheckCreditInvariants(); err != nil {
-		return nil, fmt.Errorf("chaos %v seed %d: %w", c.Kind, c.Seed, err)
+		return nil, fmt.Errorf("chaos %v seed %d: %w", spec, c.Seed, err)
 	}
 	// Invariant 4: bounded detection. Every confirmation must land within
 	// two suspicion timeouts plus two heartbeat ticks of quantization slack.
@@ -270,7 +277,7 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 		bound := 2*heal.SuspicionTimeout + 2*heal.HeartbeatInterval
 		if res.Stats.MaxDetectLatency > bound {
 			return nil, fmt.Errorf("chaos %v seed %d: detection latency %v exceeds bound %v",
-				c.Kind, c.Seed, res.Stats.MaxDetectLatency, bound)
+				spec, c.Seed, res.Stats.MaxDetectLatency, bound)
 		}
 	}
 	return res, nil

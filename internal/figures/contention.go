@@ -33,7 +33,11 @@ func (o ContentionOp) String() string {
 // operations to rank 0 while ContenderEvery-th processes hammer rank 0
 // continuously.
 type ContentionConfig struct {
-	Kind  core.Kind
+	Kind core.Kind
+	// Topo, when non-zero, selects a parameterized topology spec (shape or
+	// group parameters) and takes precedence over Kind. The zero Spec defers
+	// to Kind, keeping every pre-existing config literal bit-identical.
+	Topo  core.Spec
 	Nodes int // paper: 256
 	PPN   int // paper: 4
 	Iters int // paper: 20
@@ -146,7 +150,11 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 	if c.Seed != 0 {
 		eng.Seed(c.Seed)
 	}
-	topo, err := core.New(c.Kind, c.Nodes)
+	spec := c.Topo
+	if spec.IsZero() {
+		spec = core.Spec{Kind: c.Kind}
+	}
+	topo, err := spec.Build(c.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +187,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 		if c.ContenderEvery > 0 {
 			contend = fmt.Sprintf("1-in-%d contending", c.ContenderEvery)
 		}
-		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("contention %v %v, %s", c.Op, c.Kind, contend))
+		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("contention %v %v, %s", c.Op, spec, contend))
 		if c.TraceSched {
 			eng.SetTracer(obs.NewSimTracer(c.Trace, c.TracePID))
 		}
@@ -235,7 +243,7 @@ func Contention(c ContentionConfig) (*stats.Series, error) {
 		}
 	})
 
-	series := &stats.Series{Label: c.Kind.String()}
+	series := &stats.Series{Label: spec.String()}
 	// Per-rank measurement slots: each rank writes only its own index from
 	// its own owner context, so sharded runs never contend.
 	times := make([]float64, n)

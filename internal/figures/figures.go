@@ -53,11 +53,17 @@ func Fig5(procCounts []int, ppn int) ([]*stats.Series, error) {
 // for one topology at one process count. It is the per-point unit the sweep
 // runner executes; Fig5 is the serial cross-product of these cells.
 func Fig5Point(procs, ppn int, kind core.Kind) (float64, error) {
+	return Fig5PointSpec(procs, ppn, core.Spec{Kind: kind})
+}
+
+// Fig5PointSpec is Fig5Point for a parameterized topology spec, the unit the
+// sweep runner executes for shaped memscale points.
+func Fig5PointSpec(procs, ppn int, spec core.Spec) (float64, error) {
 	if procs%ppn != 0 {
 		return 0, fmt.Errorf("figures: %d processes not divisible by ppn %d", procs, ppn)
 	}
 	nodes := procs / ppn
-	topo, err := core.New(kind, nodes)
+	topo, err := spec.Build(nodes)
 	if err != nil {
 		return 0, err
 	}

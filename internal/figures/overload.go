@@ -35,7 +35,10 @@ import (
 
 // OverloadConfig sizes one overload run.
 type OverloadConfig struct {
-	Kind  core.Kind
+	Kind core.Kind
+	// Topo, when non-zero, selects a parameterized topology spec and takes
+	// precedence over Kind (zero Spec defers to Kind; see ContentionConfig).
+	Topo  core.Spec
 	Nodes int // default 64
 	PPN   int // default 2
 	// OpsPerRank is how many accumulate operations every non-hot rank
@@ -195,7 +198,11 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 	c = c.withDefaults()
 	eng := simEngine()
 	eng.Seed(c.Seed)
-	topo, err := core.New(c.Kind, c.Nodes)
+	spec := c.Topo
+	if spec.IsZero() {
+		spec = core.Spec{Kind: c.Kind}
+	}
+	topo, err := spec.Build(c.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +242,7 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 		if c.Protect {
 			arm = "protected"
 		}
-		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("overload %v %d nodes, %d storms, %s", c.Kind, c.Nodes, c.Storms, arm))
+		c.Trace.ProcessName(c.TracePID, fmt.Sprintf("overload %v %d nodes, %d storms, %s", spec, c.Nodes, c.Storms, arm))
 	}
 	// The watchdog converts both a wedged run and — when CollapseFloor is
 	// armed — a goodput collapse into a Run error instead of a hang.
@@ -356,11 +363,11 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 		// exactly one of completed or shed; nothing failed any other way.
 		if other[rank] != 0 {
 			return nil, fmt.Errorf("overload %v seed %d: rank %d saw %d non-overload failures",
-				c.Kind, c.Seed, rank, other[rank])
+				spec, c.Seed, rank, other[rank])
 		}
 		if issued[rank] != completed[rank]+shed[rank] {
 			return nil, fmt.Errorf("overload %v seed %d: rank %d accounting broken: %d issued != %d completed + %d shed",
-				c.Kind, c.Seed, rank, issued[rank], completed[rank], shed[rank])
+				spec, c.Seed, rank, issued[rank], completed[rank], shed[rank])
 		}
 		// Invariant 2: ledger exactness — each admitted op adds +1 to every
 		// element of the origin's slot exactly once, each shed op not at all
@@ -371,7 +378,7 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 			applied := armci.GetFloat64(mem, ovlSlot*rank+8*el)
 			if applied != float64(completed[rank]) {
 				return nil, fmt.Errorf("overload %v seed %d: rank %d ledger[%d] mismatch: %g applied != %d completed",
-					c.Kind, c.Seed, rank, el, applied, completed[rank])
+					spec, c.Seed, rank, el, applied, completed[rank])
 			}
 		}
 		res.Issued += issued[rank]
@@ -401,23 +408,23 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 		int(s.ShedDeadline) != res.ShedDeadline ||
 		int(s.ShedClass) != res.ShedClass {
 		return nil, fmt.Errorf("overload %v seed %d: shed ledger mismatch: stats %d/%d/%d/%d != observed %d/%d/%d/%d",
-			c.Kind, c.Seed, s.ShedOps, s.ShedBudget, s.ShedDeadline, s.ShedClass,
+			spec, c.Seed, s.ShedOps, s.ShedBudget, s.ShedDeadline, s.ShedClass,
 			res.Shed, res.ShedBudget, res.ShedDeadline, res.ShedClass)
 	}
 	if c.Protect {
 		if int(s.Admitted) != res.Issued-res.Shed {
 			return nil, fmt.Errorf("overload %v seed %d: admitted %d != issued %d - shed %d",
-				c.Kind, c.Seed, s.Admitted, res.Issued, res.Shed)
+				spec, c.Seed, s.Admitted, res.Issued, res.Shed)
 		}
 	} else if res.Shed != 0 || s.Admitted != 0 {
 		return nil, fmt.Errorf("overload %v seed %d: unprotected run shed %d ops (admitted %d)",
-			c.Kind, c.Seed, res.Shed, s.Admitted)
+			spec, c.Seed, res.Shed, s.Admitted)
 	}
 	// Invariant 4: goodput under protection clears the configured floor.
 	if c.Protect && c.GoodputFloor > 0 {
 		if float64(res.Completed) < c.GoodputFloor*float64(res.Issued) {
 			return nil, fmt.Errorf("overload %v seed %d: goodput %d/%d below floor %g",
-				c.Kind, c.Seed, res.Completed, res.Issued, c.GoodputFloor)
+				spec, c.Seed, res.Completed, res.Issued, c.GoodputFloor)
 		}
 	}
 	// Invariant 5: per-tenant max/min fairness bound.
@@ -433,12 +440,12 @@ func Overload(c OverloadConfig) (*OverloadResult, error) {
 		}
 		if minT == 0 || float64(maxT)/float64(minT) > c.FairnessBound {
 			return nil, fmt.Errorf("overload %v seed %d: tenant goodput %v violates fairness bound %g",
-				c.Kind, c.Seed, res.TenantCompleted, c.FairnessBound)
+				spec, c.Seed, res.TenantCompleted, c.FairnessBound)
 		}
 	}
 	// Invariant 6: credits stayed within bounds on every edge.
 	if err := rt.CheckCreditInvariants(); err != nil {
-		return nil, fmt.Errorf("overload %v seed %d: %w", c.Kind, c.Seed, err)
+		return nil, fmt.Errorf("overload %v seed %d: %w", spec, c.Seed, err)
 	}
 	return res, nil
 }

@@ -57,7 +57,7 @@ type ExecOptions struct {
 // sweep records them and moves on.
 func Execute(p Point, opts ExecOptions) Result {
 	res := Result{Point: p, Label: p.Label()}
-	kind, err := core.ParseKind(p.Topo)
+	spec, err := core.ParseSpec(p.Topo)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -65,7 +65,8 @@ func Execute(p Point, opts ExecOptions) Result {
 	switch p.Experiment {
 	case ExpChaos:
 		cc := figures.ChaosConfig{
-			Kind:       kind,
+			Kind:       spec.Kind,
+			Topo:       spec,
 			Nodes:      p.Nodes,
 			PPN:        p.PPN,
 			OpsPerRank: p.Iters,
@@ -101,7 +102,8 @@ func Execute(p Point, opts ExecOptions) Result {
 		}
 	case ExpOverload:
 		oc := figures.OverloadConfig{
-			Kind:       kind,
+			Kind:       spec.Kind,
+			Topo:       spec,
 			Nodes:      p.Nodes,
 			PPN:        p.PPN,
 			OpsPerRank: p.Iters,
@@ -139,7 +141,7 @@ func Execute(p Point, opts ExecOptions) Result {
 				p.Topo, p.Storms, p.Tenants, onOff(p.Overload)))
 		}
 	case ExpMemscale:
-		v, err := figures.Fig5Point(p.Procs, p.PPN, kind)
+		v, err := figures.Fig5PointSpec(p.Procs, p.PPN, spec)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -147,7 +149,8 @@ func Execute(p Point, opts ExecOptions) Result {
 		res.Value = v
 	case ExpContention:
 		cfg := figures.ContentionConfig{
-			Kind:            kind,
+			Kind:            spec.Kind,
+			Topo:            spec,
 			Nodes:           p.Nodes,
 			PPN:             p.PPN,
 			Iters:           p.Iters,
@@ -168,12 +171,12 @@ func Execute(p Point, opts ExecOptions) Result {
 			cfg.Op = figures.OpFetchAdd
 		}
 		if p.Faults != "" {
-			spec, err := faults.ParseSpec(p.Faults)
+			fspec, err := faults.ParseSpec(p.Faults)
 			if err != nil {
 				res.Err = err.Error()
 				return res
 			}
-			cfg.Faults = spec
+			cfg.Faults = fspec
 		}
 		var reg *obs.Registry
 		if p.Metrics {

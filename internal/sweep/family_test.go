@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFamilyGridCanonicalization: parameterized specs in topos= canonicalize
+// through the Spec grammar (lowercase, explicit h) while bare kinds keep the
+// classic names.
+func TestFamilyGridCanonicalization(t *testing.T) {
+	g, err := ParseGrid("topos=HYPERX:8x8x4,dragonfly:g=9,a=4,hyperx,dfly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hyperx:8x8x4", "dragonfly:g=9,a=4,h=1", "HyperX", "Dragonfly"}
+	if len(g.Topos) != len(want) {
+		t.Fatalf("Topos = %v", g.Topos)
+	}
+	for i, w := range want {
+		if g.Topos[i] != w {
+			t.Errorf("Topos[%d] = %q, want %q", i, g.Topos[i], w)
+		}
+	}
+	if _, err := ParseGrid("topos=torus"); err == nil {
+		t.Error("unknown family should fail grid parsing")
+	}
+}
+
+// TestFamilyGridFeasibilitySkip: cells whose spec cannot host the cell's
+// node count are skipped, exactly like hypercube off powers of two.
+func TestFamilyGridFeasibilitySkip(t *testing.T) {
+	g := &Grid{
+		Experiment: ExpContention,
+		Topos:      []string{"dragonfly:g=8,a=8,h=1", "HyperX"},
+		Levels:     []string{"20"},
+		Nodes:      []int{32, 64},
+		PPN:        2, Iters: 5, SampleEvery: 8,
+	}
+	points, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dragonfly:g=8,a=8 hosts exactly 64 nodes, so the 32-node cell drops;
+	// HyperX's default shape hosts any count, so both cells survive.
+	var got []string
+	for _, p := range points {
+		got = append(got, p.Topo+"@"+itoa(p.Nodes))
+	}
+	want := "HyperX@32 dragonfly:g=8,a=8,h=1@64 HyperX@64"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("expanded points %q, want %q", s, want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestFamilyPointExecutes: a parameterized point runs end to end through the
+// executor and yields a labeled series.
+func TestFamilyPointExecutes(t *testing.T) {
+	p := Point{
+		Experiment: ExpContention, Topo: "hyperx:4x4x2", Nodes: 32, PPN: 2,
+		Op: "vput", Level: "20", ContenderEvery: 5, Iters: 3, SampleEvery: 8,
+		VecSegs: 8, MsgSize: 64, Seed: 1,
+	}
+	res := Execute(p, ExecOptions{})
+	if res.Err != "" {
+		t.Fatalf("Execute: %s", res.Err)
+	}
+	if len(res.X) == 0 || len(res.Y) == 0 {
+		t.Fatalf("empty series: %+v", res)
+	}
+	if res.Label != "hyperx:4x4x2" {
+		t.Errorf("Label = %q", res.Label)
+	}
+
+	dp := Point{
+		Experiment: ExpMemscale, Topo: "dragonfly:g=16,a=8,h=2", PPN: 4, Procs: 512,
+	}
+	dres := Execute(dp, ExecOptions{})
+	if dres.Err != "" {
+		t.Fatalf("Execute memscale: %s", dres.Err)
+	}
+	if dres.Value <= 0 {
+		t.Fatalf("memscale value %v", dres.Value)
+	}
+}

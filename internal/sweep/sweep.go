@@ -146,14 +146,17 @@ func ParseGrid(spec string) (*Grid, error) {
 			}
 			g.Op = val
 		case "topos":
-			for _, t := range splitList(val) {
-				k, kerr := core.ParseKind(t)
-				if kerr != nil {
-					return nil, fmt.Errorf("sweep: %w", kerr)
-				}
-				// Canonical form, so labels and cache keys are
-				// case-insensitive in the spec.
-				g.Topos = append(g.Topos, k.String())
+			specs, serr := core.ParseSpecList(val)
+			if serr != nil {
+				return nil, fmt.Errorf("sweep: %w", serr)
+			}
+			// Canonical form, so labels and cache keys are case-insensitive
+			// in the spec. Bare kinds canonicalize to the classic Kind
+			// names, keeping pre-existing cache keys; parameterized specs
+			// (hyperx:8x8x4, dragonfly:g=9,a=4,h=2) canonicalize to the
+			// Spec grammar.
+			for _, s := range specs {
+				g.Topos = append(g.Topos, s.String())
 			}
 		case "levels":
 			for _, l := range splitList(val) {
@@ -461,11 +464,11 @@ func (g Grid) Expand() ([]Point, error) {
 					for rep := 0; rep < g.Reps; rep++ {
 						for _, heal := range g.Heals {
 							for _, topo := range g.Topos {
-								kind, err := core.ParseKind(topo)
+								spec, err := core.ParseSpec(topo)
 								if err != nil {
 									return nil, err
 								}
-								if _, err := core.New(kind, nodes); err != nil {
+								if _, err := spec.Build(nodes); err != nil {
 									continue
 								}
 								h := heal
@@ -492,11 +495,11 @@ func (g Grid) Expand() ([]Point, error) {
 						for rep := 0; rep < g.Reps; rep++ {
 							for _, ovl := range g.Overloads {
 								for _, topo := range g.Topos {
-									kind, err := core.ParseKind(topo)
+									spec, err := core.ParseSpec(topo)
 									if err != nil {
 										return nil, err
 									}
-									if _, err := core.New(kind, nodes); err != nil {
+									if _, err := spec.Build(nodes); err != nil {
 										continue
 									}
 									o := ovl
@@ -518,7 +521,7 @@ func (g Grid) Expand() ([]Point, error) {
 		}
 	case ExpMemscale:
 		for _, topo := range g.Topos {
-			kind, err := core.ParseKind(topo)
+			spec, err := core.ParseSpec(topo)
 			if err != nil {
 				return nil, err
 			}
@@ -526,7 +529,7 @@ func (g Grid) Expand() ([]Point, error) {
 				if procs%g.PPN != 0 {
 					return nil, fmt.Errorf("sweep: %d processes not divisible by ppn %d", procs, g.PPN)
 				}
-				if _, err := core.New(kind, procs/g.PPN); err != nil {
+				if _, err := spec.Build(procs / g.PPN); err != nil {
 					continue
 				}
 				add(Point{
@@ -551,11 +554,11 @@ func (g Grid) Expand() ([]Point, error) {
 										for _, heal := range g.Heals {
 											for _, ovl := range g.Overloads {
 												for _, topo := range g.Topos {
-													kind, err := core.ParseKind(topo)
+													spec, err := core.ParseSpec(topo)
 													if err != nil {
 														return nil, err
 													}
-													if _, err := core.New(kind, nodes); err != nil {
+													if _, err := spec.Build(nodes); err != nil {
 														continue
 													}
 													f := fault

@@ -1,0 +1,105 @@
+package armcivt_test
+
+// Facade tests for the topology-spec API: Options.Spec, ParseSpec /
+// ParseSpecList re-exports, and Recommend with a pinned Spec. The family
+// internals are covered in internal/core; these pin the public surface.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"armcivt"
+)
+
+func TestClusterSpecSelection(t *testing.T) {
+	spec, err := armcivt.ParseSpec("hyperx:4x4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := armcivt.NewCluster(armcivt.Options{Nodes: 32, PPN: 2, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Topology().Kind() != armcivt.HyperX {
+		t.Errorf("topology = %v, want HyperX", c.Topology().Kind())
+	}
+	c.Alloc("data", 4096)
+	if err := c.Run(func(r *armcivt.Rank) {
+		dst := (r.Rank() + 13) % r.N()
+		payload := []byte{byte(r.Rank()), 0xCD}
+		r.Put(dst, "data", 2*r.Rank(), payload)
+		r.Barrier()
+		if got := r.Get(dst, "data", 2*r.Rank(), 2); !bytes.Equal(got, payload) {
+			t.Errorf("rank %d: got %v", r.Rank(), got)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A spec that cannot host the node count surfaces the build error.
+	df, err := armcivt.ParseSpec("dragonfly:g=8,a=4,h=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := armcivt.NewCluster(armcivt.Options{Nodes: 33, PPN: 1, Spec: df}); err == nil {
+		t.Error("dragonfly g=8,a=4 on 33 nodes accepted")
+	}
+
+	// The zero Spec defers to Options.Topology, so pre-spec callers are
+	// byte-identical.
+	c2, err := armcivt.NewCluster(armcivt.Options{Nodes: 27, PPN: 1, Topology: armcivt.CFCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Topology().Kind() != armcivt.CFCG {
+		t.Errorf("zero Spec: topology = %v, want CFCG", c2.Topology().Kind())
+	}
+}
+
+func TestParseSpecListFacade(t *testing.T) {
+	specs, err := armcivt.ParseSpecList("mfcg,hyperx:8x8x4,dragonfly:g=9,a=4,h=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range specs {
+		got = append(got, s.String())
+	}
+	want := "MFCG hyperx:8x8x4 dragonfly:g=9,a=4,h=2"
+	if s := strings.Join(got, " "); s != want {
+		t.Errorf("specs = %q, want %q", s, want)
+	}
+}
+
+func TestRecommendPinnedSpec(t *testing.T) {
+	spec, err := armcivt.ParseSpec("hyperx:4x4x4x4x4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := armcivt.Recommend(armcivt.RecommendOptions{
+		Nodes: 4096, PPN: 12, Spec: spec, MemBudget: 16 << 20,
+	})
+	if a.Kind != armcivt.HyperX || a.MaxHops != 6 {
+		t.Errorf("advice = %+v", a)
+	}
+	want := int64(18) * 12 * 4 * (16 << 10) // degree 18 of the 4-ary 6-flat
+	if a.BufferBytesPerNode != want {
+		t.Errorf("footprint = %d, want %d", a.BufferBytesPerNode, want)
+	}
+	if !strings.Contains(a.Reason, "fits the budget") {
+		t.Errorf("reason = %q", a.Reason)
+	}
+
+	// An infeasible pinned spec reports the failure instead of searching.
+	bad := armcivt.TopologySpec{Kind: armcivt.Dragonfly, Groups: 3, RoutersPerGroup: 3}
+	a = armcivt.Recommend(armcivt.RecommendOptions{Nodes: 10, PPN: 1, Spec: bad})
+	if !strings.Contains(a.Reason, "infeasible") {
+		t.Errorf("reason = %q", a.Reason)
+	}
+
+	// EvaluateSpec exposes the error form directly.
+	if _, err := armcivt.EvaluateSpec(bad, armcivt.RecommendOptions{Nodes: 10, PPN: 1}); err == nil {
+		t.Error("EvaluateSpec accepted a 9-node dragonfly over 10 nodes")
+	}
+}
