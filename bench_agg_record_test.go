@@ -26,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
 	"armcivt/internal/stats"
@@ -147,7 +148,7 @@ func regenerateBenchAgg(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(benchAggPath, append(data, '\n'), 0o644); err != nil {
+	if err := ckpt.WriteFileAtomic(benchAggPath, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", benchAggPath)

@@ -31,6 +31,7 @@ import (
 	"os"
 	"testing"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
 )
@@ -179,7 +180,7 @@ func regenerateBenchOverload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(benchOverloadPath, append(data, '\n'), 0o644); err != nil {
+	if err := ckpt.WriteFileAtomic(benchOverloadPath, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", benchOverloadPath)

@@ -27,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/figures"
 )
 
@@ -218,7 +219,7 @@ func regenerateBenchScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(benchScalePath, append(data, '\n'), 0o644); err != nil {
+	if err := ckpt.WriteFileAtomic(benchScalePath, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", benchScalePath)

@@ -32,6 +32,7 @@ import (
 	"testing"
 	"time"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/core"
 	"armcivt/internal/figures"
 )
@@ -192,7 +193,7 @@ func regenerateBenchShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(benchShardsPath, append(data, '\n'), 0o644); err != nil {
+	if err := ckpt.WriteFileAtomic(benchShardsPath, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", benchShardsPath)

@@ -1,0 +1,387 @@
+package armci
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"armcivt/internal/ckpt"
+	"armcivt/internal/sim"
+)
+
+// Checkpoint defaults (CkptConfig zero-value fills).
+const (
+	// DefaultCkptEvery is the default capture interval in virtual time. At
+	// the paper's microsecond-scale operation latencies a 1 ms boundary
+	// lands every few tens of thousands of protocol events — frequent
+	// enough that an interrupted run loses little (the figure workloads
+	// span single-digit milliseconds of virtual time), rare enough that
+	// digesting the arenas stays below the 10% overhead budget at the
+	// 16k-node scale point (BENCH_ckpt.json).
+	DefaultCkptEvery = sim.Millisecond
+	// DefaultCkptRetain keeps the last K snapshots on disk.
+	DefaultCkptRetain = 3
+)
+
+// CkptConfig arms periodic checkpointing on a runtime (Config.Ckpt).
+//
+// The design is a verified replay cursor, not a state dump: Go cannot
+// serialize the parked goroutine stacks that embody simulated processes, so
+// a snapshot records *where* the run was (boundary index and time) plus a
+// byte-comparable digest of every layer's state at that quiescent instant.
+// Restore rebuilds the runtime from the same Config, replays
+// deterministically to the cursor, proves the replayed state matches the
+// captured digests byte-for-byte, and continues. Because captures are
+// passive, an armed run is bit-identical to an unarmed one — which is what
+// makes the proof sound. See docs/CHECKPOINT.md.
+type CkptConfig struct {
+	// Dir is where snapshots are written (atomic write-then-rename,
+	// retain-last-K). Empty disables persistence: captures still run and
+	// CkptStatus still fills, which is what the in-process kill-and-resume
+	// harness uses.
+	Dir string
+	// Every is the virtual-time capture interval (default DefaultCkptEvery).
+	// Ignored on resume: the captured run's interval is authoritative.
+	Every sim.Time
+	// Retain caps how many snapshots Dir keeps (default DefaultCkptRetain).
+	Retain int
+	// RunKey names this run's snapshot family inside Dir and must match on
+	// resume (sweep uses the point's cache key). Default "run".
+	RunKey string
+	// Resume, when non-nil, switches the runtime to verify mode: the run
+	// replays from t=0 and at Resume.Index compares every layer's digest
+	// against the snapshot. A mismatch halts the run with *ckpt.CorruptError
+	// — never a silent partial restore.
+	Resume *ckpt.Snapshot
+	// KillAtIndex, when positive, halts the run with *ckpt.KilledError right
+	// after capturing boundary KillAtIndex — the in-process stand-in for
+	// SIGKILL that figures.Recover uses to test mid-flight interruption.
+	KillAtIndex int64
+}
+
+// CkptStatus reports what the checkpoint layer did during a run.
+type CkptStatus struct {
+	Captures  int   // boundaries captured (including the verified one)
+	Verified  bool  // resume verification passed at Resume.Index
+	LastIndex int64 // most recent boundary index captured
+	LastAt    int64 // ... and its virtual time (ns)
+	BytesLast int   // encoded size of the most recent snapshot
+}
+
+// ckptState is the runtime side-car driving captures (see armCkpt).
+type ckptState struct {
+	rt     *Runtime
+	cfg    CkptConfig
+	status CkptStatus
+}
+
+// armCkpt installs the engine checkpoint callback. Called from New after
+// ConfigureShards, before any workload runs.
+func (rt *Runtime) armCkpt() {
+	cs := &ckptState{rt: rt, cfg: *rt.cfg.Ckpt}
+	rt.ckpt = cs
+	rt.eng.ConfigureCheckpoints(cs.cfg.Every, cs.capture)
+}
+
+// CkptStatus returns a copy of the checkpoint layer's status (zero value when
+// checkpointing is not armed).
+func (rt *Runtime) CkptStatus() CkptStatus {
+	if rt.ckpt == nil {
+		return CkptStatus{}
+	}
+	return rt.ckpt.status
+}
+
+// snapshot assembles the four layer sections at the current quiescent
+// boundary.
+func (cs *ckptState) snapshot(at sim.Time, index int64) *ckpt.Snapshot {
+	rt := cs.rt
+	return &ckpt.Snapshot{
+		RunKey: cs.cfg.RunKey,
+		Every:  int64(cs.cfg.Every),
+		Index:  index,
+		At:     int64(at),
+		Shards: rt.cfg.Shards,
+		Sections: []ckpt.Section{
+			{Name: "sim", Data: rt.eng.CheckpointSection()},
+			{Name: "fabric", Data: rt.net.CheckpointSection()},
+			{Name: "faults", Data: rt.faultInj.CheckpointSection()},
+			{Name: "armci", Data: rt.checkpointSection()},
+		},
+	}
+}
+
+// capture is the engine callback: it runs in coordinator context with every
+// shard quiesced and must stay passive (no events, no RNG draws). In normal
+// mode it persists the snapshot; in verify mode (Resume set) it proves the
+// replayed state matches the captured digests at the cursor.
+func (cs *ckptState) capture(at sim.Time, index int64) {
+	rt := cs.rt
+	if res := cs.cfg.Resume; res != nil {
+		if index < res.Index {
+			return // still replaying toward the cursor
+		}
+		if index > res.Index {
+			// The replay skipped past the cursor: boundary indices diverged,
+			// which only happens when the runs are not the same run.
+			rt.eng.Halt(&ckpt.CorruptError{Section: "cursor",
+				Reason: fmt.Sprintf("replay reached boundary %d without passing the snapshot's %d", index, res.Index)})
+			return
+		}
+		snap := cs.snapshot(at, index)
+		if int64(at) != res.At {
+			rt.eng.Halt(&ckpt.CorruptError{Section: "cursor",
+				Reason: fmt.Sprintf("boundary %d replayed at t=%d, snapshot captured t=%d", index, at, res.At)})
+			return
+		}
+		for _, sec := range snap.Sections {
+			if string(sec.Data) != string(res.Section(sec.Name)) {
+				rt.eng.Halt(&ckpt.CorruptError{Section: sec.Name, Reason: "replay divergence"})
+				return
+			}
+		}
+		cs.status.Verified = true
+		cs.status.Captures++
+		cs.status.LastIndex, cs.status.LastAt = index, int64(at)
+		cs.cfg.Resume = nil // verified: continue in normal capture mode
+		if rt.cfg.Metrics != nil {
+			rt.cfg.Metrics.Counter("ckpt_verified_total").Inc()
+		}
+		return
+	}
+
+	snap := cs.snapshot(at, index)
+	enc := snap.Encode()
+	cs.status.Captures++
+	cs.status.LastIndex, cs.status.LastAt = index, int64(at)
+	cs.status.BytesLast = len(enc)
+	if rt.cfg.Metrics != nil {
+		rt.cfg.Metrics.Counter("ckpt_captures_total").Inc()
+		rt.cfg.Metrics.Gauge("ckpt_bytes_last").Set(float64(len(enc)))
+	}
+	if cs.cfg.Dir != "" {
+		path := filepath.Join(cs.cfg.Dir, ckpt.FileName(cs.cfg.RunKey, index))
+		if err := ckpt.WriteFileAtomic(path, enc, 0o644); err != nil {
+			rt.eng.Halt(fmt.Errorf("armci: checkpoint write failed: %w", err))
+			return
+		}
+		if err := ckpt.Retain(cs.cfg.Dir, cs.cfg.RunKey, cs.cfg.Retain); err != nil {
+			rt.eng.Halt(fmt.Errorf("armci: checkpoint retention failed: %w", err))
+			return
+		}
+	}
+	if cs.cfg.KillAtIndex > 0 && index >= cs.cfg.KillAtIndex {
+		rt.eng.Halt(&ckpt.KilledError{Index: index, At: int64(at)})
+	}
+}
+
+// checkpointSection digests the ARMCI layer's state at a quiescent boundary:
+// per-node protocol counters, the egress arena (credits, parked sends,
+// debts), CHT pending counts and inbox depths, dedup tables, adaptive
+// capacities, pacer state, membership views, allocation slabs, and free-list
+// depths. Everything here is owner-context state, deterministic at
+// quiescence under the bit-identity contract.
+func (rt *Runtime) checkpointSection() []byte {
+	var enc ckpt.Enc
+
+	// The three O(nodes)/O(edges) arena loops dominate capture cost at 16k+
+	// nodes, so they are digested sparsely — entries still in their initial
+	// state contribute nothing, and a touched entry is folded with its index
+	// so position stays part of the digest — and in parallel via ParallelMix
+	// (chunked, deterministic, safe at a quiescent boundary where every
+	// shard is parked). In the paper's incast workloads only the active set
+	// and the hot paths toward rank 0 ever leave the virgin state, so the
+	// per-capture work tracks the touched footprint, not the node count.
+	enc.Str("nstats")
+	enc.U64(ckpt.ParallelMix(len(rt.nstats), func(lo, hi int) uint64 {
+		h := ckpt.MixInit
+		for n := lo; n < hi; n++ {
+			s := &rt.nstats[n]
+			fields := []uint64{
+				s.Ops, s.Requests, s.Forwards, s.LocalOps, s.CreditWaits,
+				uint64(s.CreditWaited), uint64(s.MaxCHTBacklog),
+				s.Timeouts, s.Retries, s.Failures, s.CreditRegens, s.Reroutes,
+				s.DupDrops, s.NoRoutes, s.AggBatches, s.AggBatchedOps,
+				s.CreditShifts, s.Suspicions, s.Confirms, s.Rejoins,
+				s.HealReplays, s.HealFails, s.CreditWriteOffs, s.StaleAcks,
+				s.NodeAborts, uint64(s.MaxDetectLatency), s.Completions,
+				s.Admitted, s.ShedOps, s.ShedBudget, s.ShedDeadline, s.ShedClass,
+				s.PaceWaits, uint64(s.PaceWaited), s.PaceBackoffs, s.PaceSlams,
+				s.CEAcks,
+			}
+			var any uint64
+			for _, v := range fields {
+				any |= v
+			}
+			if any == 0 {
+				continue
+			}
+			h = ckpt.Mix(h, uint64(n))
+			for _, v := range fields {
+				h = ckpt.Mix(h, v)
+			}
+		}
+		return h
+	}))
+
+	enc.Str("egress")
+	enc.U64(ckpt.ParallelMix(len(rt.egArena), func(lo, hi int) uint64 {
+		h := ckpt.MixInit
+		for i := lo; i < hi; i++ {
+			eg := &rt.egArena[i]
+			if eg.credits == eg.capacity && len(eg.pending) == 0 &&
+				eg.revokeDebt == 0 && eg.regenDebt == 0 && eg.transmits == 0 {
+				continue // untouched edge: full credits, no history
+			}
+			h = ckpt.Mix(h, uint64(i))
+			h = ckpt.Mix(h, uint64(eg.credits))
+			h = ckpt.Mix(h, uint64(eg.capacity))
+			h = ckpt.Mix(h, uint64(len(eg.pending)))
+			h = ckpt.Mix(h, uint64(eg.revokeDebt))
+			h = ckpt.Mix(h, uint64(eg.regenDebt))
+			h = ckpt.Mix(h, eg.transmits)
+		}
+		return h
+	}))
+
+	enc.Str("nodes")
+	enc.U64(ckpt.ParallelMix(len(rt.nodes), func(lo, hi int) uint64 {
+		h := ckpt.MixInit
+		for n := lo; n < hi; n++ {
+			ns := &rt.nodes[n]
+			if nodeStateVirgin(ns) {
+				continue
+			}
+			h = ckpt.Mix(h, uint64(n))
+			h = rt.mixNodeState(h, ns)
+		}
+		return h
+	}))
+
+	enc.Str("misc")
+	h := ckpt.MixInit
+	h = ckpt.Mix(h, uint64(rt.liveRanks))
+	h = ckpt.Mix(h, uint64(rt.barrier.arrived))
+	for m := range rt.mutexes {
+		mu := &rt.mutexes[m]
+		if mu.held {
+			h = ckpt.Mix(h, 1)
+		} else {
+			h = ckpt.Mix(h, 0)
+		}
+		h = ckpt.Mix(h, uint64(uint32(int32(mu.owner))))
+		h = ckpt.Mix(h, uint64(len(mu.waiters)))
+	}
+	enc.U64(h)
+
+	enc.Str("allocs")
+	rt.allocsMu.RLock()
+	names := make([]string, 0, len(rt.allocs))
+	for name := range rt.allocs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h = ckpt.MixInit
+	for _, name := range names {
+		a := rt.allocs[name]
+		h = ckpt.MixStr(h, name)
+		h = ckpt.Mix(h, uint64(a.bytes))
+		for r, slab := range a.mem {
+			if slab == nil {
+				continue // lazily materialized; untouched slabs are all-zero
+			}
+			h = ckpt.Mix(h, uint64(r))
+			h = ckpt.MixBytes(h, slab)
+		}
+	}
+	rt.allocsMu.RUnlock()
+	enc.U64(h)
+
+	return enc.Bytes()
+}
+
+// nodeStateVirgin reports whether a node's digestable state is still
+// exactly as constructed, so the sparse nodes digest may skip it: no CHT
+// pendings or inbox entries, no dedup history, no credit shifts (inCap is
+// then still the config-derived initial on every in-edge — shifts stamp
+// lastShift past the neverShifted sentinel on both edges involved), no
+// pacers, no membership view, and empty free lists.
+func nodeStateVirgin(ns *nodeState) bool {
+	if ns.pendingSrcs != 0 || ns.inbox.Len() != 0 || ns.ridSeq != 0 ||
+		len(ns.rids) != 0 || len(ns.pacers) != 0 || ns.mv != nil ||
+		len(ns.psFree) != 0 || len(ns.reqFree) != 0 {
+		return false
+	}
+	for _, p := range ns.pendingBySrc {
+		if p != 0 {
+			return false
+		}
+	}
+	for _, t := range ns.lastShift {
+		if t != neverShifted {
+			return false
+		}
+	}
+	return true
+}
+
+// mixNodeState folds one node's owner-context protocol state into the
+// running digest: CHT pending counts and inbox depth, the dedup table,
+// adaptive capacities, pacer state, membership view, and free-list depths.
+func (rt *Runtime) mixNodeState(h uint64, ns *nodeState) uint64 {
+	for _, p := range ns.pendingBySrc {
+		h = ckpt.Mix(h, uint64(uint32(p)))
+	}
+	h = ckpt.Mix(h, uint64(ns.pendingSrcs))
+	h = ckpt.Mix(h, uint64(ns.inbox.Len()))
+	h = ckpt.Mix(h, ns.ridSeq)
+	if len(ns.rids) > 0 {
+		keys := make([]uint64, 0, len(ns.rids))
+		for rid := range ns.rids {
+			keys = append(keys, rid)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		h = ckpt.Mix(h, uint64(len(keys)))
+		for _, rid := range keys {
+			d := ns.rids[rid]
+			h = ckpt.Mix(h, rid)
+			if d.responded {
+				h = ckpt.Mix(h, 1)
+			} else {
+				h = ckpt.Mix(h, 0)
+			}
+			h = ckpt.Mix(h, uint64(d.old))
+		}
+	}
+	for i := range ns.inCap {
+		h = ckpt.Mix(h, uint64(ns.inCap[i]))
+		h = ckpt.Mix(h, uint64(ns.lastShift[i]))
+	}
+	if len(ns.pacers) > 0 {
+		dsts := make([]int, 0, len(ns.pacers))
+		for d := range ns.pacers {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		h = ckpt.Mix(h, uint64(len(dsts)))
+		for _, d := range dsts {
+			p := ns.pacers[d]
+			h = ckpt.Mix(h, uint64(d))
+			h = ckpt.Mix(h, uint64(p.gap))
+			h = ckpt.Mix(h, uint64(p.nextFree))
+			h = ckpt.Mix(h, uint64(p.lastCut))
+			h = ckpt.Mix(h, uint64(p.lastDecay))
+		}
+	}
+	if ns.mv != nil {
+		h = ckpt.Mix(h, uint64(ns.mv.resetAt))
+		for _, nbr := range ns.mv.nbrs {
+			h = ckpt.Mix(h, uint64(nbr))
+			h = ckpt.Mix(h, uint64(ns.mv.lastHeard[nbr]))
+			h = ckpt.Mix(h, uint64(ns.mv.state[nbr]))
+		}
+	}
+	h = ckpt.Mix(h, uint64(len(ns.psFree)))
+	h = ckpt.Mix(h, uint64(len(ns.reqFree)))
+	return h
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hammers the topology-spec grammar (documented on Spec):
+// any input must either be rejected or parse to a spec whose canonical
+// rendering is a fixed point — re-parsing it yields the identical spec and
+// the identical string, with no panic anywhere. Fuzz targets double as
+// seeded property tests under plain `go test`.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("fcg")
+	f.Add("FCG")
+	f.Add("mfcg")
+	f.Add("cfcg")
+	f.Add("hypercube")
+	f.Add("hyperx")
+	f.Add("dragonfly")
+	f.Add("mfcg:32x32")
+	f.Add("cfcg:8x8x8")
+	f.Add("hyperx:8x8x4")
+	f.Add("hyperx:4x4x2")
+	f.Add("hyperx:2")
+	f.Add("dragonfly:g=9,a=4,h=2")
+	f.Add("dragonfly:g=8,a=4,h=0")
+	f.Add("dragonfly:a=4,g=8")
+	f.Add("dragonfly:g=8,g=9")
+	f.Add(" mfcg:16x16 ")
+	f.Add("fcg:2x2")
+	f.Add("mfcg:2x2x2")
+	f.Add("hyperx:0x4")
+	f.Add("hyperx:-1")
+	f.Add("hyperx:4x")
+	f.Add("dragonfly:g=")
+	f.Add("dragonfly:q=1")
+	f.Add("dragonfly:g=-1,a=4")
+	f.Add(":")
+	f.Add("")
+	f.Add("mfcg:999999999999999999999x2")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", in, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not canonical: %q -> %q", rendered, again.String())
+		}
+		// The canonical form must also survive the list parser (every -topos
+		// flag routes through it), including dragonfly's comma-sharing rule.
+		list, err := ParseSpecList(rendered + "," + rendered)
+		if err != nil {
+			t.Fatalf("list parser rejected canonical %q: %v", rendered, err)
+		}
+		if len(list) != 2 || list[0].String() != rendered || list[1].String() != rendered {
+			t.Fatalf("list parse of %q mangled the specs: %v", rendered, list)
+		}
+		// An accepted spec either builds or reports a typed sizing error —
+		// never a panic — at a representative node count.
+		if topo, err := spec.Build(16); err == nil {
+			if n := topo.Nodes(); n < 1 {
+				t.Fatalf("%q built a topology with %d nodes", in, n)
+			}
+		} else if !strings.Contains(err.Error(), "core:") {
+			t.Fatalf("%q: Build error outside the core namespace: %v", in, err)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"armcivt/internal/armci"
+	"armcivt/internal/ckpt"
 	"armcivt/internal/core"
 	"armcivt/internal/faults"
 	"armcivt/internal/obs"
@@ -57,10 +58,24 @@ type ChaosConfig struct {
 	// the same schedule demonstrably loses paths on multi-hop topologies:
 	// operations routed through a dead forwarder exhaust their retries.
 	Heal bool
+	// Storms appends hot-spot ejection storms (stormSchedule against node 0)
+	// to the crash schedule, so crash recovery and congestion stress overlap.
+	// Zero (the default) keeps the schedule crash-only and bit-identical to
+	// pre-storm chaos runs.
+	Storms int
+	// Overload arms the overload-protection layer (admission control, AIMD
+	// pacing, shedding); shed operations surface as failed handles, which the
+	// ledger invariants already cover.
+	Overload bool
 	// Shards runs the kernel conservatively in parallel (armci.Config.Shards);
 	// ledger results are bit-identical for every value. Forced serial when
 	// Trace is set.
 	Shards int
+
+	// Ckpt arms periodic checkpointing on the run (armci.Config.Ckpt). The
+	// kill-and-resume harness (figures.Recover) drives chaos runs through
+	// capture, in-process kill, and verified resume with it.
+	Ckpt *armci.CkptConfig
 
 	// Metrics/Trace/TracePID attach observability exactly as in
 	// ContentionConfig.
@@ -84,6 +99,13 @@ type ChaosResult struct {
 	Victims     []int // nodes the schedule crashed, in schedule order
 	Elapsed     sim.Time
 	Stats       armci.Stats
+	// Fingerprint folds the per-rank ledgers, the per-rank outcome counters
+	// and the final clock into one value: two runs with equal fingerprints
+	// finished in the same end-to-end state. It is the oracle the
+	// kill-and-resume harness compares resumed runs against.
+	Fingerprint uint64
+	// Ckpt reports what the checkpoint layer did (zero unless Ckpt was set).
+	Ckpt armci.CkptStatus
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -132,12 +154,20 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 			victims = append(victims, f.A)
 		}
 	}
+	if c.Storms > 0 {
+		// Ejection storms on top of the crash schedule: node 0 (crashed or
+		// not, the port still congests) takes the bursts, so recovery and
+		// hot-spot pressure overlap.
+		schedule = append(schedule, stormSchedule(0, c.Storms)...)
+	}
 
 	cfg := armci.DefaultConfig(c.Nodes, c.PPN)
 	cfg.Topology = topo
 	inj := faults.NewInjector(eng, c.Nodes, &faults.Spec{Faults: schedule})
 	cfg.Faults = inj
 	cfg.Heal.Enabled = c.Heal
+	cfg.Overload.Enabled = c.Overload
+	cfg.Ckpt = c.Ckpt
 	// Fast retry constants scaled to the horizon. The doubling retries from
 	// 200us put attempts at +200us/600us/1.4ms/3ms after issue — the last
 	// two comfortably past worst-case detection (2*SuspicionTimeout +
@@ -280,5 +310,21 @@ func Chaos(c ChaosConfig) (*ChaosResult, error) {
 				spec, c.Seed, res.Stats.MaxDetectLatency, bound)
 		}
 	}
+	// The ledger fingerprint: every rank's outcome counters plus the full
+	// applied matrix plus the final clock. This is the bit-identity oracle —
+	// a resumed run must reproduce it exactly (figures.Recover).
+	h := ckpt.MixInit
+	for o := 0; o < n; o++ {
+		h = ckpt.Mix(h, uint64(issued[o]))
+		h = ckpt.Mix(h, uint64(completed[o]))
+		h = ckpt.Mix(h, uint64(failed[o]))
+		h = ckpt.Mix(h, uint64(partitioned[o]))
+		for t := 0; t < n; t++ {
+			h = ckpt.MixF64(h, armci.GetFloat64(rt.Memory(t, "chaos"), 8*o))
+		}
+	}
+	h = ckpt.Mix(h, uint64(res.Elapsed))
+	res.Fingerprint = h
+	res.Ckpt = rt.CkptStatus()
 	return res, nil
 }

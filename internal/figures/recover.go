@@ -1,0 +1,171 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/ckpt"
+	"armcivt/internal/core"
+	"armcivt/internal/sim"
+)
+
+// The kill-and-resume harness: the checkpoint subsystem's acceptance gate.
+// Recover runs the same chaos workload three ways — an uninterrupted control,
+// an armed run killed right after a mid-flight capture, and a resumed run
+// restored from the snapshot the killed run left on disk — and asserts the
+// resumed run's ledger fingerprint equals the control's, bit for bit. The
+// resumed run may use a different shard count than the captured one: the
+// snapshot's digests are shard-independent (docs/CHECKPOINT.md), so the
+// restore verifies against them at any parallelism.
+
+// RecoverConfig sizes one kill-and-resume experiment.
+type RecoverConfig struct {
+	Kind core.Kind
+	// Topo, when non-zero, selects a parameterized topology spec and takes
+	// precedence over Kind.
+	Topo       core.Spec
+	Nodes      int // default 32
+	PPN        int // default 2
+	OpsPerRank int // default 8
+	Crashes    int // default 2 (chaos armed: crash the simulated nodes...)
+	Storms     int // default 1 (...and congest them)
+	Overload   bool
+	Heal       bool
+	Seed       int64 // default 1
+	// Shards is the captured run's shard count; ResumeShards the restored
+	// run's (default: same as Shards). Differing values are the headline
+	// property: capture at one parallelism, restore at another.
+	Shards       int
+	ResumeShards int
+	// Every is the capture interval (default armci.DefaultCkptEvery).
+	Every sim.Time
+	// KillAt is the boundary index the armed run is killed at, right after
+	// its capture lands on disk (default 2 — mid-flight, after real traffic).
+	KillAt int64
+	// Dir is where the killed run's snapshots live. Empty uses a fresh
+	// temporary directory, removed on return.
+	Dir string
+}
+
+// RecoverResult reports one completed kill-and-resume experiment.
+type RecoverResult struct {
+	Control *ChaosResult // the uninterrupted run
+	Resumed *ChaosResult // the restored run (fingerprints proven equal)
+	// KilledIndex/KilledAt is the boundary the interrupted run died at.
+	KilledIndex int64
+	KilledAt    sim.Time
+}
+
+func (c RecoverConfig) withDefaults() RecoverConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 32
+	}
+	if c.PPN == 0 {
+		c.PPN = 2
+	}
+	if c.OpsPerRank == 0 {
+		c.OpsPerRank = 8
+	}
+	if c.Crashes == 0 {
+		c.Crashes = 2
+	}
+	if c.Storms == 0 {
+		c.Storms = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ResumeShards == 0 {
+		c.ResumeShards = c.Shards
+	}
+	if c.Every == 0 {
+		c.Every = armci.DefaultCkptEvery
+	}
+	if c.KillAt == 0 {
+		c.KillAt = 2
+	}
+	return c
+}
+
+// chaosConfig builds the shared workload configuration; only Shards and Ckpt
+// differ between the three runs.
+func (c RecoverConfig) chaosConfig(shards int, ck *armci.CkptConfig) ChaosConfig {
+	return ChaosConfig{
+		Kind:       c.Kind,
+		Topo:       c.Topo,
+		Nodes:      c.Nodes,
+		PPN:        c.PPN,
+		OpsPerRank: c.OpsPerRank,
+		Crashes:    c.Crashes,
+		Storms:     c.Storms,
+		Overload:   c.Overload,
+		Heal:       c.Heal,
+		Seed:       c.Seed,
+		Shards:     shards,
+		Ckpt:       ck,
+	}
+}
+
+// Recover executes the kill-and-resume experiment. A non-nil error means the
+// checkpoint contract broke somewhere: the armed run did not die where told,
+// no snapshot survived, the restore failed verification, or the resumed
+// fingerprint diverged from the control's.
+func Recover(c RecoverConfig) (*RecoverResult, error) {
+	c = c.withDefaults()
+	dir := c.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "armcivt-ckpt-*"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	const runKey = "recover"
+
+	// 1. Control: the uninterrupted run, checkpointing unarmed.
+	control, err := Chaos(c.chaosConfig(c.Shards, nil))
+	if err != nil {
+		return nil, fmt.Errorf("recover: control run failed: %w", err)
+	}
+
+	// 2. Armed run, killed in-process right after capturing boundary KillAt.
+	_, err = Chaos(c.chaosConfig(c.Shards, &armci.CkptConfig{
+		Dir: dir, Every: c.Every, RunKey: runKey, KillAtIndex: c.KillAt,
+	}))
+	var killed *ckpt.KilledError
+	if !errors.As(err, &killed) {
+		return nil, fmt.Errorf("recover: armed run returned %v, want *ckpt.KilledError at boundary %d", err, c.KillAt)
+	}
+
+	// 3. Restore: load the newest surviving snapshot and replay through it
+	// at the resume shard count. Verification happens inside the run — a
+	// divergence halts it with *ckpt.CorruptError before any result forms.
+	path, snap, err := ckpt.Latest(dir, runKey)
+	if err != nil {
+		return nil, fmt.Errorf("recover: loading snapshot: %w", err)
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("recover: killed run left no snapshot in %s", dir)
+	}
+	resumed, err := Chaos(c.chaosConfig(c.ResumeShards, &armci.CkptConfig{
+		Dir: dir, RunKey: runKey, Resume: snap,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("recover: resumed run (%s) failed: %w", path, err)
+	}
+	if !resumed.Ckpt.Verified {
+		return nil, fmt.Errorf("recover: resumed run never verified the snapshot at boundary %d", snap.Index)
+	}
+	if resumed.Fingerprint != control.Fingerprint {
+		return nil, fmt.Errorf("recover: resumed fingerprint %016x != control %016x (shards %d -> %d, kill at %d)",
+			resumed.Fingerprint, control.Fingerprint, c.Shards, c.ResumeShards, killed.Index)
+	}
+	return &RecoverResult{
+		Control:     control,
+		Resumed:     resumed,
+		KilledIndex: killed.Index,
+		KilledAt:    sim.Time(killed.At),
+	}, nil
+}

@@ -261,22 +261,62 @@ type Engine struct {
 	// halt, when set (see Halt), aborts the run loop before the next event.
 	halt error
 
+	// rngSrc wraps the RNG's source to count draws, and rngSeed remembers
+	// the seed, so CheckpointSection can digest the generator's position
+	// (seed, draws) without serializing its internal state.
+	rngSrc  *countingSource
+	rngSeed int64
+
+	// Checkpoint hooks (ConfigureCheckpoints): ckFn fires at every capture
+	// boundary k*ckEvery (k >= ckNext) the run loop passes — the first
+	// moment the next pending event's time exceeds the boundary, which is
+	// by construction a quiescent point: all events at or before the
+	// boundary have executed, no window is open, outboxes are empty.
+	ckEvery Time
+	ckNext  int64
+	ckFn    func(at Time, index int64)
+
 	shardState
+}
+
+// countingSource wraps a rand.Source64 and counts draws. Capture needs only
+// (seed, draws) to identify the generator's position: both run modes draw in
+// the same deterministic order, so equal counts at a quiescent boundary mean
+// equal generator state.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 { c.draws++; return c.src.Int63() }
+
+// Uint64 preserves rand.Rand's Source64 fast path, keeping the value stream
+// bit-identical to an unwrapped rand.NewSource.
+func (c *countingSource) Uint64() uint64 { c.draws++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 }
 
 // New creates an engine with virtual time 0 and a deterministic RNG.
 func New() *Engine {
 	e := &Engine{
 		parked:   make(chan struct{}),
-		rng:      rand.New(rand.NewSource(1)),
 		ctxOwner: GlobalOwner,
 		seqs:     make([]uint64, 1),
 	}
+	e.Seed(1)
 	return e
 }
 
 // Seed reseeds the engine's deterministic RNG.
-func (e *Engine) Seed(s int64) { e.rng = rand.New(rand.NewSource(s)) }
+func (e *Engine) Seed(s int64) {
+	e.rngSrc = newCountingSource(s)
+	e.rngSeed = s
+	e.rng = rand.New(e.rngSrc)
+}
 
 // Rand returns the engine's RNG. Using it from process bodies keeps serial
 // simulations deterministic (there is only ever one runner at a time). It is
@@ -693,6 +733,16 @@ func (e *Engine) run(limit Time) error {
 	for e.events.Len() > 0 {
 		if e.halt != nil {
 			return e.halt
+		}
+		if e.ckFn != nil {
+			tEff := e.events.peek().t
+			if limit >= 0 && limit+1 < tEff {
+				tEff = limit + 1
+			}
+			e.fireCheckpoints(tEff)
+			if e.halt != nil {
+				return e.halt
+			}
 		}
 		if limit >= 0 && e.events.peek().t > limit {
 			e.now = limit

@@ -3,9 +3,9 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/stats"
 )
 
@@ -69,13 +69,15 @@ func NewBench(grid string, results []Result, st Stats) *Bench {
 	return b
 }
 
-// Write stores the record as indented JSON at path.
+// Write stores the record as indented JSON at path, atomically via the
+// shared write-then-rename helper so an interrupted regeneration can never
+// leave a torn record behind.
 func (b *Bench) Write(path string) error {
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return ckpt.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // groupKey buckets results that belong in the same merged table: everything

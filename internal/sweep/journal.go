@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The sweep journal is the grid-level half of crash-resilient sweeps
+// (docs/CHECKPOINT.md): an append-only JSONL record of point lifecycle
+// events kept next to the mid-point snapshots in the checkpoint directory.
+// After an interruption (SIGKILL, OOM, power loss) it tells the next run
+// which points were mid-flight — the ones whose snapshots are worth
+// resuming — while the result cache covers everything that finished.
+// Entries are written under a mutex and without fsync: a torn final line is
+// the expected signature of a crash and is tolerated by the reader.
+
+// JournalName is the journal's file name inside the checkpoint directory.
+const JournalName = "journal.jsonl"
+
+// Journal lifecycle events.
+const (
+	EvStart = "start" // point began executing
+	EvDone  = "done"  // point finished successfully
+	EvFail  = "fail"  // point failed or panicked
+)
+
+// JournalEntry is one recorded lifecycle event.
+type JournalEntry struct {
+	Event string `json:"event"`
+	Key   string `json:"key"`
+	Label string `json:"label,omitempty"`
+}
+
+// Journal appends lifecycle events to dir/journal.jsonl. All methods are
+// nil-safe (a nil Journal records nothing) and goroutine-safe, so pool
+// workers log directly.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens the journal in dir for appending, creating the
+// directory and file as needed.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Record appends one event line. Write errors are deliberately swallowed:
+// the journal is a progress record, not a correctness layer.
+func (j *Journal) Record(event, key, label string) {
+	if j == nil {
+		return
+	}
+	b, err := json.Marshal(JournalEntry{Event: event, Key: key, Label: label})
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Write(append(b, '\n'))
+}
+
+// Close closes the underlying file; a nil Journal closes nothing.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// ReadJournal parses dir's journal into the last event seen per point key.
+// Unparseable lines — the torn tail a crash leaves — are skipped, never an
+// error; a missing journal reads as empty.
+func ReadJournal(dir string) (map[string]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]string{}, nil
+		}
+		return nil, err
+	}
+	last := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Key == "" {
+			continue // torn or foreign line
+		}
+		last[e.Key] = e.Event
+	}
+	return last, nil
+}
+
+// InFlight returns the keys of points the journal saw start but never
+// finish: the mid-flight casualties of an interrupted sweep, the ones a
+// resumed run restores from their mid-point snapshots. Sorted for stable
+// reporting.
+func InFlight(dir string) ([]string, error) {
+	last, err := ReadJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for k, ev := range last {
+		if ev == EvStart {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

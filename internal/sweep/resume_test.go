@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"armcivt/internal/armci"
+	"armcivt/internal/ckpt"
+	"armcivt/internal/core"
+	"armcivt/internal/figures"
+	"armcivt/internal/obs"
+)
+
+// Satellite 1 of ISSUE 10: a cache entry that exists but is damaged must be
+// treated as a miss (the point re-executes and rewrites it), evicted from
+// disk, and counted as sweep_cache_corrupt_total — never parsed into a
+// wrong result and never able to poison later runs.
+func TestCorruptCacheEntryEvictedAndRecounted(t *testing.T) {
+	points := []Point{{Experiment: ExpContention, Topo: "FCG", Nodes: 4, PPN: 1}}
+	Reindex(points)
+	dir := t.TempDir()
+	executed := 0
+	r := func() *Runner {
+		return &Runner{Workers: 1, CacheDir: dir, Metrics: obs.NewRegistry(),
+			Exec: func(p Point, _ ExecOptions) Result {
+				executed++
+				return Result{Point: p, Label: p.Label(), Value: 7}
+			}}
+	}
+	if _, st := r().Run(points); st.Executed != 1 {
+		t.Fatalf("seeding run executed %d points", st.Executed)
+	}
+
+	// Truncate the entry on purpose: the crash/torn-write signature.
+	path := filepath.Join(dir, points[0].Key()+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run2 := r()
+	_, st := run2.Run(points)
+	if st.Executed != 1 || st.CacheHits != 0 || st.CacheCorrupt != 1 || executed != 2 {
+		t.Fatalf("corrupt entry not re-executed: %+v (executed %d)", st, executed)
+	}
+	if got := run2.Metrics.Counter("sweep_cache_corrupt_total").Value(); got != 1 {
+		t.Fatalf("sweep_cache_corrupt_total = %v, want 1", got)
+	}
+
+	// The re-execution rewrote a healthy entry: third run is a pure hit.
+	if _, st := r().Run(points); st.CacheHits != 1 || st.CacheCorrupt != 0 {
+		t.Fatalf("entry not healed: %+v", st)
+	}
+}
+
+// The journal records every point's lifecycle; a finished run leaves no
+// in-flight keys.
+func TestJournalRecordsLifecycle(t *testing.T) {
+	points := []Point{
+		{Experiment: ExpContention, Topo: "A"},
+		{Experiment: ExpContention, Topo: "B"},
+		{Experiment: ExpContention, Topo: "C"},
+	}
+	Reindex(points)
+	dir := t.TempDir()
+	r := &Runner{Workers: 2, Ckpt: CkptOptions{Dir: dir},
+		Exec: func(p Point, _ ExecOptions) Result {
+			if p.Index == 1 {
+				return Result{Point: p, Label: p.Label(), Err: "stub failure"}
+			}
+			return Result{Point: p, Label: p.Label(), Value: 1}
+		}}
+	r.Run(points)
+	last, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		points[0].Key(): EvDone,
+		points[1].Key(): EvFail,
+		points[2].Key(): EvDone,
+	}
+	for k, ev := range want {
+		if last[k] != ev {
+			t.Fatalf("journal[%s] = %q, want %q (full: %v)", k, last[k], ev, last)
+		}
+	}
+	inflight, err := InFlight(dir)
+	if err != nil || len(inflight) != 0 {
+		t.Fatalf("in-flight after a completed run: %v, %v", inflight, err)
+	}
+}
+
+// A torn final line — the expected signature of a crash mid-append — must
+// not hide the preceding entries, and a started-but-unfinished point must
+// surface from InFlight.
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Record(EvStart, "k1", "point one")
+	jl.Record(EvDone, "k1", "point one")
+	jl.Record(EvStart, "k2", "point two")
+	jl.Close()
+	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"event":"done","key":"k2","lab`) // torn mid-record
+	f.Close()
+
+	inflight, err := InFlight(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inflight) != 1 || inflight[0] != "k2" {
+		t.Fatalf("in-flight = %v, want [k2]", inflight)
+	}
+}
+
+// chaosPointConfig mirrors exec.go's ExpChaos branch: the interrupted run a
+// resume test seeds must be the exact simulation Execute would run.
+func chaosPointConfig(t *testing.T, p Point) figures.ChaosConfig {
+	t.Helper()
+	spec, err := core.ParseSpec(p.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return figures.ChaosConfig{
+		Kind:       spec.Kind,
+		Topo:       spec,
+		Nodes:      p.Nodes,
+		PPN:        p.PPN,
+		OpsPerRank: p.Iters,
+		Crashes:    p.Crashes,
+		Seed:       p.EffectiveSeed(),
+		Heal:       p.Heal == "on",
+	}
+}
+
+// The sweep-level kill-and-resume path: a point interrupted mid-flight (its
+// snapshots and a journaled start left behind) must resume from its newest
+// snapshot on the next -resume run, produce the identical result the
+// uninterrupted run would, purge its snapshots on success, and count as
+// sweep_resumed_total.
+func TestResumeFromMidpointSnapshot(t *testing.T) {
+	points := []Point{{Experiment: ExpChaos, Topo: "MFCG", Nodes: 16, PPN: 1,
+		Iters: 4, Crashes: 1, Heal: "on"}}
+	Reindex(points)
+	p := points[0]
+
+	// Uninterrupted control, straight through Execute.
+	control := Execute(p, ExecOptions{})
+	if control.Err != "" {
+		t.Fatalf("control: %s", control.Err)
+	}
+
+	// Interrupt the same simulation mid-flight the way a SIGKILLed sweep
+	// would leave it: snapshots keyed by the point's cache key plus a
+	// journaled start without a done.
+	dir := t.TempDir()
+	cc := chaosPointConfig(t, p)
+	cc.Ckpt = &armci.CkptConfig{Dir: dir, RunKey: p.Key(), KillAtIndex: 2}
+	if _, err := figures.Chaos(cc); err == nil {
+		t.Fatal("armed run was not killed")
+	}
+	if _, snap, err := ckpt.Latest(dir, p.Key()); err != nil || snap == nil {
+		t.Fatalf("no snapshot after kill: %v, %v", snap, err)
+	}
+	jl, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Record(EvStart, p.Key(), p.Label())
+	jl.Close()
+	if inflight, _ := InFlight(dir); len(inflight) != 1 {
+		t.Fatalf("in-flight = %v, want the killed point", inflight)
+	}
+
+	run := &Runner{Workers: 1, Metrics: obs.NewRegistry(),
+		Ckpt: CkptOptions{Dir: dir, Resume: true}}
+	results, st := run.Run(points)
+	if results[0].Err != "" {
+		t.Fatalf("resumed point failed: %s", results[0].Err)
+	}
+	if !results[0].Resumed || st.Resumed != 1 {
+		t.Fatalf("point not resumed: %+v, %+v", results[0], st)
+	}
+	if got := run.Metrics.Counter("sweep_resumed_total").Value(); got != 1 {
+		t.Fatalf("sweep_resumed_total = %v, want 1", got)
+	}
+	if results[0].Value != control.Value {
+		t.Fatalf("resumed value %v != control %v", results[0].Value, control.Value)
+	}
+	// Success purges the point's snapshots; the journal shows it done.
+	if _, snap, err := ckpt.Latest(dir, p.Key()); err != nil || snap != nil {
+		t.Fatalf("snapshots not purged on success: %v, %v", snap, err)
+	}
+	if last, _ := ReadJournal(dir); last[p.Key()] != EvDone {
+		t.Fatalf("journal[%s] = %q, want done", p.Key(), last[p.Key()])
+	}
+}
+
+// Damaged mid-point state must never fail a resumed point: a tampered
+// snapshot is purged and the point re-executes from scratch, bit-identical
+// to the control, counted as sweep_ckpt_corrupt_total.
+func TestResumeWithCorruptSnapshotRunsFresh(t *testing.T) {
+	points := []Point{{Experiment: ExpChaos, Topo: "FCG", Nodes: 16, PPN: 1,
+		Iters: 4, Crashes: 1}}
+	Reindex(points)
+	p := points[0]
+	control := Execute(p, ExecOptions{})
+	if control.Err != "" {
+		t.Fatalf("control: %s", control.Err)
+	}
+
+	dir := t.TempDir()
+	cc := chaosPointConfig(t, p)
+	cc.Ckpt = &armci.CkptConfig{Dir: dir, RunKey: p.Key(), KillAtIndex: 2}
+	if _, err := figures.Chaos(cc); err == nil {
+		t.Fatal("armed run was not killed")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+ckpt.Ext))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no snapshots on disk: %v", err)
+	}
+	for _, path := range matches {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x20
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := &Runner{Workers: 1, Metrics: obs.NewRegistry(),
+		Ckpt: CkptOptions{Dir: dir, Resume: true}}
+	results, st := run.Run(points)
+	if results[0].Err != "" {
+		t.Fatalf("point failed on corrupt snapshot: %s", results[0].Err)
+	}
+	if results[0].Resumed || st.Resumed != 0 {
+		t.Fatal("corrupt snapshot was reported as a resume")
+	}
+	if !results[0].CkptCorrupt {
+		t.Fatal("corrupt snapshot not flagged")
+	}
+	if got := run.Metrics.Counter("sweep_ckpt_corrupt_total").Value(); got != 1 {
+		t.Fatalf("sweep_ckpt_corrupt_total = %v, want 1", got)
+	}
+	if results[0].Value != control.Value {
+		t.Fatalf("fresh rerun value %v != control %v", results[0].Value, control.Value)
+	}
+	if _, snap, err := ckpt.Latest(dir, p.Key()); err != nil || snap != nil {
+		t.Fatalf("corrupt snapshots not purged: %v, %v", snap, err)
+	}
+}

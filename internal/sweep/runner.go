@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"armcivt/internal/ckpt"
 	"armcivt/internal/obs"
 )
 
@@ -37,6 +38,12 @@ type Stats struct {
 	// contribute nothing): what a -j 1 run of the executed points would
 	// cost, the denominator-free baseline for SpeedupVsSerial.
 	SerialWall time.Duration
+	// Resumed counts executed points restored from a mid-point snapshot left
+	// by an interrupted sweep (docs/CHECKPOINT.md).
+	Resumed int
+	// CacheCorrupt counts cache entries that existed but were damaged; each
+	// was evicted and its point re-executed.
+	CacheCorrupt int
 }
 
 // SpeedupVsSerial reports how much faster the pool ran the executed points
@@ -87,6 +94,14 @@ type Runner struct {
 	// Workers: Workers points run concurrently, each on Shards lanes.
 	// Results and cache keys are unaffected (bit-identical contract).
 	Shards int
+	// Ckpt arms crash-resilient execution (docs/CHECKPOINT.md): with a
+	// non-"" Dir every executed point checkpoints itself at quiescent
+	// boundaries and the run appends to Dir's journal; with Resume set,
+	// points interrupted mid-flight restore from their newest snapshot.
+	// Like Shards, none of it can change a point's result — checkpointing
+	// is passive and restores are verified bit-identical — so cache keys
+	// are unaffected.
+	Ckpt CkptOptions
 	// Exec overrides the point executor (tests); nil uses Execute.
 	Exec func(Point, ExecOptions) Result
 }
@@ -110,13 +125,21 @@ func (r *Runner) Run(points []Point) ([]Result, Stats) {
 		return results, st
 	}
 
+	// The journal (errors non-fatal: it is a progress record, not a
+	// correctness layer) lives next to the snapshots it indexes.
+	var jl *Journal
+	if r.Ckpt.Dir != "" {
+		jl, _ = OpenJournal(r.Ckpt.Dir)
+		defer jl.Close()
+	}
+
 	start := time.Now()
 	jobs := make(chan Point)
 	done := make(chan Result)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for p := range jobs {
-				done <- r.runPoint(p)
+				done <- r.runPoint(p, jl)
 			}
 		}()
 	}
@@ -130,6 +153,12 @@ func (r *Runner) Run(points []Point) ([]Result, Stats) {
 	m := r.Metrics
 	m.Gauge("sweep_workers").Set(float64(workers))
 	m.Counter("sweep_points_total").Add(float64(len(points)))
+	// The recovery counters register up front (at zero) so the metric
+	// surface is identical whether or not a run exercises them — the
+	// docs-drift tests depend on the full name set appearing every run.
+	m.Counter("sweep_cache_corrupt_total").Add(0)
+	m.Counter("sweep_ckpt_corrupt_total").Add(0)
+	m.Counter("sweep_resumed_total").Add(0)
 	for completed := 0; completed < len(points); completed++ {
 		res := <-done
 		results[res.Point.Index] = res
@@ -147,6 +176,17 @@ func (r *Runner) Run(points []Point) ([]Result, Stats) {
 			st.Failures++
 			m.Counter("sweep_failures_total").Inc()
 		}
+		if res.Resumed {
+			st.Resumed++
+			m.Counter("sweep_resumed_total").Inc()
+		}
+		if res.CacheCorrupt {
+			st.CacheCorrupt++
+			m.Counter("sweep_cache_corrupt_total").Inc()
+		}
+		if res.CkptCorrupt {
+			m.Counter("sweep_ckpt_corrupt_total").Inc()
+		}
 		st.Wall = time.Since(start)
 		var eta time.Duration
 		if n := completed + 1; n < len(points) {
@@ -162,28 +202,39 @@ func (r *Runner) Run(points []Point) ([]Result, Stats) {
 	return results, st
 }
 
-// runPoint executes one point in a worker: cache lookup, isolated
-// execution, cache store. A panic anywhere in the simulation stack becomes
-// the point's Err.
-func (r *Runner) runPoint(p Point) (res Result) {
+// runPoint executes one point in a worker: cache lookup, journaled and
+// isolated execution, cache store. A panic anywhere in the simulation stack
+// becomes the point's Err.
+func (r *Runner) runPoint(p Point, jl *Journal) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			jl.Record(EvFail, p.Key(), p.Label())
 			res = Result{Point: p, Label: p.Label(), Err: fmt.Sprintf("panic: %v", rec)}
 		}
 	}()
 	useCache := r.CacheDir != "" && r.Trace == nil
+	var corrupt bool
 	if useCache {
-		if cached, ok := r.cacheLoad(p); ok {
+		cached, ok, bad := r.cacheLoad(p)
+		if ok {
 			return cached
 		}
+		corrupt = bad
 	}
 	exec := r.Exec
 	if exec == nil {
 		exec = Execute
 	}
+	jl.Record(EvStart, p.Key(), p.Label())
 	start := time.Now()
-	res = exec(p, ExecOptions{Trace: r.Trace, Shards: r.Shards})
+	res = exec(p, ExecOptions{Trace: r.Trace, Shards: r.Shards, Ckpt: r.Ckpt})
 	res.WallNS = time.Since(start).Nanoseconds()
+	res.CacheCorrupt = res.CacheCorrupt || corrupt
+	if res.Err != "" {
+		jl.Record(EvFail, p.Key(), p.Label())
+	} else {
+		jl.Record(EvDone, p.Key(), p.Label())
+	}
 	if useCache && res.Err == "" {
 		r.cacheStore(res)
 	}
@@ -194,25 +245,35 @@ func (r *Runner) cachePath(p Point) string {
 	return filepath.Join(r.CacheDir, p.Key()+".json")
 }
 
-// cacheLoad returns the stored result for p, if any. The stored point's
+// cacheLoad returns the stored result for p, if any. An entry that exists
+// but cannot be trusted — truncated by a crash, torn by a pre-atomic
+// writer, bit-rotted — is evicted and reported as corrupt (third return),
+// which the collector counts as sweep_cache_corrupt_total; the point then
+// re-executes as a plain miss and rewrites the entry. The stored point's
 // index is stale by construction (it belongs to the sweep that wrote it),
 // so the current index is restored.
-func (r *Runner) cacheLoad(p Point) (Result, bool) {
-	b, err := os.ReadFile(r.cachePath(p))
+func (r *Runner) cacheLoad(p Point) (Result, bool, bool) {
+	path := r.cachePath(p)
+	b, err := os.ReadFile(path)
 	if err != nil {
-		return Result{}, false
+		return Result{}, false, false
 	}
 	var res Result
-	if err := json.Unmarshal(b, &res); err != nil || res.Err != "" {
-		return Result{}, false
+	if err := json.Unmarshal(b, &res); err != nil || res.Label == "" {
+		os.Remove(path)
+		return Result{}, false, true
+	}
+	if res.Err != "" {
+		return Result{}, false, false
 	}
 	res.Point.Index = p.Index
 	res.Cached = true
-	return res, true
+	return res, true, false
 }
 
-// cacheStore persists a successful result, atomically via rename so a
-// concurrent reader never sees a torn file. Cache errors are deliberately
+// cacheStore persists a successful result through the shared
+// write-then-rename helper, so neither a concurrent reader nor a crash
+// mid-write can ever produce a torn entry. Cache errors are deliberately
 // silent: the cache is an accelerator, not a correctness layer.
 func (r *Runner) cacheStore(res Result) {
 	if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
@@ -222,14 +283,5 @@ func (r *Runner) cacheStore(res Result) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(r.CacheDir, "tmp-*")
-	if err != nil {
-		return
-	}
-	if _, err := tmp.Write(b); err == nil && tmp.Close() == nil {
-		os.Rename(tmp.Name(), r.cachePath(res.Point))
-	} else {
-		tmp.Close()
-	}
-	os.Remove(tmp.Name()) // no-op after a successful rename
+	ckpt.WriteFileAtomic(r.cachePath(res.Point), b, 0o644)
 }
